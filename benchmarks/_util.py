@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every bench prints a "paper vs measured" table via :func:`print_table` so
+that ``pytest benchmarks/ --benchmark-only -s`` regenerates the rows
+recorded in EXPERIMENTS.md, and asserts the qualitative *shape* claims so
+the harness is self-verifying.
+"""
+
+from __future__ import annotations
+
+__all__ = ["print_table", "fit_constant"]
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print an aligned experiment table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(header[i])
+        for i in range(len(header))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in str_rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) < 1e-3 or abs(cell) >= 1e4:
+            return f"{cell:.3e}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def fit_constant(measured: list[float], predicted: list[float]) -> float:
+    """Least-squares constant c minimising ||measured - c*predicted||."""
+    num = sum(m * p for m, p in zip(measured, predicted))
+    den = sum(p * p for p in predicted)
+    return num / den if den else 0.0

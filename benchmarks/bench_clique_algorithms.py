@@ -1,0 +1,118 @@
+"""E-TB.1 — planted-clique algorithms: rounds, recovery, and the regime map.
+
+Two tables:
+
+1. **Appendix B protocol** — success rate and measured ``BCAST(1)`` round
+   count of the subsampling protocol versus the predicted
+   ``2 + n·log²n/k = O(n/k · polylog n)`` rounds, swept over ``k``.
+2. **Who wins where** — recovery rate of the three algorithms (Appendix B
+   distributed, degree heuristic, centralized spectral) across the ``k``
+   spectrum, mapping the crossovers the paper describes: everything fails
+   near ``n^{1/4}`` (the lower-bound regime), spectral turns on at
+   ``Θ(√n)``, degree at ``Θ(√(n log n))``, Appendix B needs
+   ``k = ω(log²n)``.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _util import print_table
+
+from repro.cliques import (
+    degree_recover,
+    expected_rounds,
+    recovery_quality,
+    spectral_recover,
+    subsample_recover,
+)
+from repro.distributions import PlantedClique
+
+N = 256
+TRIALS = 8
+
+
+def compute_subsample_table():
+    rng = np.random.default_rng(42)
+    rows = []
+    for k in (48, 64, 96, 128):
+        successes = 0
+        total_rounds = 0
+        runs = 0
+        for _ in range(TRIALS):
+            matrix, clique = PlantedClique(N, k).sample_with_clique(rng)
+            recovered, rounds = subsample_recover(matrix, k, rng)
+            total_rounds += rounds
+            runs += 1
+            if recovered is not None:
+                precision, recall = recovery_quality(recovered, clique)
+                if precision > 0.9 and recall > 0.9:
+                    successes += 1
+        rows.append(
+            [
+                k,
+                successes / runs,
+                total_rounds / runs,
+                expected_rounds(N, k),
+            ]
+        )
+    return rows
+
+
+def compute_regime_table():
+    rng = np.random.default_rng(43)
+    quarter = round(N ** 0.25)
+    sqrt_n = round(N ** 0.5)
+    rows = []
+    for k in (quarter, sqrt_n, 2 * sqrt_n, 4 * sqrt_n, 8 * sqrt_n):
+        rates = {"subsample": 0.0, "degree": 0.0, "spectral": 0.0}
+        for _ in range(TRIALS):
+            matrix, clique = PlantedClique(N, k).sample_with_clique(rng)
+            recovered, _ = subsample_recover(matrix, k, rng)
+            if recovered is not None:
+                _, recall = recovery_quality(recovered, clique)
+                rates["subsample"] += recall / TRIALS
+            _, recall = recovery_quality(degree_recover(matrix, k), clique)
+            rates["degree"] += recall / TRIALS
+            _, recall = recovery_quality(spectral_recover(matrix, k), clique)
+            rates["spectral"] += recall / TRIALS
+        rows.append(
+            [k, rates["subsample"], rates["degree"], rates["spectral"]]
+        )
+    return rows
+
+
+def test_appendix_b_protocol(benchmark):
+    rows = benchmark.pedantic(compute_subsample_table, rounds=1, iterations=1)
+    print_table(
+        f"E-TB.1a: Appendix B subsample protocol, n={N}",
+        ["k", "success rate", "mean rounds", "predicted 2+n*log²n/k"],
+        rows,
+    )
+    # Success: high for k >> log^2 n (log2(256)^2 = 64).
+    assert rows[-1][1] >= 0.75
+    # Rounds shrink as k grows — the O(n/k) scaling.
+    mean_rounds = [row[2] for row in rows]
+    assert mean_rounds[-1] < mean_rounds[0]
+    # Rounds track the prediction within a factor 2.
+    for row in rows:
+        assert row[2] <= 2 * row[3]
+
+
+def test_regime_map(benchmark):
+    rows = benchmark.pedantic(compute_regime_table, rounds=1, iterations=1)
+    print_table(
+        f"E-TB.1b: who wins where (mean recall), n={N}",
+        ["k", "subsample (BCAST)", "degree", "spectral"],
+        rows,
+    )
+    # Lower-bound regime k ~ n^{1/4}: nothing recovers.
+    assert rows[0][1] < 0.3 and rows[0][2] < 0.3 and rows[0][3] < 0.3
+    # Spectral on by 2*sqrt(n).
+    assert rows[2][3] > 0.8
+    # Degree on by 4*sqrt(n).
+    assert rows[3][2] > 0.8
+    # Everything on at 8*sqrt(n) = n/2.
+    assert min(rows[4][1:]) > 0.75

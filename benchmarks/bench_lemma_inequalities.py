@@ -1,0 +1,123 @@
+"""E-L1.8 — the statistical inequalities behind the lower bounds.
+
+Regenerates the content of Lemmas 1.8/1.10 (total functions) and 4.3/4.4
+(partial functions) as tables: the measured statistic
+``E_C ||f(U_D) − f(U_D^C)||`` for the worst function in a sweep (majority,
+dictators, parities, random functions) versus the lemma's envelope.
+
+Shape checks: every statistic is within the bound (explicit constant 2
+from the proofs); the statistic grows linearly in k and like ``√t`` in the
+entropy deficiency.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _util import print_table
+
+from repro.lowerbounds import (
+    lemma_1_8_bound,
+    lemma_1_8_statistic,
+    lemma_1_10_bound,
+    lemma_1_10_statistic,
+    lemma_4_3_bound,
+)
+
+N = 12
+
+
+def function_zoo(n, rng):
+    xs = np.arange(1 << n, dtype=np.uint64)
+    popcounts = np.bitwise_count(xs).astype(int)
+    return {
+        "majority": (popcounts >= n / 2).astype(float),
+        "dictator": ((xs >> np.uint64(0)) & np.uint64(1)).astype(float),
+        "parity": (popcounts % 2).astype(float),
+        "random": (rng.random(1 << n) < 0.5).astype(float),
+        "and3": (
+            ((xs & np.uint64(0b111)) == np.uint64(0b111)).astype(float)
+        ),
+    }
+
+
+def compute_lemma_1_10():
+    rng = np.random.default_rng(0)
+    rows = []
+    for name, truth in function_zoo(N, rng).items():
+        stat = lemma_1_10_statistic(truth)
+        bound = lemma_1_10_bound(N, constant=2.0)
+        rows.append([name, stat, bound, "yes" if stat <= bound else "NO"])
+    return rows
+
+
+def compute_lemma_1_8():
+    rng = np.random.default_rng(1)
+    zoo = function_zoo(N, rng)
+    rows = []
+    for k in (1, 2, 3):
+        worst_name, worst = max(
+            (
+                (name, lemma_1_8_statistic(t, k, max_cliques=80, rng=rng))
+                for name, t in zoo.items()
+            ),
+            key=lambda item: item[1],
+        )
+        bound = lemma_1_8_bound(N, k, constant=2.0)
+        rows.append(
+            [k, worst_name, worst, bound, "yes" if worst <= bound else "NO"]
+        )
+    return rows
+
+
+def compute_lemma_4_3():
+    """Partial functions: restrict the domain to |D| = 2^{n-t}."""
+    rng = np.random.default_rng(2)
+    truth = (rng.random(1 << N) < 0.5).astype(float)
+    rows = []
+    k = 2
+    for t in (1, 2, 4):
+        # Random domain of size 2^{n-t}.
+        domain = np.zeros(1 << N, dtype=bool)
+        chosen = rng.choice(1 << N, size=1 << (N - t), replace=False)
+        domain[chosen] = True
+        stat = lemma_1_8_statistic(
+            truth, k, domain=domain, max_cliques=60, rng=rng
+        )
+        bound = lemma_4_3_bound(N, k, t, constant=3.0)
+        rows.append([t, stat, bound, "yes" if stat <= bound else "NO"])
+    return rows
+
+
+def test_lemma_1_10(benchmark):
+    rows = benchmark.pedantic(compute_lemma_1_10, rounds=1, iterations=1)
+    print_table(
+        f"E-L1.10: E_i ||f(U) - f(U^[i])||, n={N}",
+        ["function", "statistic", "bound 2/sqrt(n)", "within"],
+        rows,
+    )
+    assert all(row[3] == "yes" for row in rows)
+
+
+def test_lemma_1_8(benchmark):
+    rows = benchmark.pedantic(compute_lemma_1_8, rounds=1, iterations=1)
+    print_table(
+        f"E-L1.8: worst-function E_C ||f(U) - f(U^C)||, n={N}",
+        ["k", "worst_fn", "statistic", "bound 2k/sqrt(n)", "within"],
+        rows,
+    )
+    assert all(row[4] == "yes" for row in rows)
+    stats = [row[2] for row in rows]
+    assert stats[0] <= stats[1] <= stats[2] + 1e-9  # linear-in-k trend
+
+
+def test_lemma_4_3_partial_functions(benchmark):
+    rows = benchmark.pedantic(compute_lemma_4_3, rounds=1, iterations=1)
+    print_table(
+        f"E-L4.3: partial functions, |D| = 2^(n-t), n={N}, k=2",
+        ["t", "statistic", "bound 3k*sqrt(t/n)", "within"],
+        rows,
+    )
+    assert all(row[3] == "yes" for row in rows)

@@ -1,0 +1,80 @@
+"""Ablation — bit-packed GF(2) kernels vs naive mod-2 numpy.
+
+The DESIGN.md ablation: the packed representation must agree with the
+naive implementation bit-for-bit and be faster on the sizes the
+experiments use.  The timing entries benchmark the three hot kernels
+(rank, matmul, vecmat — the PRG's per-processor operation).
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _util import print_table
+
+from repro.linalg import BitMatrix, BitVector
+
+N = 256
+
+
+def naive_rank(arr):
+    work = arr.astype(np.int64).copy()
+    rows, cols = work.shape
+    rank = 0
+    for col in range(cols):
+        pivot = None
+        for r in range(rank, rows):
+            if work[r, col]:
+                pivot = r
+                break
+        if pivot is None:
+            continue
+        work[[rank, pivot]] = work[[pivot, rank]]
+        for r in range(rows):
+            if r != rank and work[r, col]:
+                work[r] ^= work[rank]
+        rank += 1
+    return rank
+
+
+def test_rank_packed(benchmark):
+    rng = np.random.default_rng(0)
+    arr = rng.integers(0, 2, size=(N, N), dtype=np.uint8)
+    matrix = BitMatrix.from_array(arr)
+    result = benchmark(matrix.rank)
+    assert result == naive_rank(arr)
+
+
+def test_rank_naive_baseline(benchmark):
+    rng = np.random.default_rng(0)
+    arr = rng.integers(0, 2, size=(N, N), dtype=np.uint8)
+    benchmark(naive_rank, arr)
+
+
+def test_matmul_packed(benchmark):
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, 2, size=(N, N), dtype=np.uint8)
+    b = rng.integers(0, 2, size=(N, N), dtype=np.uint8)
+    ma, mb = BitMatrix.from_array(a), BitMatrix.from_array(b)
+    result = benchmark(ma.matmul, mb)
+    assert np.array_equal(result.to_array(), (a.astype(np.int64) @ b) % 2)
+
+
+def test_vecmat_packed(benchmark):
+    """The PRG's per-processor operation: x^T M."""
+    rng = np.random.default_rng(2)
+    m = BitMatrix.random(64, 1024, rng)
+    x = BitVector.random(64, rng)
+    result = benchmark(m.vecmat, x)
+    expected = (x.to_array().astype(np.int64) @ m.to_array()) % 2
+    assert np.array_equal(result.to_array(), expected)
+
+
+def test_dot_packed(benchmark):
+    rng = np.random.default_rng(3)
+    a = BitVector.random(4096, rng)
+    b = BitVector.random(4096, rng)
+    result = benchmark(a.dot, b)
+    assert result == int(a.to_array() @ b.to_array()) % 2

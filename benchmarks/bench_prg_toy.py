@@ -1,0 +1,105 @@
+"""E-T5.1 — the toy PRG fools one-round protocols (Theorem 5.1).
+
+Exact transcript distance between case (A) (uniform ``U_{k+1}`` inputs)
+and case (B) (toy PRG output ``U[b]`` with random ``b``) for the natural
+attacks (last-bit broadcast, parity tests) and generic protocols, swept
+over the seed length ``k``, against the ``O(n/2^{k/2})`` envelope.
+
+Shape checks: distance within the bound; exponential decay in k
+(each +2 in k at least halves the worst distance).
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _util import print_table
+
+from repro.distinguish import (
+    ProtocolSpec,
+    exact_transcript_pmf,
+    transcript_distance,
+)
+from repro.distinguish.distinguishers import random_function_protocol
+from repro.distributions import ToyPRGOutput, UniformRows
+from repro.lowerbounds import toy_prg_one_round_bound
+
+N = 3
+
+
+def last_bit_spec(n):
+    def fn(i, rows, p):
+        return rows[:, -1].astype(np.int64)
+
+    return ProtocolSpec(n, 1, fn)
+
+
+def parity_spec(n):
+    def fn(i, rows, p):
+        return (rows.sum(axis=1) % 2).astype(np.int64)
+
+    return ProtocolSpec(n, 1, fn)
+
+
+def random_spec(n, seed):
+    protocol = random_function_protocol(1, seed)
+    scalar = protocol._fn
+
+    def fn(i, rows, p, _f=scalar):
+        return np.array([_f(i, row, p) for row in rows], dtype=np.int64)
+
+    return ProtocolSpec(n, 1, fn)
+
+
+def mixture_pmf(spec, mixture):
+    pmf = {}
+    for w, comp in mixture.components():
+        for key, p in exact_transcript_pmf(spec, comp).items():
+            pmf[key] = pmf.get(key, 0.0) + w * p
+    return pmf
+
+
+def compute_table():
+    rows = []
+    for k in (2, 4, 6, 8):
+        pseudo = ToyPRGOutput(N, k)
+        uniform = UniformRows(N, k + 1)
+        distances = {}
+        for name, spec in [
+            ("last_bit", last_bit_spec(N)),
+            ("parity", parity_spec(N)),
+            ("generic", random_spec(N, 0)),
+        ]:
+            distances[name] = transcript_distance(
+                exact_transcript_pmf(spec, uniform),
+                mixture_pmf(spec, pseudo),
+            )
+        bound = toy_prg_one_round_bound(N, k)
+        worst = max(distances.values())
+        rows.append(
+            [
+                k,
+                distances["last_bit"],
+                distances["parity"],
+                distances["generic"],
+                bound,
+                "yes" if worst <= bound else "NO",
+            ]
+        )
+    return rows
+
+
+def test_theorem_5_1_table(benchmark):
+    rows = benchmark.pedantic(compute_table, rounds=1, iterations=1)
+    print_table(
+        f"E-T5.1: toy PRG vs one-round attacks, n={N} (exact distances)",
+        ["k", "last_bit", "parity", "generic", "bound n/2^(k/2)", "within"],
+        rows,
+    )
+    assert all(row[5] == "yes" for row in rows)
+    worst = [max(row[1:4]) for row in rows]
+    # Exponential decay: each +2 in k at least halves the worst distance.
+    for a, b in zip(worst, worst[1:]):
+        assert b <= a / 1.8 + 1e-12

@@ -1,0 +1,126 @@
+"""E-T1.4 — the average-case lower bound for full-rank detection.
+
+Three tables:
+
+1. **Rank law** — measured rank frequencies of uniform GF(2) matrices vs
+   Kolchin's exact ``P_{n,s}`` and limiting ``Q_s`` (the constants the
+   impossibility proof uses).
+2. **Indistinguishability** — advantage of column-revealing protocols at
+   budget ``j`` between uniform and the rank-deficient PRG distribution.
+3. **Accuracy ceiling** — measured accuracy of truncated-budget protocols
+   on ``F_full-rank`` over uniform inputs vs the exact information ceiling;
+   all stay far below 0.99 until the budget reaches ``n``.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _util import print_table
+
+from repro.core import run_protocol
+from repro.distributions import RankDeficientMatrix, UniformRows
+from repro.linalg import BitMatrix, kolchin_q, rank_pmf
+from repro.lowerbounds import (
+    TopSubmatrixRankProtocol,
+    accuracy_on_uniform,
+    full_rank_indicator,
+    optimal_accuracy_with_columns,
+)
+
+N = 16
+SAMPLES = 400
+
+
+def compute_rank_law():
+    rng = np.random.default_rng(14)
+    counts = {}
+    for _ in range(SAMPLES):
+        r = BitMatrix.random(N, N, rng).rank()
+        counts[N - r] = counts.get(N - r, 0) + 1
+    exact = rank_pmf(N)
+    rows = []
+    for s in range(4):
+        rows.append(
+            [
+                s,
+                counts.get(s, 0) / SAMPLES,
+                float(exact[N - s]),
+                kolchin_q(s),
+            ]
+        )
+    return rows
+
+
+def compute_indistinguishability():
+    rng = np.random.default_rng(15)
+    pseudo = RankDeficientMatrix(N)
+    uniform = UniformRows(N, N)
+    rows = []
+    for j in (1, 2, 4):
+        protocol = TopSubmatrixRankProtocol(N, rounds_budget=j)
+        accepts_p = accepts_u = 0
+        trials = 150
+        for _ in range(trials):
+            accepts_p += int(
+                run_protocol(protocol, pseudo.sample(rng), rng=rng).outputs[0]
+            )
+            accepts_u += int(
+                run_protocol(protocol, uniform.sample(rng), rng=rng).outputs[0]
+            )
+        rows.append([j, abs(accepts_p - accepts_u) / trials / 2])
+    return rows
+
+
+def compute_accuracy():
+    rng = np.random.default_rng(16)
+    rows = []
+    for j in (0, 2, 4, 8, N):
+        acc = accuracy_on_uniform(
+            TopSubmatrixRankProtocol(N, rounds_budget=j),
+            n=N, k=N, n_samples=250, rng=rng,
+            target_fn=full_rank_indicator,
+        )
+        rows.append([j, acc, optimal_accuracy_with_columns(N, j)])
+    return rows
+
+
+def test_rank_law(benchmark):
+    rows = benchmark.pedantic(compute_rank_law, rounds=1, iterations=1)
+    print_table(
+        f"E-T1.4a: corank law of uniform {N}x{N} GF(2) matrices "
+        f"({SAMPLES} samples)",
+        ["corank s", "measured", "exact P_{n,s}", "Kolchin Q_s"],
+        rows,
+    )
+    for row in rows:
+        assert abs(row[1] - row[2]) < 0.08
+        assert abs(row[2] - row[3]) < 0.01
+
+
+def test_indistinguishability(benchmark):
+    rows = benchmark.pedantic(
+        compute_indistinguishability, rounds=1, iterations=1
+    )
+    print_table(
+        f"E-T1.4b: advantage vs rank-deficient PRG inputs, n={N}",
+        ["rounds j", "advantage"],
+        rows,
+    )
+    for row in rows:
+        assert row[1] < 0.15  # within noise of zero
+
+
+def test_accuracy_ceiling(benchmark):
+    rows = benchmark.pedantic(compute_accuracy, rounds=1, iterations=1)
+    print_table(
+        f"E-T1.4c: full-rank detection accuracy vs budget, n={N}",
+        ["rounds j", "measured accuracy", "information ceiling"],
+        rows,
+    )
+    for j, acc, ceiling in rows[:-1]:
+        assert acc <= ceiling + 0.07
+        assert acc < 0.95  # far from the 0.99 of the theorem statement
+    assert rows[-1][1] == 1.0  # full budget is exact

@@ -1,0 +1,70 @@
+"""E-T8.1 — seed-length optimality: the O(k)-round attack breaks the PRG.
+
+Table: for each seed length ``k``, the attack's round count (``k + 1``),
+its accept rate on PRG outputs (always 1), on uniform inputs (≈ 2^{k-n}),
+and the resulting advantage — contrasted with the fooling envelope for
+``k/10`` rounds, to exhibit the sharp transition the paper proves: fooled
+below ``Ω(k)`` rounds, broken at ``O(k)``.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _util import print_table
+
+from repro.core import run_protocol
+from repro.distributions import PRGOutput, UniformRows
+from repro.lowerbounds import toy_prg_bound
+from repro.prg import SupportMembershipAttack, false_positive_bound
+
+N = 16
+TRIALS = 40
+
+
+def compute_table():
+    rng = np.random.default_rng(81)
+    rows = []
+    for k in (2, 4, 6, 8):
+        m = k + 4
+        attack = SupportMembershipAttack(k)
+        prg_dist = PRGOutput(N, m, k)
+        uniform = UniformRows(N, m)
+        prg_accepts = sum(
+            run_protocol(attack, prg_dist.sample(rng), rng=rng).outputs[0]
+            for _ in range(TRIALS)
+        )
+        uni_accepts = sum(
+            run_protocol(attack, uniform.sample(rng), rng=rng).outputs[0]
+            for _ in range(TRIALS)
+        )
+        advantage = abs(prg_accepts - uni_accepts) / TRIALS / 2
+        rows.append(
+            [
+                k,
+                attack.num_rounds(N),
+                prg_accepts / TRIALS,
+                uni_accepts / TRIALS,
+                false_positive_bound(N, k),
+                advantage,
+                toy_prg_bound(N, k, j=max(1, k // 10)) / 2,
+            ]
+        )
+    return rows
+
+
+def test_theorem_8_1(benchmark):
+    rows = benchmark.pedantic(compute_table, rounds=1, iterations=1)
+    print_table(
+        f"E-T8.1: seed-length attack, n={N}, {TRIALS} trials/side",
+        ["k", "rounds (k+1)", "accept|PRG", "accept|uniform",
+         "fp bound 2^(k-n)", "advantage", "fooling env (k/10 rds)"],
+        rows,
+    )
+    for row in rows:
+        assert row[2] == 1.0                  # PRG always accepted
+        assert row[3] <= row[4] * TRIALS + 0.1  # uniform ~ never
+        assert row[5] > 0.45                  # near-maximal advantage
+        assert row[1] == row[0] + 1           # O(k) rounds, exactly k+1

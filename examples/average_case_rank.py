@@ -1,0 +1,68 @@
+"""The average-case lower bound and time hierarchy (Theorems 1.4 / 1.5).
+
+Shows the three pieces of the rank story:
+
+1. the rank law of uniform GF(2) matrices (full rank w.p. Q0 ~ 0.289);
+2. a rank-deficient PRG distribution that low-round protocols cannot tell
+   from uniform — so no n/20-round protocol computes the full-rank
+   indicator with accuracy 0.99 on average;
+3. the hierarchy: F_k (top k x k block full rank) is exact in k rounds,
+   stuck near accuracy ~0.71 below.
+
+Run:  python examples/average_case_rank.py
+"""
+
+import numpy as np
+
+from repro.core import run_protocol
+from repro.distributions import RankDeficientMatrix, UniformRows
+from repro.linalg import BitMatrix, Q0, full_rank_probability
+from repro.lowerbounds import (
+    TopSubmatrixRankProtocol,
+    accuracy_on_uniform,
+    optimal_accuracy_with_columns,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+    n = 16
+
+    # --- 1: the rank law ------------------------------------------------
+    trials = 300
+    full = sum(
+        int(BitMatrix.random(n, n, rng).is_full_rank()) for _ in range(trials)
+    )
+    print(f"uniform {n}x{n} GF(2): measured P[full rank] = {full/trials:.3f}, "
+          f"exact = {full_rank_probability(n):.4f}, Q0 = {Q0:.4f}")
+
+    # --- 2: indistinguishable rank-deficient inputs ----------------------
+    pseudo = RankDeficientMatrix(n)
+    uniform = UniformRows(n, n)
+    protocol = TopSubmatrixRankProtocol(n, rounds_budget=3)
+    accept_p = accept_u = 0
+    for _ in range(100):
+        accept_p += run_protocol(protocol, pseudo.sample(rng), rng=rng).outputs[0]
+        accept_u += run_protocol(protocol, uniform.sample(rng), rng=rng).outputs[0]
+    print(
+        f"3-round protocol vs rank<n inputs: advantage = "
+        f"{abs(accept_p - accept_u) / 100 / 2:.3f}  "
+        f"(Theorem 1.4: must be ~0; yet ranks differ with certainty!)"
+    )
+
+    # --- 3: the hierarchy -------------------------------------------------
+    k = 10
+    print(f"\ntime hierarchy for F_k (top {k}x{k} block full-rank), n=12:")
+    print(f"{'rounds':>8}  {'measured acc':>12}  {'info ceiling':>12}")
+    for j in (0, k // 5, k // 2, k):
+        acc = accuracy_on_uniform(
+            TopSubmatrixRankProtocol(k, rounds_budget=j),
+            n=12, k=k, n_samples=200, rng=rng,
+        )
+        print(f"{j:>8}  {acc:>12.3f}  "
+              f"{optimal_accuracy_with_columns(k, j):>12.3f}")
+    print("=> computable exactly in k rounds; pinned near 1-Q0 ~ 0.711 below.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Planted clique in the Broadcast Congested Clique, end to end.
+
+Generates a directed planted-clique instance, runs the paper's Appendix B
+protocol (Theorem B.1) in the simulator with full round accounting, and
+compares against the degree heuristic and the centralized spectral
+baseline — then shows why the problem is *hard* for small k by measuring a
+one-round distinguisher's advantage in the lower-bound regime.
+
+Run:  python examples/planted_clique_demo.py
+"""
+
+import numpy as np
+
+from repro.cliques import (
+    PlantedCliqueSubsampleProtocol,
+    degree_recover,
+    recovery_quality,
+    spectral_recover,
+)
+from repro.core import run_protocol
+from repro.distinguish import (
+    DegreeThresholdDistinguisher,
+    estimate_protocol_advantage,
+)
+from repro.distributions import PlantedClique, RandomDigraph
+from repro.lowerbounds import planted_clique_bound
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # ------------------------------------------------------------------
+    # Easy regime: k = n/4 — find the clique with Theorem B.1's protocol.
+    # ------------------------------------------------------------------
+    n, k = 128, 32
+    matrix, clique = PlantedClique(n, k).sample_with_clique(rng)
+    print(f"instance: n={n}, planted k={k}, clique={sorted(clique)[:6]}...")
+
+    protocol = PlantedCliqueSubsampleProtocol(k)
+    result = run_protocol(protocol, matrix, rng=rng)
+    recovered = result.outputs[0]
+    if recovered is None:
+        print("protocol aborted (rerun for another subsample)")
+    else:
+        precision, recall = recovery_quality(recovered, clique)
+        print(
+            f"Appendix B protocol: {result.cost.rounds} BCAST(1) rounds, "
+            f"precision={precision:.2f}, recall={recall:.2f}"
+        )
+
+    for name, recover in [
+        ("degree heuristic", degree_recover),
+        ("spectral (centralized)", spectral_recover),
+    ]:
+        _, recall = recovery_quality(recover(matrix, k), clique)
+        print(f"{name}: recall={recall:.2f}")
+    print()
+
+    # ------------------------------------------------------------------
+    # Hard regime: k ≈ n^{1/4} — Theorem 4.1 says no low-round protocol
+    # can even *detect* the clique.  Measure the degree attack's advantage.
+    # ------------------------------------------------------------------
+    n_hard, k_hard = 256, 4
+    estimate = estimate_protocol_advantage(
+        DegreeThresholdDistinguisher.for_clique_size(n_hard, k_hard),
+        PlantedClique(n_hard, k_hard),
+        RandomDigraph(n_hard),
+        n_samples=100,
+        rng=rng,
+    )
+    bound = planted_clique_bound(n_hard, k_hard, j=1)
+    print(
+        f"hard regime n={n_hard}, k={k_hard} (= n^0.25): degree attack "
+        f"advantage = {estimate.advantage:.3f} ± {estimate.interval.radius:.3f}"
+    )
+    print(f"Theorem 4.1 envelope (j=1): {min(1.0, bound):.3f}")
+    print("=> statistically indistinguishable from guessing, as proven.")
+
+
+if __name__ == "__main__":
+    main()

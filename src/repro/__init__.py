@@ -1,0 +1,53 @@
+"""repro — Broadcast Congested Clique: Planted Cliques and Pseudorandom
+Generators.
+
+A faithful, executable reproduction of Chen & Grossman (PODC 2019):
+
+* :mod:`repro.core` — the ``BCAST(b)`` simulator (protocols, schedulers,
+  transcripts, metered randomness);
+* :mod:`repro.linalg` — bit-packed GF(2) linear algebra and random-matrix
+  rank laws;
+* :mod:`repro.infotheory` — entropy/divergence/Fourier tools and
+  estimation machinery;
+* :mod:`repro.distributions` — ``A_rand``, planted-clique, and PRG-output
+  input distributions with the row-independent decomposition;
+* :mod:`repro.prg` — the paper's PRG, the derandomization transform, the
+  seed-length attack, and the Newman baseline;
+* :mod:`repro.cliques` — planted-clique algorithms (Appendix B protocol,
+  degree and spectral baselines, exact search);
+* :mod:`repro.lowerbounds` — bound calculators, the Section 3 progress
+  framework, and the rank/time-hierarchy protocols;
+* :mod:`repro.distinguish` — exact transcript distributions and
+  Monte-Carlo advantage estimation with concrete distinguishers.
+
+Quickstart::
+
+    import numpy as np
+    from repro.core import run_protocol
+    from repro.prg import MatrixPRGProtocol
+
+    prg = MatrixPRGProtocol(k=16, m=64)
+    inputs = np.zeros((32, 1), dtype=np.uint8)   # PRG ignores inputs
+    result = run_protocol(prg, inputs, rng=np.random.default_rng(0))
+    print(result.cost.summary())
+    print(result.outputs[0])   # 64 pseudo-random bits for processor 0
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, cliques, core, distinguish, distributions, infotheory, linalg
+from . import lowerbounds, prg, protocols
+
+__all__ = [
+    "analysis",
+    "cliques",
+    "core",
+    "distinguish",
+    "distributions",
+    "infotheory",
+    "linalg",
+    "lowerbounds",
+    "prg",
+    "protocols",
+    "__version__",
+]

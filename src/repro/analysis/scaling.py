@@ -1,0 +1,128 @@
+"""Scaling-law fitting for finite-size theorem checks.
+
+The paper's statements are asymptotic (`O(k²/√n)`, `O(n/2^{k/2})`, …).
+DESIGN.md §4 commits to checking them as *scaling laws*: fit the measured
+series against the predicted functional form and report the exponent/rate
+and the fitted constant.  These helpers implement the three fits the
+experiments need — power laws, exponential decays, and bound-dominance
+with a fitted constant — with small-sample-friendly least squares in log
+space.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "PowerLawFit",
+    "ExponentialFit",
+    "fit_power_law",
+    "fit_exponential_decay",
+    "dominance_constant",
+    "is_dominated",
+]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``y ≈ coefficient · x^exponent`` (fit in log–log space)."""
+
+    exponent: float
+    coefficient: float
+    residual: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x**self.exponent
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """``y ≈ coefficient · 2^(rate·x)`` (fit in semi-log space)."""
+
+    rate: float
+    coefficient: float
+    residual: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * 2.0 ** (self.rate * x)
+
+    @property
+    def halving_distance(self) -> float:
+        """Increase in x that halves y (for decays, rate < 0)."""
+        if self.rate == 0:
+            return math.inf
+        return -1.0 / self.rate
+
+
+def _least_squares_line(xs: list[float], ys: list[float]) -> tuple[float, float, float]:
+    """Slope, intercept, and RMS residual of a 1-D least-squares line."""
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points to fit")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("x values must not all be equal")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    residual = math.sqrt(
+        sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)) / n
+    )
+    return slope, intercept, residual
+
+
+def fit_power_law(xs: list[float], ys: list[float]) -> PowerLawFit:
+    """Fit ``y = c·x^a`` by least squares on ``log y`` vs ``log x``.
+
+    All values must be strictly positive.
+    """
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fits need strictly positive data")
+    slope, intercept, residual = _least_squares_line(
+        [math.log(x) for x in xs], [math.log(y) for y in ys]
+    )
+    return PowerLawFit(
+        exponent=slope, coefficient=math.exp(intercept), residual=residual
+    )
+
+
+def fit_exponential_decay(xs: list[float], ys: list[float]) -> ExponentialFit:
+    """Fit ``y = c·2^(r·x)`` by least squares on ``log₂ y`` vs ``x``."""
+    if any(y <= 0 for y in ys):
+        raise ValueError("exponential fits need strictly positive y data")
+    slope, intercept, residual = _least_squares_line(
+        list(map(float, xs)), [math.log2(y) for y in ys]
+    )
+    return ExponentialFit(
+        rate=slope, coefficient=2.0**intercept, residual=residual
+    )
+
+
+def dominance_constant(measured: list[float], bound: list[float]) -> float:
+    """Smallest ``c`` with ``measured[i] ≤ c·bound[i]`` for all ``i``.
+
+    This is the fitted `O(·)` constant an experiment reports: a theorem
+    "holds with constant c" when this value is ≤ c.
+    """
+    if len(measured) != len(bound):
+        raise ValueError("series must have equal length")
+    worst = 0.0
+    for m, b in zip(measured, bound):
+        if m < 0 or b < 0:
+            raise ValueError("series must be non-negative")
+        if b == 0:
+            if m > 0:
+                return math.inf
+            continue
+        worst = max(worst, m / b)
+    return worst
+
+
+def is_dominated(
+    measured: list[float], bound: list[float], constant: float = 1.0
+) -> bool:
+    """True iff ``measured ≤ constant·bound`` pointwise."""
+    return dominance_constant(measured, bound) <= constant

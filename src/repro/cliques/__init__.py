@@ -1,0 +1,50 @@
+"""Planted-clique problem, algorithms and baselines: the distributed
+Appendix B protocol, the degree heuristic, the centralized spectral
+comparator, and exact max-clique ground truth."""
+
+from .problem import (
+    PlantedCliqueInstance,
+    bidirected_skeleton,
+    generate_instance,
+    is_directed_clique,
+    recovery_quality,
+)
+from .exhaustive import greedy_clique, max_clique, max_clique_size
+from .degree import degree_candidates, degree_recover
+from .detection_bounds import (
+    degree_crossover_estimate,
+    degree_profile_advantage_estimate,
+    row_weight_pmf_planted,
+    row_weight_pmf_rand,
+    single_row_weight_tv,
+)
+from .spectral import spectral_recover
+from .subsample import (
+    PlantedCliqueSubsampleProtocol,
+    activation_probability,
+    expected_rounds,
+    subsample_recover,
+)
+
+__all__ = [
+    "PlantedCliqueInstance",
+    "bidirected_skeleton",
+    "generate_instance",
+    "is_directed_clique",
+    "recovery_quality",
+    "greedy_clique",
+    "max_clique",
+    "max_clique_size",
+    "degree_candidates",
+    "degree_recover",
+    "degree_crossover_estimate",
+    "degree_profile_advantage_estimate",
+    "row_weight_pmf_planted",
+    "row_weight_pmf_rand",
+    "single_row_weight_tv",
+    "spectral_recover",
+    "PlantedCliqueSubsampleProtocol",
+    "activation_probability",
+    "expected_rounds",
+    "subsample_recover",
+]

@@ -1,0 +1,101 @@
+"""Information-theoretic ceilings for degree-based clique detection.
+
+Theorem 1.6 bounds what *any* one-round protocol can do; this module
+computes, in closed form, what the specific *degree statistics* can do —
+the exact total-variation distance between a processor's row-weight
+distribution under ``A_rand`` and under ``A_k``:
+
+* under ``A_rand`` the row weight is ``Binomial(n-1, 1/2)``;
+* under ``A_k`` the row weight is the mixture: with probability ``k/n``
+  the processor is in the clique and its weight is
+  ``(k-1) + Binomial(n-k, 1/2)``, else ``Binomial(n-1, 1/2)``.
+
+The TV distance between these is the best advantage any test of a single
+row's weight can achieve; ``n`` independent-looking rows give roughly an
+``√n``-fold amplification via the central limit of the degree profile.
+These ceilings explain *where* the measured crossover of the degree attack
+falls (``k ≍ √(n log n)``), complementing the universal lower bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "row_weight_pmf_rand",
+    "row_weight_pmf_planted",
+    "single_row_weight_tv",
+    "degree_profile_advantage_estimate",
+    "degree_crossover_estimate",
+]
+
+
+def _binomial_pmf(n: int, p: float) -> np.ndarray:
+    """pmf of Binomial(n, p) on {0, …, n}, numerically stable for our n."""
+    pmf = np.zeros(n + 1)
+    log_p, log_q = math.log(p), math.log(1 - p)
+    for k in range(n + 1):
+        log_choose = (
+            math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+        )
+        pmf[k] = math.exp(log_choose + k * log_p + (n - k) * log_q)
+    return pmf / pmf.sum()
+
+
+def row_weight_pmf_rand(n: int) -> np.ndarray:
+    """pmf of a row's weight under ``A_rand``: Binomial(n-1, 1/2)."""
+    if n < 2:
+        raise ValueError("need at least two vertices")
+    full = np.zeros(n)
+    full[: n] = _binomial_pmf(n - 1, 0.5)
+    return full
+
+
+def row_weight_pmf_planted(n: int, k: int) -> np.ndarray:
+    """pmf of a row's weight under ``A_k`` (mixture of member/non-member)."""
+    if not 1 <= k <= n:
+        raise ValueError(f"clique size k={k} out of range for n={n}")
+    non_member = row_weight_pmf_rand(n)
+    member = np.zeros(n)
+    tail = _binomial_pmf(n - k, 0.5)
+    member[k - 1 : k - 1 + len(tail)] = tail
+    return (k / n) * member + (1 - k / n) * non_member
+
+
+def single_row_weight_tv(n: int, k: int) -> float:
+    """Exact TV distance between one row's weight under the two cases.
+
+    This is the advantage ceiling for any single-processor degree test —
+    already ``O(k/n · k/√n)``-ish small in the lower-bound regime.
+    """
+    return float(
+        0.5
+        * np.abs(
+            row_weight_pmf_rand(n) - row_weight_pmf_planted(n, k)
+        ).sum()
+    )
+
+
+def degree_profile_advantage_estimate(n: int, k: int) -> float:
+    """Heuristic ceiling for the full n-row degree profile.
+
+    Treating rows as independent (they are not exactly, but nearly so off
+    the clique), n repetitions amplify the per-row squared Hellinger
+    affinity; we report the standard ``min(1, √n · tv_row)`` estimate —
+    a *ceiling shape*, not a bound, used to locate the crossover.
+    """
+    return min(1.0, math.sqrt(n) * single_row_weight_tv(n, k))
+
+
+def degree_crossover_estimate(n: int, threshold: float = 0.25) -> int:
+    """Smallest k whose estimated profile advantage exceeds ``threshold``.
+
+    Lands at ``k ≍ √(n log n)`` — the "substantially above √n" of
+    Section 1.2.
+    """
+    for k in range(2, n + 1):
+        if degree_profile_advantage_estimate(n, k) >= threshold:
+            return k
+    return n

@@ -1,0 +1,65 @@
+"""Exact maximum clique via Bron–Kerbosch with pivoting.
+
+Used on the small *activated* subgraphs of the Appendix B protocol (whose
+expected size is ``O(n·log²n / k)``) and as ground truth in tests.  The
+input is an undirected 0/1 adjacency matrix (use
+:func:`~repro.cliques.problem.bidirected_skeleton` first for directed
+instances).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["max_clique", "max_clique_size", "greedy_clique"]
+
+
+def max_clique(adjacency: np.ndarray) -> frozenset[int]:
+    """A maximum clique of an undirected graph (exact, exponential worst
+    case — intended for small or sparse random graphs)."""
+    adjacency = np.asarray(adjacency)
+    n = adjacency.shape[0]
+    if adjacency.shape != (n, n):
+        raise ValueError("adjacency must be square")
+    neighbours = [
+        frozenset(int(v) for v in np.nonzero(adjacency[u])[0] if v != u)
+        for u in range(n)
+    ]
+    best: list[frozenset[int]] = [frozenset()]
+
+    def expand(r: set[int], p: set[int], x: set[int]) -> None:
+        if not p and not x:
+            if len(r) > len(best[0]):
+                best[0] = frozenset(r)
+            return
+        if len(r) + len(p) <= len(best[0]):
+            return  # cannot beat the incumbent
+        # Pivot on the vertex covering the most of P.
+        pivot = max(p | x, key=lambda u: len(neighbours[u] & p))
+        for v in list(p - neighbours[pivot]):
+            expand(r | {v}, p & neighbours[v], x & neighbours[v])
+            p.remove(v)
+            x.add(v)
+
+    expand(set(), set(range(n)), set())
+    return best[0]
+
+
+def max_clique_size(adjacency: np.ndarray) -> int:
+    """Size of the maximum clique."""
+    return len(max_clique(adjacency))
+
+
+def greedy_clique(adjacency: np.ndarray, order: np.ndarray | None = None) -> frozenset[int]:
+    """Greedy clique: scan vertices (default: by decreasing degree) and add
+    each one adjacent to everything taken so far.  Fast baseline."""
+    adjacency = np.asarray(adjacency)
+    n = adjacency.shape[0]
+    if order is None:
+        order = np.argsort(-adjacency.sum(axis=1), kind="stable")
+    chosen: list[int] = []
+    for v in order:
+        v = int(v)
+        if all(adjacency[v, u] for u in chosen):
+            chosen.append(v)
+    return frozenset(chosen)

@@ -1,0 +1,84 @@
+"""Planted-clique problem instances and verification.
+
+The paper's graphs are *directed*: an instance is an ``n × n`` 0/1
+adjacency matrix with zero diagonal, and a set ``C`` is a planted clique
+iff **every ordered pair** within ``C`` is an edge (``A[u, v] = 1`` for all
+``u ≠ v ∈ C``).  The *bidirected skeleton* — the undirected graph keeping
+``{u, v}`` iff both ``A[u, v]`` and ``A[v, u]`` are 1 — is where clique
+search happens: in a random digraph each skeleton edge appears with
+probability 1/4, while planted cliques survive in full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..distributions.planted_clique import PlantedClique
+from ..distributions.uniform import RandomDigraph
+
+__all__ = [
+    "PlantedCliqueInstance",
+    "generate_instance",
+    "is_directed_clique",
+    "bidirected_skeleton",
+    "recovery_quality",
+]
+
+
+@dataclass
+class PlantedCliqueInstance:
+    """A problem instance: adjacency matrix plus (optional) ground truth."""
+
+    adjacency: np.ndarray
+    planted: frozenset[int] | None
+
+    @property
+    def n(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def has_planted_clique(self) -> bool:
+        return self.planted is not None
+
+
+def generate_instance(
+    n: int, k: int | None, rng: np.random.Generator
+) -> PlantedCliqueInstance:
+    """Draw an instance: from ``A_k`` if ``k`` given, else from ``A_rand``."""
+    if k is None:
+        return PlantedCliqueInstance(RandomDigraph(n).sample(rng), None)
+    matrix, clique = PlantedClique(n, k).sample_with_clique(rng)
+    return PlantedCliqueInstance(matrix, clique)
+
+
+def is_directed_clique(adjacency: np.ndarray, vertices) -> bool:
+    """True iff every ordered pair inside ``vertices`` is an edge."""
+    members = sorted(set(int(v) for v in vertices))
+    for u in members:
+        for v in members:
+            if u != v and not adjacency[u, v]:
+                return False
+    return True
+
+
+def bidirected_skeleton(adjacency: np.ndarray) -> np.ndarray:
+    """Symmetric 0/1 matrix of pairs connected in **both** directions."""
+    adjacency = np.asarray(adjacency, dtype=np.uint8)
+    skeleton = adjacency & adjacency.T
+    np.fill_diagonal(skeleton, 0)
+    return skeleton
+
+
+def recovery_quality(
+    recovered, planted: frozenset[int] | None
+) -> tuple[float, float]:
+    """``(precision, recall)`` of a recovered vertex set vs the ground truth."""
+    if planted is None:
+        raise ValueError("instance has no planted clique to compare against")
+    recovered = set(int(v) for v in recovered)
+    if not recovered:
+        return 0.0, 0.0
+    hits = len(recovered & planted)
+    return hits / len(recovered), hits / len(planted)

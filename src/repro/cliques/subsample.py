@@ -1,0 +1,245 @@
+"""The Appendix B planted-clique protocol (Theorem B.1).
+
+For ``k = ω(log² n)`` the hidden clique can be *found* in
+``O(n/k · polylog n)`` rounds of ``BCAST(1)`` with probability
+``1 - 1/n²``:
+
+1. every processor activates itself with probability ``p = log²n / k``
+   and broadcasts the decision (1 round);
+2. if more than ``2np`` processors activated, abort;
+3. the activated processors broadcast the induced subgraph: in round
+   ``1 + t`` each activated processor broadcasts its edge toward the
+   ``t``-th activated vertex (``N_active`` rounds — everyone then knows
+   every activated row restricted to the activated set);
+4. everyone locally computes the maximum clique ``C_active`` of the
+   activated *bidirected* subgraph; if it is smaller than the threshold
+   (``p·k/2`` expected activated clique members), abort;
+5. every processor broadcasts whether it has out-edges to at least a
+   ``9/10`` fraction of ``C_active`` (1 round); the claimants are the
+   recovered clique.
+
+Membership testing uses out-edges only: a non-member has each edge toward
+``C_active ∩ C`` independently with probability 1/2, so reaching a 9/10
+fraction of ``|C_active| ≈ log²n`` vertices has probability
+``2^{-Ω(log²n)}`` — negligible — while true members reach all of
+``C_active ∩ C`` deterministically.
+
+The class below is the protocol with exact round accounting (dynamic round
+count: ``2 + N_active`` or 1 on abort); :func:`subsample_recover` is the
+same algorithm run centrally for large-scale benchmarking.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.processor import ProcessorContext
+from ..core.protocol import Protocol
+from ..core.transcript import Transcript
+from .exhaustive import max_clique
+from .problem import bidirected_skeleton
+
+__all__ = [
+    "PlantedCliqueSubsampleProtocol",
+    "subsample_recover",
+    "activation_probability",
+    "expected_rounds",
+]
+
+#: Precision (bits) used to realise the biased activation coin.
+_COIN_PRECISION = 24
+
+
+def activation_probability(n: int, k: int, factor: float = 1.0) -> float:
+    """``p = factor · log²n / k``, clamped to [0, 1] (log base 2)."""
+    if n < 2:
+        raise ValueError("need at least 2 processors")
+    log_n = math.log2(n)
+    return min(1.0, factor * log_n * log_n / k)
+
+
+def expected_rounds(n: int, k: int, factor: float = 1.0) -> float:
+    """Expected round count ``2 + n·p = O(n/k · polylog n)``."""
+    return 2.0 + n * activation_probability(n, k, factor)
+
+
+class PlantedCliqueSubsampleProtocol(Protocol):
+    """Executable Appendix B protocol.
+
+    Parameters
+    ----------
+    k:
+        The planted clique size the protocol targets.
+    activation_factor:
+        Multiplier on the activation probability ``log²n / k`` — the
+        theorem's constant, exposed for finite-size tuning.
+    support_fraction:
+        The membership threshold (paper: ``9/10``).
+    clique_threshold_factor:
+        Abort unless the activated max clique reaches this fraction of its
+        expectation ``p·k`` (paper: ``1/2``).
+
+    Outputs: every processor outputs the recovered ``frozenset`` of
+    claimant vertices, or ``None`` if the protocol aborted.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        activation_factor: float = 1.0,
+        support_fraction: float = 0.9,
+        clique_threshold_factor: float = 0.5,
+    ):
+        if k < 1:
+            raise ValueError("clique size k must be positive")
+        self.k = k
+        self.activation_factor = activation_factor
+        self.support_fraction = support_fraction
+        self.clique_threshold_factor = clique_threshold_factor
+        self._clique_cache: dict[tuple, frozenset[int] | None] = {}
+
+    # ------------------------------------------------------------------
+    # Round structure
+    # ------------------------------------------------------------------
+    def num_rounds(self, n: int) -> int:
+        """Worst-case cap; the run terminates dynamically via ``finished``."""
+        return n + 2
+
+    def _activation_cap(self, n: int) -> float:
+        return 2.0 * n * activation_probability(n, self.k, self.activation_factor)
+
+    def _active_set(self, transcript: Transcript) -> list[int]:
+        return sorted(
+            e.sender for e in transcript.messages_in_round(0) if e.message == 1
+        )
+
+    def _aborted_after_activation(self, n: int, transcript: Transcript) -> bool:
+        active = self._active_set(transcript)
+        return len(active) > self._activation_cap(n) or len(active) < 2
+
+    def finished(self, n: int, transcript: Transcript, completed_rounds: int) -> bool:
+        if completed_rounds < 1:
+            return False
+        if self._aborted_after_activation(n, transcript):
+            return True
+        return completed_rounds >= len(self._active_set(transcript)) + 2
+
+    # ------------------------------------------------------------------
+    # Broadcasts
+    # ------------------------------------------------------------------
+    def broadcast(self, proc: ProcessorContext, round_index: int) -> int:
+        if round_index == 0:
+            p = activation_probability(proc.n, self.k, self.activation_factor)
+            draw = proc.coins.draw_int(_COIN_PRECISION)
+            active = int(draw < p * (1 << _COIN_PRECISION))
+            proc.memory["active"] = bool(active)
+            return active
+        active = self._active_set(proc.transcript)
+        if round_index <= len(active):
+            # Edge-broadcast phase: my edge toward the t-th activated vertex.
+            if proc.memory.get("active"):
+                target = active[round_index - 1]
+                return int(proc.input[target])
+            return 0
+        # Membership round.
+        return self._membership_claim(proc)
+
+    def _activated_subgraph(self, proc: ProcessorContext) -> np.ndarray:
+        """The activated induced directed subgraph from the transcript."""
+        active = self._active_set(proc.transcript)
+        size = len(active)
+        position = {v: t for t, v in enumerate(active)}
+        sub = np.zeros((size, size), dtype=np.uint8)
+        for event in proc.transcript:
+            if 1 <= event.round_index <= size and event.sender in position:
+                sub[position[event.sender], event.round_index - 1] = event.message
+        np.fill_diagonal(sub, 0)
+        return sub
+
+    def _active_clique(self, proc: ProcessorContext) -> frozenset[int] | None:
+        """Max clique of the activated bidirected subgraph (None if the
+        abort threshold is missed).  Deterministic, so every processor
+        computes the same set; cached per transcript prefix."""
+        active = self._active_set(proc.transcript)
+        cache_key = proc.transcript.prefix((len(active) + 1) * proc.n).key()
+        if cache_key in self._clique_cache:
+            return self._clique_cache[cache_key]
+        sub = self._activated_subgraph(proc)
+        skeleton = sub & sub.T
+        local = max_clique(skeleton)
+        p = activation_probability(proc.n, self.k, self.activation_factor)
+        threshold = self.clique_threshold_factor * p * self.k
+        if len(local) < threshold:
+            result: frozenset[int] | None = None
+        else:
+            result = frozenset(active[t] for t in local)
+        self._clique_cache[cache_key] = result
+        return result
+
+    def _membership_claim(self, proc: ProcessorContext) -> int:
+        clique = self._active_clique(proc)
+        if clique is None:
+            return 0
+        others = [v for v in clique if v != proc.proc_id]
+        if not others:
+            return 0
+        support = sum(int(proc.input[v]) for v in others)
+        return int(support >= self.support_fraction * len(others))
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def output(self, proc: ProcessorContext) -> frozenset[int] | None:
+        if self._aborted_after_activation(proc.n, proc.transcript):
+            return None
+        if self._active_clique(proc) is None:
+            return None
+        active = self._active_set(proc.transcript)
+        membership_round = len(active) + 1
+        claimants = frozenset(
+            e.sender
+            for e in proc.transcript.messages_in_round(membership_round)
+            if e.message == 1
+        )
+        return claimants
+
+
+def subsample_recover(
+    adjacency: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    activation_factor: float = 1.0,
+    support_fraction: float = 0.9,
+    clique_threshold_factor: float = 0.5,
+) -> tuple[frozenset[int] | None, int]:
+    """Centralised run of the Appendix B algorithm.
+
+    Returns ``(recovered set or None, simulated BCAST(1) round count)`` —
+    the same quantities the protocol produces, without simulator overhead,
+    for large-``n`` benchmarking.
+    """
+    adjacency = np.asarray(adjacency, dtype=np.uint8)
+    n = adjacency.shape[0]
+    p = activation_probability(n, k, activation_factor)
+    active = np.nonzero(rng.random(n) < p)[0]
+    rounds = 1
+    if len(active) > 2 * n * p or len(active) < 2:
+        return None, rounds
+    rounds += len(active) + 1
+    sub = adjacency[np.ix_(active, active)]
+    skeleton = bidirected_skeleton(sub)
+    local = max_clique(skeleton)
+    if len(local) < clique_threshold_factor * p * k:
+        return None, rounds
+    clique_vertices = [int(active[t]) for t in local]
+    claimants = []
+    for u in range(n):
+        others = [v for v in clique_vertices if v != u]
+        if not others:
+            continue
+        support = int(adjacency[u, others].sum())
+        if support >= support_fraction * len(others):
+            claimants.append(u)
+    return frozenset(claimants), rounds

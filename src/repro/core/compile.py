@@ -1,0 +1,129 @@
+"""Model compilation: ``BCAST(b)`` → ``BCAST(1)``.
+
+Footnote 1 of the paper: "every lower bound for BCAST(1) can be extended
+to a lower bound for BCAST(log n) with only a log n factor loss in the
+number of rounds" — because a ``b``-bit broadcast round can be simulated
+by ``b`` one-bit rounds.  :class:`Bcast1Compiled` performs exactly that
+simulation: round ``r`` of the source protocol becomes rounds
+``r·b … r·b + b - 1`` of the compiled protocol, with bit ``t`` of each
+payload broadcast in sub-round ``t``.
+
+The compiled protocol presents the source protocol with a faithful
+*virtual* view: a reconstructed ``BCAST(b)`` transcript, so source
+protocols that inspect ``proc.transcript`` behave identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .processor import ProcessorContext
+from .protocol import Protocol
+from .transcript import BroadcastEvent, Transcript
+
+__all__ = ["Bcast1Compiled", "compiled_round_count"]
+
+
+def compiled_round_count(source_rounds: int, message_size: int) -> int:
+    """Rounds after compilation: the footnote's ``b ×`` factor."""
+    return source_rounds * message_size
+
+
+class Bcast1Compiled(Protocol):
+    """Simulate a ``BCAST(b)`` protocol in the ``BCAST(1)`` model.
+
+    Parameters
+    ----------
+    source:
+        Any protocol with ``message_size >= 1``.
+
+    The compiled protocol has ``message_size = 1`` and runs
+    ``source.num_rounds(n) * b`` rounds.  Costs reported by the simulator
+    are the *compiled* costs — total broadcast bits are unchanged, rounds
+    multiply by ``b``.
+    """
+
+    message_size = 1
+
+    def __init__(self, source: Protocol):
+        if source.message_size < 1:
+            raise ValueError("source protocol must have message_size >= 1")
+        self.source = source
+        self.width = source.message_size
+
+    def num_rounds(self, n: int) -> int:
+        return compiled_round_count(self.source.num_rounds(n), self.width)
+
+    def setup(self, proc: ProcessorContext) -> None:
+        self.source.setup(proc)
+
+    # ------------------------------------------------------------------
+    # Virtual-view plumbing
+    # ------------------------------------------------------------------
+    def _virtual_transcript(self, proc: ProcessorContext) -> Transcript:
+        """Reassemble the completed source rounds into a ``BCAST(b)``
+        transcript (little-endian bit order within each payload)."""
+        virtual = Transcript()
+        events = list(proc.transcript)
+        per_round = proc.n * self.width
+        completed_source_rounds = len(events) // per_round
+        turn = 0
+        for src_round in range(completed_source_rounds):
+            base = src_round * per_round
+            for sender in range(proc.n):
+                payload = 0
+                for t in range(self.width):
+                    event = events[base + t * proc.n + sender]
+                    payload |= event.message << t
+                virtual.append(
+                    BroadcastEvent(turn, src_round, sender, payload, self.width)
+                )
+                turn += 1
+        return virtual
+
+    def _with_virtual_view(self, proc: ProcessorContext):
+        import contextlib
+
+        @contextlib.contextmanager
+        def swap():
+            original = proc.transcript
+            proc.transcript = self._virtual_transcript(proc)
+            try:
+                yield
+            finally:
+                proc.transcript = original
+
+        return swap()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def broadcast(self, proc: ProcessorContext, round_index: int) -> int:
+        src_round, sub_round = divmod(round_index, self.width)
+        cache_key = ("bcast1_payload", src_round)
+        if sub_round == 0:
+            with self._with_virtual_view(proc):
+                payload = int(self.source.broadcast(proc, src_round))
+            if not 0 <= payload < (1 << self.width):
+                raise ValueError(
+                    f"source payload {payload} exceeds BCAST({self.width})"
+                )
+            proc.memory[cache_key] = payload
+            proc.memory.pop(("bcast1_payload", src_round - 1), None)
+        return (proc.memory[cache_key] >> sub_round) & 1
+
+    def receive(
+        self, proc: ProcessorContext, round_index: int, messages: dict[int, int]
+    ) -> None:
+        src_round, sub_round = divmod(round_index, self.width)
+        if sub_round == self.width - 1:
+            with self._with_virtual_view(proc):
+                virtual_messages = {
+                    e.sender: e.message
+                    for e in proc.transcript.messages_in_round(src_round)
+                }
+                self.source.receive(proc, src_round, virtual_messages)
+
+    def output(self, proc: ProcessorContext) -> Any:
+        with self._with_virtual_view(proc):
+            return self.source.output(proc)

@@ -1,0 +1,32 @@
+"""Exception types for the Broadcast Congested Clique simulator."""
+
+from __future__ import annotations
+
+__all__ = [
+    "BroadcastCliqueError",
+    "MessageSizeError",
+    "SchedulingError",
+    "ProtocolViolation",
+    "RandomnessExhausted",
+]
+
+
+class BroadcastCliqueError(Exception):
+    """Base class for all simulator errors."""
+
+
+class MessageSizeError(BroadcastCliqueError):
+    """A processor tried to broadcast a message wider than ``BCAST(b)`` allows."""
+
+
+class SchedulingError(BroadcastCliqueError):
+    """Scheduler misuse: wrong turn order, double broadcast, etc."""
+
+
+class ProtocolViolation(BroadcastCliqueError):
+    """A protocol broke a model invariant (e.g. read another processor's
+    private input)."""
+
+
+class RandomnessExhausted(BroadcastCliqueError):
+    """A processor asked for more random bits than its budget allows."""

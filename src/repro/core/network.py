@@ -1,0 +1,55 @@
+"""Broadcast channel bookkeeping.
+
+The clique's communication fabric is trivially simple — every message
+reaches everyone — so the interesting part is *accounting*: rounds used,
+turns used, bits on the wire, and per-processor randomness consumed.  The
+paper's theorems are statements about exactly these quantities (round lower
+bounds, ``O(k)``-round PRG construction cost, ``O(n/k · polylog n)`` rounds
+for Appendix B), so :class:`CostReport` is attached to every execution
+result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CostReport"]
+
+
+@dataclass
+class CostReport:
+    """Resource usage of one protocol execution."""
+
+    n_processors: int = 0
+    rounds: int = 0
+    turns: int = 0
+    broadcast_bits: int = 0
+    message_size: int = 1
+    private_bits_per_processor: list[int] = field(default_factory=list)
+    public_bits: int = 0
+
+    @property
+    def total_private_bits(self) -> int:
+        return sum(self.private_bits_per_processor)
+
+    @property
+    def max_private_bits(self) -> int:
+        if not self.private_bits_per_processor:
+            return 0
+        return max(self.private_bits_per_processor)
+
+    def bcast1_equivalent_rounds(self) -> int:
+        """Round count after compiling to ``BCAST(1)``.
+
+        A ``BCAST(b)`` round is simulated by ``b`` ``BCAST(1)`` rounds (the
+        standard ``log n`` factor of footnote 1).
+        """
+        return self.rounds * self.message_size
+
+    def summary(self) -> str:
+        return (
+            f"{self.rounds} rounds x BCAST({self.message_size}) over "
+            f"{self.n_processors} processors, {self.broadcast_bits} bits on "
+            f"the wire, max {self.max_private_bits} private random bits per "
+            f"processor, {self.public_bits} public bits"
+        )

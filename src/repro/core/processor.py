@@ -1,0 +1,97 @@
+"""Per-processor local views.
+
+A :class:`ProcessorContext` is everything a single processor is allowed to
+see: its identity, the total number of processors, its own private input
+row, its private coins, the shared public coins (if the execution provides
+them), and the broadcast transcript so far.  Protocol code receives exactly
+this object — the simulator never hands a protocol another processor's
+input, which enforces the information-locality invariant of the model.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .randomness import CoinSource
+from .transcript import Transcript
+
+__all__ = ["ProcessorContext"]
+
+
+class ProcessorContext:
+    """The local view of processor ``proc_id`` in an ``n``-processor clique.
+
+    Attributes
+    ----------
+    proc_id:
+        This processor's index in ``[0, n)``.
+    n:
+        Number of processors.
+    input:
+        The processor's private input row, a numpy ``uint8`` 0/1 array.
+        For graph problems this is row ``proc_id`` of the adjacency matrix
+        (its out-edge indicator vector).
+    coins:
+        Private randomness (metered).
+    public_coins:
+        Shared randomness (metered), or ``None``.
+    transcript:
+        The global broadcast history visible so far.  In the turn model
+        this includes the current round's earlier broadcasts.
+    memory:
+        Free-form per-processor scratch state, preserved across rounds.
+    """
+
+    __slots__ = (
+        "proc_id",
+        "n",
+        "input",
+        "coins",
+        "public_coins",
+        "transcript",
+        "memory",
+        "output",
+    )
+
+    def __init__(
+        self,
+        proc_id: int,
+        n: int,
+        input_row: np.ndarray,
+        coins: CoinSource,
+        public_coins: CoinSource | None,
+        transcript: Transcript,
+    ):
+        if not 0 <= proc_id < n:
+            raise ValueError(f"processor id {proc_id} out of range for n={n}")
+        self.proc_id = proc_id
+        self.n = n
+        self.input = np.asarray(input_row, dtype=np.uint8)
+        self.coins = coins
+        self.public_coins = public_coins
+        self.transcript = transcript
+        self.memory: dict[str, Any] = {}
+        self.output: Any = None
+
+    # ------------------------------------------------------------------
+    # Convenience views over the transcript
+    # ------------------------------------------------------------------
+    def my_previous_messages(self) -> list[int]:
+        """Payloads this processor broadcast in earlier turns."""
+        return [e.message for e in self.transcript.messages_from(self.proc_id)]
+
+    def round_messages(self, round_index: int) -> dict[int, int]:
+        """Mapping ``sender → payload`` for a completed round."""
+        return {
+            e.sender: e.message
+            for e in self.transcript.messages_in_round(round_index)
+        }
+
+    def input_bit(self, j: int) -> int:
+        """Bit ``j`` of the private input row."""
+        return int(self.input[j])
+
+    def __repr__(self) -> str:
+        return f"ProcessorContext(proc_id={self.proc_id}, n={self.n})"

@@ -1,0 +1,190 @@
+"""The protocol abstraction for the Broadcast Congested Clique.
+
+A :class:`Protocol` describes what every processor does: in each round (or
+turn) each processor computes one message of at most ``message_size`` bits
+from its *local view* (private input, private/public coins, transcript so
+far) and broadcasts it to everybody.  ``message_size = 1`` gives the
+``BCAST(1)`` model of the paper; ``message_size = ceil(log2 n)`` gives
+``BCAST(log n)``.
+
+Two concrete conveniences are provided:
+
+* :class:`FunctionProtocol` — a deterministic protocol given by per-turn
+  next-message functions ``f_i(input_row, transcript_bits) → bit``, the
+  exact object the paper's lower-bound proofs quantify over ("processor i
+  can then be defined by a function f_i(z, p)", Section 1.3).
+* :class:`ComposedProtocol` — runs one protocol after another, letting the
+  derandomization transform of Corollary 7.1 prepend the PRG's seed
+  exchange to an arbitrary payload protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from .errors import ProtocolViolation
+from .processor import ProcessorContext
+
+__all__ = ["Protocol", "FunctionProtocol", "ComposedProtocol"]
+
+#: Next-message function type: (proc_id, input_row, transcript_bits) -> message
+NextMessageFn = Callable[[int, Any, tuple[int, ...]], int]
+
+
+class Protocol:
+    """Base class for Broadcast Congested Clique protocols.
+
+    Subclasses override the lifecycle hooks below.  All hooks receive a
+    :class:`ProcessorContext`; protocols must derive everything they
+    broadcast from that local view only.
+
+    Attributes
+    ----------
+    message_size:
+        Width ``b`` of each broadcast in bits (the ``BCAST(b)`` parameter).
+    """
+
+    message_size: int = 1
+
+    def num_rounds(self, n: int) -> int:
+        """Number of rounds the protocol runs for ``n`` processors.
+
+        Protocols with a data-dependent round count should return an upper
+        bound here and override :meth:`finished`.
+        """
+        raise NotImplementedError
+
+    def finished(self, n: int, transcript, completed_rounds: int) -> bool:
+        """Early-termination predicate, checked after every round.
+
+        Must be a function of *public* information (the transcript) so all
+        processors agree on when the protocol ends.  The default runs for
+        exactly ``num_rounds(n)`` rounds.
+        """
+        return completed_rounds >= self.num_rounds(n)
+
+    def setup(self, proc: ProcessorContext) -> None:
+        """Called once per processor before the first round."""
+
+    def broadcast(self, proc: ProcessorContext, round_index: int) -> int:
+        """Return the message (integer in ``[0, 2^message_size)``) that
+        ``proc`` broadcasts in ``round_index``."""
+        raise NotImplementedError
+
+    def receive(
+        self, proc: ProcessorContext, round_index: int, messages: dict[int, int]
+    ) -> None:
+        """Called after a round completes with the full ``sender → message``
+        map of that round (the transcript also already contains it)."""
+
+    def output(self, proc: ProcessorContext) -> Any:
+        """Called once per processor after the final round; the return value
+        is the processor's output."""
+        return None
+
+
+class FunctionProtocol(Protocol):
+    """A deterministic protocol defined by next-message functions.
+
+    This is the lower-bound-proof view of a protocol: processor ``i``'s
+    behaviour is completely described by a function ``f_i(z, p)`` giving the
+    bit broadcast on input ``z`` after seeing transcript ``p``.
+
+    Parameters
+    ----------
+    n_rounds:
+        Number of rounds to run.
+    fn:
+        Either a single function applied by every processor or a sequence
+        of ``n`` per-processor functions.  Each function receives
+        ``(proc_id, input_row, transcript_bits)`` where ``transcript_bits``
+        is the flattened bit tuple of the transcript visible at broadcast
+        time, and must return a message integer.
+    message_size:
+        Broadcast width (default 1).
+    output_fn:
+        Optional final-output function with the same signature.
+    """
+
+    def __init__(
+        self,
+        n_rounds: int,
+        fn: NextMessageFn | Sequence[NextMessageFn],
+        message_size: int = 1,
+        output_fn: NextMessageFn | None = None,
+    ):
+        if n_rounds < 0:
+            raise ValueError("round count must be non-negative")
+        self._n_rounds = n_rounds
+        self._fn = fn
+        self.message_size = message_size
+        self._output_fn = output_fn
+
+    def num_rounds(self, n: int) -> int:
+        return self._n_rounds
+
+    def _fn_for(self, proc_id: int) -> NextMessageFn:
+        if callable(self._fn):
+            return self._fn
+        return self._fn[proc_id]
+
+    def broadcast(self, proc: ProcessorContext, round_index: int) -> int:
+        fn = self._fn_for(proc.proc_id)
+        message = fn(proc.proc_id, proc.input, proc.transcript.bits())
+        return int(message)
+
+    def output(self, proc: ProcessorContext) -> Any:
+        if self._output_fn is None:
+            return None
+        return self._output_fn(proc.proc_id, proc.input, proc.transcript.bits())
+
+
+class ComposedProtocol(Protocol):
+    """Sequential composition: run ``first`` to completion, then ``second``.
+
+    The second protocol sees the full transcript of the first (its
+    ``round_index`` restarts from 0; use ``proc.transcript`` for history).
+    Both protocols must agree on ``message_size``.
+    """
+
+    def __init__(self, first: Protocol, second: Protocol):
+        if first.message_size != second.message_size:
+            raise ProtocolViolation(
+                "composed protocols must share a message size, got "
+                f"{first.message_size} and {second.message_size}"
+            )
+        self.first = first
+        self.second = second
+        self.message_size = first.message_size
+
+    def num_rounds(self, n: int) -> int:
+        return self.first.num_rounds(n) + self.second.num_rounds(n)
+
+    def setup(self, proc: ProcessorContext) -> None:
+        self.first.setup(proc)
+
+    def _phase(self, proc: ProcessorContext, round_index: int) -> tuple[Protocol, int]:
+        first_rounds = self.first.num_rounds(proc.n)
+        if round_index < first_rounds:
+            return self.first, round_index
+        return self.second, round_index - first_rounds
+
+    def broadcast(self, proc: ProcessorContext, round_index: int) -> int:
+        first_rounds = self.first.num_rounds(proc.n)
+        if round_index == first_rounds and "composed_setup2" not in proc.memory:
+            proc.memory["composed_setup2"] = True
+            self.second.setup(proc)
+        phase, local_round = self._phase(proc, round_index)
+        return phase.broadcast(proc, local_round)
+
+    def receive(
+        self, proc: ProcessorContext, round_index: int, messages: dict[int, int]
+    ) -> None:
+        phase, local_round = self._phase(proc, round_index)
+        phase.receive(proc, local_round, messages)
+
+    def output(self, proc: ProcessorContext) -> Any:
+        if self.second.num_rounds(proc.n) == 0 and "composed_setup2" not in proc.memory:
+            proc.memory["composed_setup2"] = True
+            self.second.setup(proc)
+        return self.second.output(proc)

@@ -1,0 +1,60 @@
+"""Round and turn schedulers.
+
+The paper proves its bounds in a *sequential-turn* relaxation of the model:
+"Consider the model where we have n turns.  On the t-th turn, processor
+(t-1) mod n + 1 gets to send a single bit.  This model is stronger than one
+round of the BCAST(1) model, since it allows the later processors to
+condition their outputs on earlier processors' messages" (Section 1.3).
+
+Both schedulers are provided:
+
+* :class:`RoundScheduler` — the standard synchronous model: within a round
+  every processor's message is computed from the transcript of *previous*
+  rounds only, then all messages are published simultaneously.
+* :class:`TurnScheduler` — the stronger sequential model: processors speak
+  in index order within the round and later speakers see earlier messages
+  of the same round.
+
+A scheduler yields the order of speakers and controls transcript visibility
+at message-computation time; the simulator owns everything else.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["Scheduler", "RoundScheduler", "TurnScheduler"]
+
+
+class Scheduler:
+    """Base scheduler: decides speaking order and intra-round visibility."""
+
+    #: True if a speaker sees messages broadcast earlier in the same round.
+    sees_current_round: bool = False
+
+    def speaking_order(self, n: int, round_index: int) -> Iterator[int]:
+        """Processor ids in the order they speak within ``round_index``."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class RoundScheduler(Scheduler):
+    """Synchronous rounds: simultaneous broadcasts, no intra-round peeking."""
+
+    sees_current_round = False
+
+    def speaking_order(self, n: int, round_index: int) -> Iterator[int]:
+        return iter(range(n))
+
+
+class TurnScheduler(Scheduler):
+    """Sequential turns: processor ``(t-1) mod n + 1`` (0-indexed: ``t mod n``)
+    speaks at global turn ``t`` and sees everything broadcast before it."""
+
+    sees_current_round = True
+
+    def speaking_order(self, n: int, round_index: int) -> Iterator[int]:
+        return iter(range(n))

@@ -1,0 +1,205 @@
+"""The Broadcast Congested Clique simulator.
+
+:func:`run_protocol` executes a :class:`~repro.core.protocol.Protocol` on an
+input matrix (row ``i`` is processor ``i``'s private input), under either
+the synchronous round model or the paper's stronger sequential-turn model,
+and returns the outputs, the full transcript, and a resource-usage report.
+
+Model invariants enforced here:
+
+* **broadcast constraint** — one message per processor per round, identical
+  for all recipients (trivially true since we record a single payload);
+* **congestion** — payloads must fit in ``message_size`` bits
+  (:class:`~repro.core.errors.MessageSizeError` otherwise);
+* **synchrony** — in the round model, messages are computed against the
+  transcript of completed rounds only; in the turn model each speaker sees
+  all strictly-earlier broadcasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from .errors import MessageSizeError, SchedulingError
+from .network import CostReport
+from .processor import ProcessorContext
+from .protocol import Protocol
+from .randomness import CoinSource, PrivateCoins
+from .scheduler import RoundScheduler, Scheduler, TurnScheduler
+from .transcript import BroadcastEvent, Transcript
+
+__all__ = ["ExecutionResult", "run_protocol", "make_contexts"]
+
+
+@dataclass
+class ExecutionResult:
+    """Everything produced by one protocol execution."""
+
+    outputs: list[Any]
+    transcript: Transcript
+    cost: CostReport
+    contexts: list[ProcessorContext]
+
+    def output_of(self, proc_id: int) -> Any:
+        return self.outputs[proc_id]
+
+
+def make_contexts(
+    inputs: np.ndarray,
+    rng: np.random.Generator | None = None,
+    private_bit_budget: int | None = None,
+    public_coins: CoinSource | None = None,
+) -> tuple[list[ProcessorContext], Transcript]:
+    """Build per-processor contexts sharing one transcript.
+
+    ``inputs`` is an ``n × m`` 0/1 array; row ``i`` becomes processor
+    ``i``'s private input.  Each processor receives an independent private
+    coin source derived from ``rng``.
+    """
+    inputs = np.asarray(inputs, dtype=np.uint8)
+    if inputs.ndim != 2:
+        raise ValueError(f"inputs must be a 2-D array, got shape {inputs.shape}")
+    n = inputs.shape[0]
+    if rng is None:
+        rng = np.random.default_rng()
+    transcript = Transcript()
+    seeds = rng.integers(0, 2**63, size=n, dtype=np.int64)
+    contexts = [
+        ProcessorContext(
+            proc_id=i,
+            n=n,
+            input_row=inputs[i],
+            coins=PrivateCoins(
+                np.random.default_rng(int(seeds[i])), budget=private_bit_budget
+            ),
+            public_coins=public_coins,
+            transcript=transcript,
+        )
+        for i in range(n)
+    ]
+    return contexts, transcript
+
+
+def run_protocol(
+    protocol: Protocol,
+    inputs: np.ndarray,
+    scheduler: Scheduler | str = "round",
+    rng: np.random.Generator | None = None,
+    rounds: int | None = None,
+    private_bit_budget: int | None = None,
+    public_coins: CoinSource | None = None,
+) -> ExecutionResult:
+    """Execute ``protocol`` on ``inputs`` and return the results.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to run.
+    inputs:
+        ``n × m`` 0/1 array of private inputs (row ``i`` → processor ``i``).
+    scheduler:
+        ``"round"`` (synchronous), ``"turn"`` (sequential, the paper's
+        relaxation) or a :class:`Scheduler` instance.
+    rng:
+        Source of all randomness for this execution (private coins are
+        split off it).  Defaults to a fresh nondeterministic generator.
+    rounds:
+        Override the protocol's own ``num_rounds``.
+    private_bit_budget:
+        Per-processor cap on private random bits (used to verify the
+        randomness-saving claims).
+    public_coins:
+        Optional shared randomness source.
+    """
+    if isinstance(scheduler, str):
+        if scheduler == "round":
+            scheduler = RoundScheduler()
+        elif scheduler == "turn":
+            scheduler = TurnScheduler()
+        else:
+            raise SchedulingError(f"unknown scheduler name {scheduler!r}")
+
+    contexts, transcript = make_contexts(
+        inputs, rng=rng, private_bit_budget=private_bit_budget,
+        public_coins=public_coins,
+    )
+    n = len(contexts)
+    n_rounds = protocol.num_rounds(n) if rounds is None else rounds
+    width = protocol.message_size
+    if width < 1:
+        raise MessageSizeError(f"message size must be >= 1, got {width}")
+    max_payload = 1 << width
+
+    for proc in contexts:
+        protocol.setup(proc)
+
+    turn = 0
+    rounds_run = 0
+    for round_index in range(n_rounds):
+        if rounds is None and protocol.finished(n, transcript, round_index):
+            break
+        if scheduler.sees_current_round:
+            # Sequential turns: append each event immediately so later
+            # speakers in the same round condition on it.
+            for proc_id in scheduler.speaking_order(n, round_index):
+                message = _checked_message(
+                    protocol.broadcast(contexts[proc_id], round_index),
+                    max_payload, proc_id, round_index,
+                )
+                transcript.append(
+                    BroadcastEvent(turn, round_index, proc_id, message, width)
+                )
+                turn += 1
+        else:
+            # Synchronous round: compute all messages against the frozen
+            # transcript of previous rounds, then publish together.
+            pending: list[tuple[int, int]] = []
+            for proc_id in scheduler.speaking_order(n, round_index):
+                message = _checked_message(
+                    protocol.broadcast(contexts[proc_id], round_index),
+                    max_payload, proc_id, round_index,
+                )
+                pending.append((proc_id, message))
+            for proc_id, message in pending:
+                transcript.append(
+                    BroadcastEvent(turn, round_index, proc_id, message, width)
+                )
+                turn += 1
+        round_messages = {
+            e.sender: e.message for e in transcript.messages_in_round(round_index)
+        }
+        for proc in contexts:
+            protocol.receive(proc, round_index, round_messages)
+        rounds_run = round_index + 1
+
+    outputs = [protocol.output(proc) for proc in contexts]
+    for proc, value in zip(contexts, outputs):
+        proc.output = value
+
+    cost = CostReport(
+        n_processors=n,
+        rounds=rounds_run,
+        turns=turn,
+        broadcast_bits=transcript.total_bits,
+        message_size=width,
+        private_bits_per_processor=[proc.coins.bits_used for proc in contexts],
+        public_bits=public_coins.bits_used if public_coins is not None else 0,
+    )
+    return ExecutionResult(
+        outputs=outputs, transcript=transcript, cost=cost, contexts=contexts
+    )
+
+
+def _checked_message(
+    message: Any, max_payload: int, proc_id: int, round_index: int
+) -> int:
+    message = int(message)
+    if not 0 <= message < max_payload:
+        raise MessageSizeError(
+            f"processor {proc_id} broadcast payload {message} in round "
+            f"{round_index}, exceeding the BCAST width ({max_payload - 1} max)"
+        )
+    return message

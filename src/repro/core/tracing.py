@@ -1,0 +1,83 @@
+"""Human-readable transcript rendering and summary statistics.
+
+Debugging a distributed protocol means reading its transcript; these
+helpers render the broadcast history as an aligned rounds × processors
+grid and compute summary statistics (per-processor bit balance, round
+entropy) used in tests and exploratory analysis.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from ..infotheory.entropy import entropy
+from .transcript import Transcript
+
+__all__ = ["format_transcript", "TranscriptStats", "transcript_stats"]
+
+
+def format_transcript(transcript: Transcript, n: int | None = None) -> str:
+    """Render a transcript as a rounds × processors grid.
+
+    ``n`` (processor count) is inferred from the largest sender id when
+    not given.  Multi-bit payloads are shown as integers.
+    """
+    if transcript.n_turns == 0:
+        return "(empty transcript)"
+    if n is None:
+        n = max(e.sender for e in transcript) + 1
+    n_rounds = transcript[-1].round_index + 1
+    header = "round | " + " ".join(f"p{j:<3}" for j in range(n))
+    lines = [header, "-" * len(header)]
+    for r in range(n_rounds):
+        cells = {e.sender: e.message for e in transcript.messages_in_round(r)}
+        row = " ".join(f"{cells.get(j, '.')!s:<4}" for j in range(n))
+        lines.append(f"{r:>5} | {row}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class TranscriptStats:
+    """Summary statistics of one transcript."""
+
+    n_turns: int
+    n_rounds: int
+    total_bits: int
+    ones_fraction: float
+    per_sender_ones: dict[int, float]
+    payload_entropy: float
+
+    def is_balanced(self, tolerance: float = 0.2) -> bool:
+        """True iff the overall ones-fraction is within ``tolerance`` of
+        1/2 — a quick sanity check for protocols that should look random."""
+        return abs(self.ones_fraction - 0.5) <= tolerance
+
+
+def transcript_stats(transcript: Transcript) -> TranscriptStats:
+    """Compute :class:`TranscriptStats` for a transcript."""
+    if transcript.n_turns == 0:
+        return TranscriptStats(0, 0, 0, 0.0, {}, 0.0)
+    bits = transcript.bits()
+    ones = sum(bits)
+    sender_totals: Counter = Counter()
+    sender_ones: Counter = Counter()
+    for event in transcript:
+        sender_totals[event.sender] += event.width
+        sender_ones[event.sender] += sum(event.bits())
+    per_sender = {
+        s: sender_ones[s] / sender_totals[s] for s in sorted(sender_totals)
+    }
+    payload_counts = Counter(e.message for e in transcript)
+    total = sum(payload_counts.values())
+    import numpy as np
+
+    pmf = np.array([c / total for c in payload_counts.values()])
+    return TranscriptStats(
+        n_turns=transcript.n_turns,
+        n_rounds=transcript[-1].round_index + 1,
+        total_bits=transcript.total_bits,
+        ones_fraction=ones / len(bits) if bits else 0.0,
+        per_sender_ones=per_sender,
+        payload_entropy=entropy(pmf),
+    )

@@ -1,0 +1,59 @@
+"""Adversaries and advantage estimation: exact transcript distributions for
+small instances, Monte-Carlo estimation for larger ones, and the concrete
+best-effort distinguisher protocols the experiments sweep."""
+
+from .advantage import (
+    guessing_probability,
+    optimal_advantage_from_tv,
+    tv_needed_for_advantage,
+)
+from .distinguishers import (
+    DegreeThresholdDistinguisher,
+    NeighborhoodVoteDistinguisher,
+    RandomParityProbe,
+    random_function_protocol,
+)
+from .exact import (
+    ProtocolSpec,
+    brute_force_transcript_pmf,
+    simulate_deterministic,
+    exact_transcript_pmf,
+    expected_component_distance,
+    mixture_transcript_pmf,
+    transcript_distance,
+)
+from .optimal import (
+    first_round_distance_ceiling,
+    optimal_single_broadcast_distance,
+    row_marginal_pmf,
+)
+from .sampling import (
+    estimate_protocol_advantage,
+    estimate_transcript_distance,
+    run_distinguisher,
+    sample_transcript_keys,
+)
+
+__all__ = [
+    "guessing_probability",
+    "optimal_advantage_from_tv",
+    "tv_needed_for_advantage",
+    "DegreeThresholdDistinguisher",
+    "NeighborhoodVoteDistinguisher",
+    "RandomParityProbe",
+    "random_function_protocol",
+    "ProtocolSpec",
+    "brute_force_transcript_pmf",
+    "simulate_deterministic",
+    "exact_transcript_pmf",
+    "expected_component_distance",
+    "mixture_transcript_pmf",
+    "transcript_distance",
+    "first_round_distance_ceiling",
+    "optimal_single_broadcast_distance",
+    "row_marginal_pmf",
+    "estimate_protocol_advantage",
+    "estimate_transcript_distance",
+    "run_distinguisher",
+    "sample_transcript_keys",
+]

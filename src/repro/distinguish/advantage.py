@@ -1,0 +1,42 @@
+"""Advantage semantics (footnote 5 of the paper).
+
+An algorithm distinguishing ``D1`` from ``D2`` with advantage ``ε`` guesses
+the source of a random sample (drawn from each with probability 1/2)
+correctly with probability ``1/2 + ε``.  The optimal achievable advantage
+is half the total-variation distance between the induced output (or
+transcript) distributions — so every theorem stated as a transcript-distance
+bound converts directly into an advantage bound.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "optimal_advantage_from_tv",
+    "tv_needed_for_advantage",
+    "guessing_probability",
+]
+
+
+def optimal_advantage_from_tv(tv_distance: float) -> float:
+    """Best achievable advantage given transcript TV distance ``d`` is ``d/2``.
+
+    The optimal distinguisher accepts exactly on the outcomes where ``D1``
+    outweighs ``D2``; its accept-rate gap is ``d``, hence advantage ``d/2``.
+    """
+    if not 0.0 <= tv_distance <= 1.0:
+        raise ValueError(f"TV distance must lie in [0, 1], got {tv_distance}")
+    return tv_distance / 2.0
+
+
+def tv_needed_for_advantage(advantage: float) -> float:
+    """Minimum transcript distance needed to achieve a given advantage."""
+    if not 0.0 <= advantage <= 0.5:
+        raise ValueError(f"advantage must lie in [0, 1/2], got {advantage}")
+    return 2.0 * advantage
+
+
+def guessing_probability(advantage: float) -> float:
+    """Success probability ``1/2 + ε`` of an advantage-``ε`` distinguisher."""
+    if not 0.0 <= advantage <= 0.5:
+        raise ValueError(f"advantage must lie in [0, 1/2], got {advantage}")
+    return 0.5 + advantage

@@ -1,0 +1,293 @@
+"""Exact transcript distributions for deterministic protocols.
+
+For a deterministic protocol and a **row-independent** input distribution,
+the probability of a transcript factorises over processors: conditioning on
+the transcript only restricts each processor's input through *its own*
+previous broadcasts (this is the observation that powers every proof in the
+paper).  This module exploits that structure to compute the exact
+distribution ``P(Π, D)`` of transcripts by dynamic programming over the
+transcript tree:
+
+* each tree node is a transcript prefix, carrying for every processor the
+  conditional weight of each row in its support (the set ``D_p`` of inputs
+  consistent with the prefix, weighted by the marginal);
+* expanding a node evaluates the speaking processor's next-message function
+  on its whole support at once (vectorised) and splits the weights by the
+  resulting message.
+
+Mixture distributions are handled by averaging the component pmfs — the
+exact counterpart of the paper's ``L_progress`` accounting.
+
+Complexity: ``O(branches × support × turns)`` — practical for the small
+instances the experiments enumerate (``n ≲ 14``, a few rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.protocol import FunctionProtocol
+from ..distributions.base import (
+    InputDistribution,
+    MixtureDistribution,
+    RowIndependentDistribution,
+)
+__all__ = [
+    "ProtocolSpec",
+    "exact_transcript_pmf",
+    "mixture_transcript_pmf",
+    "expected_component_distance",
+    "transcript_distance",
+    "brute_force_transcript_pmf",
+    "simulate_deterministic",
+]
+
+#: Vectorised next-message function: (proc_id, rows, transcript_bits) -> messages
+VectorFn = Callable[[int, np.ndarray, tuple[int, ...]], np.ndarray]
+
+
+@dataclass
+class ProtocolSpec:
+    """A deterministic protocol in lower-bound normal form.
+
+    Parameters
+    ----------
+    n:
+        Number of processors.
+    n_rounds:
+        Number of rounds (each round = ``n`` turns in speaking order
+        ``0, 1, …, n-1``).
+    fn:
+        Vectorised next-message function ``fn(proc_id, rows, p) → messages``
+        where ``rows`` is an ``(S, m)`` uint8 array of candidate inputs and
+        ``p`` the visible transcript bits; returns an ``(S,)`` integer array.
+    message_size:
+        Broadcast width in bits (1 for ``BCAST(1)``).
+    sees_current_round:
+        True for the paper's sequential-turn relaxation (speakers see
+        earlier messages of the same round), False for synchronous rounds.
+    """
+
+    n: int
+    n_rounds: int
+    fn: VectorFn
+    message_size: int = 1
+    sees_current_round: bool = True
+
+    @classmethod
+    def from_scalar(
+        cls,
+        n: int,
+        n_rounds: int,
+        scalar_fn: Callable[[int, np.ndarray, tuple[int, ...]], int],
+        message_size: int = 1,
+        sees_current_round: bool = True,
+    ) -> "ProtocolSpec":
+        """Wrap a one-row-at-a-time next-message function."""
+
+        def vector_fn(proc_id: int, rows: np.ndarray, p: tuple[int, ...]):
+            return np.array(
+                [scalar_fn(proc_id, row, p) for row in rows], dtype=np.int64
+            )
+
+        return cls(n, n_rounds, vector_fn, message_size, sees_current_round)
+
+    def as_function_protocol(self) -> FunctionProtocol:
+        """The same protocol as a simulator-runnable :class:`FunctionProtocol`.
+
+        Run it under the ``"turn"`` scheduler iff ``sees_current_round``.
+        """
+
+        def scalar_fn(proc_id: int, row: np.ndarray, p: tuple[int, ...]) -> int:
+            return int(self.fn(proc_id, row[None, :], p)[0])
+
+        return FunctionProtocol(
+            self.n_rounds, scalar_fn, message_size=self.message_size
+        )
+
+    @property
+    def scheduler_name(self) -> str:
+        return "turn" if self.sees_current_round else "round"
+
+
+def exact_transcript_pmf(
+    spec: ProtocolSpec, dist: RowIndependentDistribution
+) -> dict[tuple[int, ...], float]:
+    """Exact pmf over full transcripts of ``spec`` on inputs from ``dist``.
+
+    Keys are transcript payload tuples (one integer per turn); values sum
+    to 1.
+    """
+    if dist.n != spec.n:
+        raise ValueError(
+            f"distribution has {dist.n} rows but protocol expects {spec.n}"
+        )
+    supports = [dist.row_support(i) for i in range(spec.n)]
+    # Branch state: (transcript_payloads, probability, per-processor weights).
+    branches: list[tuple[tuple[int, ...], float, list[np.ndarray]]] = [
+        ((), 1.0, [probs.astype(float).copy() for _, probs in supports])
+    ]
+    total_turns = spec.n_rounds * spec.n
+    n_messages = 1 << spec.message_size
+
+    for turn in range(total_turns):
+        speaker = turn % spec.n
+        round_start_turn = (turn // spec.n) * spec.n
+        rows = supports[speaker][0]
+        new_branches: list[tuple[tuple[int, ...], float, list[np.ndarray]]] = []
+        for payloads, prob, weights in branches:
+            visible = (
+                payloads if spec.sees_current_round else payloads[:round_start_turn]
+            )
+            visible_bits = _payloads_to_bits(visible, spec.message_size)
+            messages = np.asarray(spec.fn(speaker, rows, visible_bits))
+            if messages.shape != (rows.shape[0],):
+                raise ValueError(
+                    f"next-message function returned shape {messages.shape}, "
+                    f"expected ({rows.shape[0]},)"
+                )
+            w = weights[speaker]
+            mass = w.sum()
+            for value in range(n_messages):
+                selected = w * (messages == value)
+                value_mass = selected.sum()
+                if value_mass <= 0.0:
+                    continue
+                child_weights = list(weights)
+                child_weights[speaker] = selected
+                new_branches.append(
+                    (
+                        payloads + (value,),
+                        prob * (value_mass / mass),
+                        child_weights,
+                    )
+                )
+        branches = new_branches
+
+    pmf = {payloads: prob for payloads, prob, _ in branches}
+    _check_normalised(pmf)
+    return pmf
+
+
+def _payloads_to_bits(
+    payloads: tuple[int, ...], width: int
+) -> tuple[int, ...]:
+    if width == 1:
+        return payloads
+    bits: list[int] = []
+    for p in payloads:
+        bits.extend((p >> i) & 1 for i in range(width))
+    return tuple(bits)
+
+
+def _check_normalised(pmf: dict, tol: float = 1e-8) -> None:
+    total = sum(pmf.values())
+    if abs(total - 1.0) > tol:
+        raise AssertionError(f"transcript pmf sums to {total}, expected 1")
+
+
+def mixture_transcript_pmf(
+    spec: ProtocolSpec, dist: InputDistribution
+) -> dict[tuple[int, ...], float]:
+    """Exact transcript pmf for a mixture (or row-independent) distribution.
+
+    For a mixture ``D = Σ_I w_I D_I`` the transcript distribution is the
+    same mixture of the per-component transcript distributions.
+    """
+    if isinstance(dist, MixtureDistribution):
+        pmf: dict[tuple[int, ...], float] = {}
+        for weight, component in dist.components():
+            for key, p in exact_transcript_pmf(spec, component).items():
+                pmf[key] = pmf.get(key, 0.0) + weight * p
+        _check_normalised(pmf)
+        return pmf
+    if isinstance(dist, RowIndependentDistribution):
+        return exact_transcript_pmf(spec, dist)
+    raise TypeError(f"unsupported distribution type {type(dist).__name__}")
+
+
+def transcript_distance(
+    pmf_a: dict[tuple[int, ...], float], pmf_b: dict[tuple[int, ...], float]
+) -> float:
+    """Total-variation distance between two transcript pmfs."""
+    support = set(pmf_a) | set(pmf_b)
+    return 0.5 * sum(abs(pmf_a.get(s, 0.0) - pmf_b.get(s, 0.0)) for s in support)
+
+
+def simulate_deterministic(
+    spec: ProtocolSpec, matrix: np.ndarray
+) -> tuple[int, ...]:
+    """Run a deterministic spec on one concrete input matrix.
+
+    Returns the transcript payload tuple.  Used by the brute-force exact
+    engine below and for cross-validation against the simulator.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    if matrix.shape[0] != spec.n:
+        raise ValueError(
+            f"matrix has {matrix.shape[0]} rows but protocol expects {spec.n}"
+        )
+    payloads: tuple[int, ...] = ()
+    total_turns = spec.n_rounds * spec.n
+    for turn in range(total_turns):
+        speaker = turn % spec.n
+        round_start_turn = (turn // spec.n) * spec.n
+        visible = payloads if spec.sees_current_round else payloads[:round_start_turn]
+        visible_bits = _payloads_to_bits(visible, spec.message_size)
+        message = int(spec.fn(speaker, matrix[speaker][None, :], visible_bits)[0])
+        payloads = payloads + (message,)
+    return payloads
+
+
+def brute_force_transcript_pmf(
+    spec: ProtocolSpec, support: "Sequence[tuple[np.ndarray, float]]"
+) -> dict[tuple[int, ...], float]:
+    """Exact transcript pmf for an **arbitrary** input distribution.
+
+    Unlike :func:`exact_transcript_pmf`, this makes no independence
+    assumption: it enumerates the full input support (pairs of matrix and
+    probability, e.g. from
+    :meth:`repro.distributions.undirected.UndirectedRandomGraph.enumerate_support`)
+    and simulates the deterministic protocol on each matrix.  Cost is
+    linear in the support size — for tiny instances only, but it is the
+    only exact tool available once rows are *dependent* (the undirected
+    open problem of Section 9).
+    """
+    pmf: dict[tuple[int, ...], float] = {}
+    total = 0.0
+    for matrix, prob in support:
+        key = simulate_deterministic(spec, matrix)
+        pmf[key] = pmf.get(key, 0.0) + prob
+        total += prob
+    if abs(total - 1.0) > 1e-6:
+        raise ValueError(f"support probabilities sum to {total}, expected 1")
+    return pmf
+
+
+def expected_component_distance(
+    spec: ProtocolSpec,
+    mixture: MixtureDistribution,
+    reference: RowIndependentDistribution,
+    components: Sequence[RowIndependentDistribution] | None = None,
+) -> float:
+    """The paper's progress function ``L_progress`` — exactly.
+
+    Computes ``E_{I} || P(Π, A_I) − P(Π, A_reference) ||`` over the mixture
+    components (or an explicit subset, for spot-checking).  By the triangle
+    inequality this upper-bounds the real distance
+    ``|| P(Π, A_pseudo) − P(Π, A_reference) ||`` (Section 3).
+    """
+    reference_pmf = exact_transcript_pmf(spec, reference)
+    if components is not None:
+        comps = [(1.0 / len(components), c) for c in components]
+    else:
+        comps = list(mixture.components())
+    total_weight = sum(w for w, _ in comps)
+    acc = 0.0
+    for weight, component in comps:
+        pmf = exact_transcript_pmf(spec, component)
+        acc += (weight / total_weight) * transcript_distance(pmf, reference_pmf)
+    return acc

@@ -1,0 +1,98 @@
+"""Exact optimal-distinguisher ceilings for single broadcasts.
+
+The lower-bound theorems control what *any* protocol achieves; for the
+very first broadcast the optimum is computable exactly: a processor that
+broadcasts one bit ``f(x_i)`` of its own input can shift the transcript
+distribution by at most the total-variation distance between its row
+marginals under the two input distributions — and the likelihood-ratio
+test achieves it.  These functions compute that ceiling exactly (row
+supports are enumerable for small ``n``), giving every experiment a
+protocol-free upper anchor:
+
+    measured distance (any 1-broadcast protocol)
+        ≤ optimal_single_broadcast_distance
+        ≤ theorem bound.
+
+For a full synchronous round of ``n`` simultaneous broadcasts under
+row-independent components, the per-row ceilings combine subadditively;
+:func:`first_round_distance_ceiling` returns that sum (cf. the per-turn
+increments in the Section 3 induction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distributions.base import (
+    InputDistribution,
+    MixtureDistribution,
+    RowIndependentDistribution,
+)
+
+__all__ = [
+    "row_marginal_pmf",
+    "optimal_single_broadcast_distance",
+    "first_round_distance_ceiling",
+]
+
+
+def row_marginal_pmf(dist: InputDistribution, i: int) -> dict[bytes, float]:
+    """Exact marginal distribution of row ``i`` as a sparse pmf.
+
+    Row-independent distributions read their declared supports; mixtures
+    average their components' marginals (this is where the planted-clique
+    row marginal — "am I in the clique?" — comes from).
+    """
+    if isinstance(dist, MixtureDistribution):
+        pmf: dict[bytes, float] = {}
+        for weight, component in dist.components():
+            for key, p in row_marginal_pmf(component, i).items():
+                pmf[key] = pmf.get(key, 0.0) + weight * p
+        return pmf
+    if isinstance(dist, RowIndependentDistribution):
+        support, probs = dist.row_support(i)
+        pmf = {}
+        for row, p in zip(support, probs):
+            key = np.asarray(row, dtype=np.uint8).tobytes()
+            pmf[key] = pmf.get(key, 0.0) + float(p)
+        return pmf
+    raise TypeError(
+        f"cannot compute an exact row marginal for {type(dist).__name__}"
+    )
+
+
+def optimal_single_broadcast_distance(
+    dist_a: InputDistribution, dist_b: InputDistribution, i: int
+) -> float:
+    """Exact ceiling on ``||f(row_i under A) − f(row_i under B)||`` over
+    **all** Boolean functions ``f`` — the TV distance of the marginals.
+
+    The optimal ``f`` is the likelihood-ratio indicator
+    ``f(x) = [P_A(x) > P_B(x)]``; no broadcast bit can reveal more.
+    """
+    pmf_a = row_marginal_pmf(dist_a, i)
+    pmf_b = row_marginal_pmf(dist_b, i)
+    support = set(pmf_a) | set(pmf_b)
+    return 0.5 * sum(
+        abs(pmf_a.get(s, 0.0) - pmf_b.get(s, 0.0)) for s in support
+    )
+
+
+def first_round_distance_ceiling(
+    dist_a: InputDistribution, dist_b: InputDistribution
+) -> float:
+    """Subadditive ceiling for one full synchronous round: the sum of the
+    per-row optimal single-broadcast distances (clamped at 1).
+
+    This is exactly the quantity the Section 3 induction accumulates per
+    turn — the ``Σ_t E[extra evidence of turn t]`` of the proof of
+    Theorem 1.6 — evaluated at its information-theoretic optimum instead
+    of for a specific protocol.
+    """
+    if dist_a.n != dist_b.n:
+        raise ValueError("distributions must have the same processor count")
+    total = sum(
+        optimal_single_broadcast_distance(dist_a, dist_b, i)
+        for i in range(dist_a.n)
+    )
+    return min(1.0, total)

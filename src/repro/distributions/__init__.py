@@ -1,0 +1,36 @@
+"""Input distributions: uniform, planted clique, and PRG outputs, with the
+row-independent decomposition machinery of Section 3."""
+
+from .base import (
+    InputDistribution,
+    MixtureDistribution,
+    RowIndependentDistribution,
+    all_bitstrings,
+)
+from .uniform import RandomDigraph, UniformRows
+from .planted_clique import PlantedClique, PlantedCliqueAt
+from .prg_dists import PRGOutput, SharedMatrixRows, SharedVectorRows, ToyPRGOutput
+from .lowrank import RankDeficientMatrix
+from .undirected import UndirectedPlantedClique, UndirectedRandomGraph
+from .decomposition import empirical_matrix_pmf, exact_matrix_pmf, pmf_distance
+
+__all__ = [
+    "InputDistribution",
+    "MixtureDistribution",
+    "RowIndependentDistribution",
+    "all_bitstrings",
+    "RandomDigraph",
+    "UniformRows",
+    "PlantedClique",
+    "PlantedCliqueAt",
+    "PRGOutput",
+    "SharedMatrixRows",
+    "SharedVectorRows",
+    "ToyPRGOutput",
+    "RankDeficientMatrix",
+    "UndirectedPlantedClique",
+    "UndirectedRandomGraph",
+    "empirical_matrix_pmf",
+    "exact_matrix_pmf",
+    "pmf_distance",
+]

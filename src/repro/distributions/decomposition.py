@@ -1,0 +1,98 @@
+"""Exact joint pmfs and decomposition checks (the Section 3 framework).
+
+The paper's central manoeuvre is to write a correlated input distribution
+``A_pseudo`` as an average ``(1/|I|) Σ_I A_I`` of *row-independent*
+components.  These helpers compute exact joint probability mass functions
+for small instances so tests can verify the decompositions literally:
+
+* ``A_k  =  avg over size-k subsets C of A_C``   (planted clique),
+* ``ToyPRGOutput  =  avg over b of U[b]^n``      (toy PRG),
+* ``PRGOutput     =  avg over M of U_M^n``       (full PRG).
+
+Matrices are keyed by ``bytes`` of the flattened uint8 array.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from .base import (
+    InputDistribution,
+    MixtureDistribution,
+    RowIndependentDistribution,
+)
+
+__all__ = [
+    "exact_matrix_pmf",
+    "pmf_distance",
+    "empirical_matrix_pmf",
+]
+
+_MAX_OUTCOMES = 1 << 22
+
+
+def exact_matrix_pmf(dist: InputDistribution) -> dict[bytes, float]:
+    """Exact joint pmf of an input distribution over full matrices.
+
+    Row-independent distributions are expanded as the product of their row
+    marginals; mixtures as the weighted sum of their components'.  Intended
+    for tiny instances (the outcome count is capped at ``2^22``).
+    """
+    if isinstance(dist, MixtureDistribution):
+        pmf: dict[bytes, float] = {}
+        for weight, component in dist.components():
+            for key, p in exact_matrix_pmf(component).items():
+                pmf[key] = pmf.get(key, 0.0) + weight * p
+        return pmf
+    if isinstance(dist, RowIndependentDistribution):
+        return _row_product_pmf(dist)
+    raise TypeError(
+        f"cannot compute an exact pmf for {type(dist).__name__}; "
+        "need a mixture or row-independent distribution"
+    )
+
+
+def _row_product_pmf(dist: RowIndependentDistribution) -> dict[bytes, float]:
+    supports = [dist.row_support(i) for i in range(dist.n)]
+    total = 1
+    for rows, _ in supports:
+        total *= rows.shape[0]
+        if total > _MAX_OUTCOMES:
+            raise ValueError(
+                f"joint support exceeds {_MAX_OUTCOMES} outcomes; "
+                "use empirical_matrix_pmf instead"
+            )
+    pmf: dict[bytes, float] = {}
+    index_ranges = [range(rows.shape[0]) for rows, _ in supports]
+    for combo in product(*index_ranges):
+        prob = 1.0
+        rows = []
+        for i, idx in enumerate(combo):
+            support, probs = supports[i]
+            rows.append(support[idx])
+            prob *= probs[idx]
+        key = np.stack(rows).astype(np.uint8).tobytes()
+        pmf[key] = pmf.get(key, 0.0) + prob
+    return pmf
+
+
+def pmf_distance(p: dict[bytes, float], q: dict[bytes, float]) -> float:
+    """Total-variation distance between two sparse pmfs."""
+    support = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(s, 0.0) - q.get(s, 0.0)) for s in support)
+
+
+def empirical_matrix_pmf(
+    dist: InputDistribution, n_samples: int, rng: np.random.Generator
+) -> dict[bytes, float]:
+    """Plug-in joint pmf from samples (for distributions too big to expand)."""
+    if n_samples <= 0:
+        raise ValueError("need a positive sample count")
+    pmf: dict[bytes, float] = {}
+    weight = 1.0 / n_samples
+    for _ in range(n_samples):
+        key = dist.sample(rng).astype(np.uint8).tobytes()
+        pmf[key] = pmf.get(key, 0.0) + weight
+    return pmf

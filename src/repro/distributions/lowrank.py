@@ -1,0 +1,46 @@
+"""The close-to-uniform rank-deficient distribution of Theorem 1.4.
+
+Setting ``k = n - 1`` and ``m = n`` in the PRG output distribution gives an
+``n × n`` matrix whose last column is a fixed linear combination of the
+first ``n - 1`` — so its rank is at most ``n - 1`` always, yet by
+Theorem 5.3 no ``n/20``-round ``BCAST(1)`` protocol can tell it apart from
+a uniform matrix.  Since a uniform matrix is full-rank with probability
+``Q_0 ≈ 0.289``, no such protocol can compute the full-rank indicator with
+accuracy better than ``0.99`` on uniform inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .prg_dists import PRGOutput
+
+__all__ = ["RankDeficientMatrix"]
+
+
+class RankDeficientMatrix(PRGOutput):
+    """``n`` processors each holding one row of a random rank-``< n`` matrix.
+
+    Equivalent to the toy-PRG output with seed length ``n - 1`` and one
+    derived bit per processor.
+    """
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError("need at least 2 processors")
+        super().__init__(n=n, m=n, k=n - 1)
+
+    def max_rank(self) -> int:
+        """The support never contains a full-rank matrix."""
+        return self.n - 1
+
+    @property
+    def name(self) -> str:
+        return f"RankDeficient(n={self.n})"
+
+
+def sample_rank(dist: RankDeficientMatrix, rng: np.random.Generator) -> int:
+    """Convenience: sample one matrix and return its GF(2) rank."""
+    from ..linalg import BitMatrix
+
+    return BitMatrix.from_array(dist.sample(rng)).rank()

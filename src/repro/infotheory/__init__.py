@@ -1,0 +1,64 @@
+"""Information-theoretic substrate: entropy, divergences, Fourier analysis,
+and estimation machinery for measuring distinguishing advantages."""
+
+from .entropy import (
+    binary_entropy,
+    binary_entropy_inverse_gap,
+    conditional_entropy,
+    empirical_distribution,
+    entropy,
+    joint_entropy,
+    mutual_information,
+)
+from .divergence import (
+    bernoulli_tv,
+    chain_step_bound,
+    kl_divergence,
+    pinsker_bound,
+    total_variation,
+    tv_from_counts,
+)
+from .fourier import (
+    fourier_coefficient,
+    fourier_coefficients,
+    inverse_fourier,
+    parseval_gap,
+    truth_table,
+    walsh_hadamard,
+)
+from .estimation import (
+    AdvantageEstimate,
+    ConfidenceInterval,
+    estimate_advantage,
+    estimate_tv_distance,
+    hoeffding_interval,
+    wilson_interval,
+)
+
+__all__ = [
+    "binary_entropy",
+    "binary_entropy_inverse_gap",
+    "conditional_entropy",
+    "empirical_distribution",
+    "entropy",
+    "joint_entropy",
+    "mutual_information",
+    "bernoulli_tv",
+    "chain_step_bound",
+    "kl_divergence",
+    "pinsker_bound",
+    "total_variation",
+    "tv_from_counts",
+    "fourier_coefficient",
+    "fourier_coefficients",
+    "inverse_fourier",
+    "parseval_gap",
+    "truth_table",
+    "walsh_hadamard",
+    "AdvantageEstimate",
+    "ConfidenceInterval",
+    "estimate_advantage",
+    "estimate_tv_distance",
+    "hoeffding_interval",
+    "wilson_interval",
+]

@@ -1,0 +1,99 @@
+"""Statistical distance, KL divergence and Pinsker's inequality.
+
+The paper measures closeness of transcript distributions in total-variation
+(statistical) distance
+
+    ||D1 - D2|| = (1/2) * sum_x |D1(x) - D2(x)|
+
+and converts mutual-information bounds into distance bounds via Pinsker's
+inequality ``||D1 - D2|| <= sqrt(D(D1 || D2) / 2)`` (Lemma 2.2).  This module
+implements both, plus the decomposition Lemma 1.9 that drives every
+round-by-round induction in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "total_variation",
+    "tv_from_counts",
+    "kl_divergence",
+    "pinsker_bound",
+    "chain_step_bound",
+    "bernoulli_tv",
+]
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance between two pmfs over the same support."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError(f"support mismatch: {p.shape} vs {q.shape}")
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def bernoulli_tv(p: float, q: float) -> float:
+    """TV distance between ``Ber(p)`` and ``Ber(q)`` — simply ``|p - q|``."""
+    return abs(p - q)
+
+
+def tv_from_counts(counts_p: dict, counts_q: dict) -> float:
+    """TV distance between the empirical distributions of two sample sets.
+
+    ``counts_p`` and ``counts_q`` map outcomes (any hashable) to observed
+    counts.  Useful when transcript outcomes are sparse in a huge space.
+    """
+    total_p = sum(counts_p.values())
+    total_q = sum(counts_q.values())
+    if total_p == 0 or total_q == 0:
+        raise ValueError("both sample sets must be non-empty")
+    support = set(counts_p) | set(counts_q)
+    distance = 0.0
+    for outcome in support:
+        distance += abs(
+            counts_p.get(outcome, 0) / total_p - counts_q.get(outcome, 0) / total_q
+        )
+    return 0.5 * distance
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray) -> float:
+    """KL divergence ``D(p || q)`` in bits; ``inf`` if ``p`` escapes ``q``'s
+    support."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError(f"support mismatch: {p.shape} vs {q.shape}")
+    mask = p > 0
+    if (q[mask] == 0).any():
+        return float("inf")
+    return float((p[mask] * np.log2(p[mask] / q[mask])).sum())
+
+
+def pinsker_bound(kl_bits: float) -> float:
+    """Pinsker's inequality (Lemma 2.2): ``||p - q|| <= sqrt(D(p||q)/2)``.
+
+    The paper states divergence in bits with the ``1/2`` factor; this helper
+    returns the right-hand side, clamped to the trivial bound 1.
+    """
+    if kl_bits < 0:
+        raise ValueError("KL divergence cannot be negative")
+    return min(1.0, float(np.sqrt(0.5 * kl_bits)))
+
+
+def chain_step_bound(
+    marginal_distance: float, expected_conditional_distance: float
+) -> float:
+    """Lemma 1.9: one chain step of the transcript induction.
+
+    For joint distributions ``D, D'`` on ``X × Y``,
+
+        ||D - D'|| <= ||D|_X - D'|_X|| + E_{a~D|_X} ||D_{X=a} - D'_{X=a}||.
+
+    This helper just adds (and clamps) the two terms; it exists so that the
+    induction code reads like the paper.
+    """
+    if marginal_distance < 0 or expected_conditional_distance < 0:
+        raise ValueError("distances cannot be negative")
+    return min(1.0, marginal_distance + expected_conditional_distance)

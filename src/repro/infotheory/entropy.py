@@ -1,0 +1,104 @@
+"""Shannon entropy, conditional entropy and mutual information.
+
+These are the tools of Section 2.4 of the paper, used by the statistical
+inequalities (Lemmas 1.10 and 4.4): sub-additivity of entropy bounds the sum
+of per-coordinate mutual informations ``I(X_i; f(X))`` by the entropy
+deficiency of the input set, which Pinsker's inequality then converts into a
+statistical-distance bound.
+
+All distributions are represented as dense probability arrays (``p[i]`` is
+the mass on outcome ``i``) or, for joint quantities, 2-D arrays
+``p[x, y]``.  Logarithms are base 2 throughout, matching the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "entropy",
+    "binary_entropy",
+    "binary_entropy_inverse_gap",
+    "conditional_entropy",
+    "joint_entropy",
+    "mutual_information",
+    "empirical_distribution",
+]
+
+
+def _validate_distribution(p: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+    p = np.asarray(p, dtype=float)
+    if (p < -tol).any():
+        raise ValueError("probabilities must be non-negative")
+    total = p.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"probabilities must sum to 1, got {total}")
+    return np.clip(p, 0.0, None)
+
+
+def entropy(p: np.ndarray) -> float:
+    """Shannon entropy ``H(p)`` in bits.  ``0 log 0`` is taken as 0."""
+    p = _validate_distribution(p)
+    nz = p[p > 0]
+    return float(-(nz * np.log2(nz)).sum())
+
+
+def binary_entropy(p: float) -> float:
+    """Entropy ``H(Ber(p))`` of a Bernoulli variable, in bits."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    if p in (0.0, 1.0):
+        return 0.0
+    return float(-p * np.log2(p) - (1 - p) * np.log2(1 - p))
+
+
+def binary_entropy_inverse_gap(p: float) -> float:
+    """The ratio ``(1 - H(p)) / (p - 1/2)^2`` from Fact 2.3.
+
+    The paper's Fact 2.3 states that whenever ``H(p) >= 0.9`` this ratio
+    lies in ``[2, 3]`` (and ``p ∈ [0.3, 0.7]``); tests verify that claim
+    numerically.  Undefined at ``p = 1/2`` where both sides vanish — we
+    return the limit ``2 / ln 2 ≈ 2.885``.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must lie in [0, 1], got {p}")
+    gap = p - 0.5
+    if abs(gap) < 1e-12:
+        return 2.0 / np.log(2.0)
+    return (1.0 - binary_entropy(p)) / (gap * gap)
+
+
+def joint_entropy(joint: np.ndarray) -> float:
+    """Entropy ``H(X, Y)`` of a joint pmf given as a 2-D array."""
+    joint = np.asarray(joint, dtype=float)
+    return entropy(joint.reshape(-1))
+
+
+def conditional_entropy(joint: np.ndarray) -> float:
+    """Conditional entropy ``H(X | Y)`` from the joint pmf ``p[x, y]``.
+
+    Computed as ``H(X, Y) - H(Y)``.
+    """
+    joint = np.asarray(joint, dtype=float)
+    if joint.ndim != 2:
+        raise ValueError("joint pmf must be a 2-D array p[x, y]")
+    marginal_y = joint.sum(axis=0)
+    return joint_entropy(joint) - entropy(marginal_y)
+
+
+def mutual_information(joint: np.ndarray) -> float:
+    """Mutual information ``I(X; Y) = H(X) - H(X | Y)`` from ``p[x, y]``."""
+    joint = np.asarray(joint, dtype=float)
+    if joint.ndim != 2:
+        raise ValueError("joint pmf must be a 2-D array p[x, y]")
+    marginal_x = joint.sum(axis=1)
+    return max(0.0, entropy(marginal_x) - conditional_entropy(joint))
+
+
+def empirical_distribution(samples: np.ndarray, support: int) -> np.ndarray:
+    """Plug-in pmf from integer-coded samples over ``{0, …, support-1}``."""
+    samples = np.asarray(samples)
+    if samples.size == 0:
+        raise ValueError("need at least one sample")
+    counts = np.bincount(samples, minlength=support).astype(float)
+    return counts / counts.sum()

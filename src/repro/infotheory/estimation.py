@@ -1,0 +1,203 @@
+"""Statistical estimation helpers: confidence intervals and advantage tests.
+
+Empirically reproducing *lower bounds* means measuring distinguishing
+advantages from finite samples.  These helpers provide the standard
+machinery: Hoeffding and Wilson confidence intervals for Bernoulli means,
+and a bias-aware estimator for the total-variation distance between two
+sampled distributions (plug-in TV estimates are biased upward; we report
+the estimate together with a concentration radius so experiments can state
+"measured advantage is statistically indistinguishable from the bound").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .divergence import tv_from_counts
+
+__all__ = [
+    "ConfidenceInterval",
+    "hoeffding_interval",
+    "wilson_interval",
+    "AdvantageEstimate",
+    "estimate_advantage",
+    "estimate_tv_distance",
+]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a two-sided confidence interval."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    @property
+    def radius(self) -> float:
+        return max(self.upper - self.estimate, self.estimate - self.lower)
+
+
+def hoeffding_interval(
+    mean: float, n_samples: int, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Hoeffding two-sided interval for a mean of [0, 1]-bounded samples."""
+    if n_samples <= 0:
+        raise ValueError("need a positive sample count")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must lie in (0, 1)")
+    radius = math.sqrt(math.log(2.0 / (1.0 - confidence)) / (2.0 * n_samples))
+    return ConfidenceInterval(
+        estimate=mean,
+        lower=max(0.0, mean - radius),
+        upper=min(1.0, mean + radius),
+        confidence=confidence,
+    )
+
+
+def wilson_interval(
+    successes: int, n_samples: int, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Wilson score interval for a binomial proportion (better at extremes)."""
+    if n_samples <= 0:
+        raise ValueError("need a positive sample count")
+    if not 0 <= successes <= n_samples:
+        raise ValueError("successes must lie in [0, n_samples]")
+    # Normal quantile for the two-sided confidence level, via the rational
+    # approximation of Acklam (avoids a scipy dependency in the core library).
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    p_hat = successes / n_samples
+    denom = 1.0 + z * z / n_samples
+    centre = (p_hat + z * z / (2 * n_samples)) / denom
+    radius = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / n_samples + z * z / (4 * n_samples**2))
+        / denom
+    )
+    return ConfidenceInterval(
+        estimate=p_hat,
+        lower=max(0.0, centre - radius),
+        upper=min(1.0, centre + radius),
+        confidence=confidence,
+    )
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation)."""
+    if not 0 < p < 1:
+        raise ValueError("p must lie strictly in (0, 1)")
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p <= p_high:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+        )
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+    )
+
+
+@dataclass(frozen=True)
+class AdvantageEstimate:
+    """Distinguishing advantage of an algorithm between two distributions.
+
+    Following footnote 5 of the paper: an algorithm distinguishing ``D1``
+    from ``D2`` with advantage ``ε`` guesses the source of a random sample
+    correctly with probability ``1/2 + ε``.  Equivalently the advantage is
+    ``(accept rate on D1 − accept rate on D2) / 2`` for the optimal
+    orientation; we report ``|p1 − p2| / 2``.
+    """
+
+    accept_rate_d1: float
+    accept_rate_d2: float
+    n_samples_each: int
+    confidence: float
+
+    @property
+    def advantage(self) -> float:
+        return abs(self.accept_rate_d1 - self.accept_rate_d2) / 2.0
+
+    @property
+    def interval(self) -> ConfidenceInterval:
+        """Hoeffding interval on the advantage (union bound on both rates)."""
+        per_rate = hoeffding_interval(
+            0.0, self.n_samples_each, confidence=math.sqrt(self.confidence)
+        ).radius
+        radius = per_rate  # |p1−p2|/2 moves by at most (r1+r2)/2 = per_rate
+        return ConfidenceInterval(
+            estimate=self.advantage,
+            lower=max(0.0, self.advantage - radius),
+            upper=min(0.5, self.advantage + radius),
+            confidence=self.confidence,
+        )
+
+
+def estimate_advantage(
+    accepts_d1: np.ndarray,
+    accepts_d2: np.ndarray,
+    confidence: float = 0.95,
+) -> AdvantageEstimate:
+    """Advantage estimate from two arrays of 0/1 accept decisions."""
+    accepts_d1 = np.asarray(accepts_d1)
+    accepts_d2 = np.asarray(accepts_d2)
+    if accepts_d1.size == 0 or accepts_d2.size == 0:
+        raise ValueError("need samples from both distributions")
+    if accepts_d1.size != accepts_d2.size:
+        raise ValueError("use equal sample counts for a symmetric interval")
+    return AdvantageEstimate(
+        accept_rate_d1=float(accepts_d1.mean()),
+        accept_rate_d2=float(accepts_d2.mean()),
+        n_samples_each=int(accepts_d1.size),
+        confidence=confidence,
+    )
+
+
+def estimate_tv_distance(
+    samples_p: list, samples_q: list, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Plug-in TV estimate between two sampled distributions.
+
+    Outcomes may be any hashable objects (e.g. transcript encodings).  The
+    plug-in estimator is upward-biased by ``O(sqrt(support / n))``; the
+    returned interval uses the distribution-free Hoeffding radius on each
+    empirical cdf, which is honest but conservative.
+    """
+    if not samples_p or not samples_q:
+        raise ValueError("need samples from both distributions")
+    counts_p: dict = {}
+    counts_q: dict = {}
+    for s in samples_p:
+        counts_p[s] = counts_p.get(s, 0) + 1
+    for s in samples_q:
+        counts_q[s] = counts_q.get(s, 0) + 1
+    estimate = tv_from_counts(counts_p, counts_q)
+    n = min(len(samples_p), len(samples_q))
+    radius = math.sqrt(math.log(4.0 / (1.0 - confidence)) / (2.0 * n))
+    return ConfidenceInterval(
+        estimate=estimate,
+        lower=max(0.0, estimate - radius),
+        upper=min(1.0, estimate + radius),
+        confidence=confidence,
+    )

@@ -1,0 +1,102 @@
+"""Fourier analysis of Boolean functions over the hypercube.
+
+Section 2.2 of the paper uses the Fourier expansion of ``f : {0,1}^n → R``
+
+    f_hat(S) = E_{x ~ U_n} [ f(x) * (-1)^{sum_{i in S} x_i} ]
+
+and Parseval's identity ``E[f(x)^2] = sum_S f_hat(S)^2``.  Lemma 5.2 — the
+engine behind the PRG analysis — is a direct consequence: the sum over all
+``b`` of the squared bias ``(E_{U[b]}[f] − E[f])^2`` is a sub-sum of the
+Fourier weight of ``f`` and hence at most ``E[f]``.
+
+Functions are represented as dense truth-table arrays of length ``2^n``
+indexed by the integer encoding of the input (bit ``i`` of the index is
+coordinate ``x_i``).  The transform is the fast Walsh–Hadamard transform,
+``O(n 2^n)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "walsh_hadamard",
+    "fourier_coefficients",
+    "fourier_coefficient",
+    "inverse_fourier",
+    "parseval_gap",
+    "truth_table",
+]
+
+
+def walsh_hadamard(values: np.ndarray) -> np.ndarray:
+    """In-place-style fast Walsh–Hadamard transform (unnormalised).
+
+    Input length must be a power of two.  Returns
+    ``out[s] = sum_x values[x] * (-1)^{popcount(x & s)}``.
+    """
+    values = np.asarray(values, dtype=float).copy()
+    size = values.shape[0]
+    if size == 0 or size & (size - 1):
+        raise ValueError(f"length must be a power of two, got {size}")
+    h = 1
+    while h < size:
+        values = values.reshape(-1, 2 * h)
+        left = values[:, :h].copy()
+        right = values[:, h:].copy()
+        values[:, :h] = left + right
+        values[:, h:] = left - right
+        values = values.reshape(-1)
+        h *= 2
+    return values
+
+
+def fourier_coefficients(truth: np.ndarray) -> np.ndarray:
+    """All ``2^n`` Fourier coefficients of a function given by truth table.
+
+    ``coeffs[s] = f_hat(S_s)`` where ``S_s`` is the subset encoded by the
+    bits of ``s``.
+    """
+    truth = np.asarray(truth, dtype=float)
+    return walsh_hadamard(truth) / truth.shape[0]
+
+
+def fourier_coefficient(truth: np.ndarray, subset_mask: int) -> float:
+    """Single coefficient ``f_hat(S)`` for the subset encoded by ``subset_mask``."""
+    truth = np.asarray(truth, dtype=float)
+    size = truth.shape[0]
+    if size == 0 or size & (size - 1):
+        raise ValueError(f"length must be a power of two, got {size}")
+    if not 0 <= subset_mask < size:
+        raise ValueError("subset mask out of range")
+    x = np.arange(size, dtype=np.uint64)
+    signs = 1.0 - 2.0 * (
+        np.bitwise_count(x & np.uint64(subset_mask)).astype(float) % 2
+    )
+    return float((truth * signs).mean())
+
+
+def inverse_fourier(coeffs: np.ndarray) -> np.ndarray:
+    """Reconstruct the truth table from the full coefficient vector."""
+    coeffs = np.asarray(coeffs, dtype=float)
+    return walsh_hadamard(coeffs)
+
+
+def parseval_gap(truth: np.ndarray) -> float:
+    """``|E[f^2] - sum_S f_hat(S)^2|`` — zero up to float error (Parseval)."""
+    truth = np.asarray(truth, dtype=float)
+    coeffs = fourier_coefficients(truth)
+    return abs(float((truth * truth).mean()) - float((coeffs * coeffs).sum()))
+
+
+def truth_table(fn, n: int) -> np.ndarray:
+    """Tabulate ``fn`` over ``{0,1}^n``; ``fn`` receives a length-``n`` 0/1
+    numpy array and must return a scalar."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    size = 1 << n
+    out = np.empty(size, dtype=float)
+    for x in range(size):
+        bits = np.array([(x >> i) & 1 for i in range(n)], dtype=np.uint8)
+        out[x] = fn(bits)
+    return out

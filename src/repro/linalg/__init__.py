@@ -1,0 +1,36 @@
+"""GF(2) linear algebra substrate.
+
+Bit-packed vectors and matrices over the two-element field, rank laws of
+random binary matrices, and samplers for the structured matrices the paper's
+PRG produces.
+"""
+
+from .bitvec import BitVector
+from .bitmatrix import BitMatrix
+from .rank_distribution import (
+    Q0,
+    count_matrices_of_rank,
+    full_rank_probability,
+    kolchin_q,
+    rank_pmf,
+)
+from .random_matrices import (
+    matrix_with_rank,
+    prg_matrix,
+    rank_deficient_matrix,
+    uniform_matrix,
+)
+
+__all__ = [
+    "BitVector",
+    "BitMatrix",
+    "Q0",
+    "count_matrices_of_rank",
+    "full_rank_probability",
+    "kolchin_q",
+    "rank_pmf",
+    "matrix_with_rank",
+    "prg_matrix",
+    "rank_deficient_matrix",
+    "uniform_matrix",
+]

@@ -1,0 +1,271 @@
+"""Bit-packed matrices over GF(2).
+
+A :class:`BitMatrix` stores each row as packed 64-bit words (see
+:mod:`repro.linalg.bitvec` for the packing convention).  It supports the
+operations the reproduction needs:
+
+* matrix–vector and matrix–matrix multiplication over GF(2),
+* Gaussian-elimination rank (and rank of leading submatrices, used by the
+  time-hierarchy function of Theorem 1.5),
+* row access as :class:`~repro.linalg.bitvec.BitVector`,
+* uniform random sampling.
+
+All heavy loops are vectorised with numpy; ``np.bitwise_count`` provides
+hardware popcount.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitvec import BitVector, _n_words, _tail_mask
+
+__all__ = ["BitMatrix"]
+
+_WORD_BITS = 64
+
+
+class BitMatrix:
+    """A dense ``rows × cols`` matrix over GF(2) with bit-packed rows.
+
+    Parameters
+    ----------
+    rows, cols:
+        Matrix dimensions.
+    words:
+        Optional backing store of shape ``(rows, ceil(cols / 64))``; used
+        directly (not copied) when provided.
+    """
+
+    __slots__ = ("rows", "cols", "words")
+
+    def __init__(self, rows: int, cols: int, words: np.ndarray | None = None):
+        if rows < 0 or cols < 0:
+            raise ValueError(f"dimensions must be non-negative, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        expected = (rows, _n_words(cols))
+        if words is None:
+            self.words = np.zeros(expected, dtype=np.uint64)
+        else:
+            if words.dtype != np.uint64 or words.shape != expected:
+                raise ValueError(
+                    f"backing store must be uint64{expected}, got "
+                    f"{words.dtype}{words.shape}"
+                )
+            self.words = words
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, rows: int, cols: int) -> "BitMatrix":
+        return cls(rows, cols)
+
+    @classmethod
+    def identity(cls, n: int) -> "BitMatrix":
+        mat = cls(n, n)
+        for i in range(n):
+            mat.set(i, i, 1)
+        return mat
+
+    @classmethod
+    def from_array(cls, arr: np.ndarray) -> "BitMatrix":
+        """Build from a 2-D numpy array of 0/1 values."""
+        arr = np.asarray(arr)
+        if arr.ndim != 2:
+            raise ValueError(f"expected a 2-D array, got shape {arr.shape}")
+        bits = (arr != 0).astype(np.uint8)
+        rows, cols = bits.shape
+        mat = cls(rows, cols)
+        r_idx, c_idx = np.nonzero(bits)
+        word_idx = c_idx // _WORD_BITS
+        bit_idx = (c_idx % _WORD_BITS).astype(np.uint64)
+        np.bitwise_or.at(mat.words, (r_idx, word_idx), np.uint64(1) << bit_idx)
+        return mat
+
+    @classmethod
+    def from_rows(cls, rows: list[BitVector]) -> "BitMatrix":
+        """Stack bit-vectors (all of equal length) as matrix rows."""
+        if not rows:
+            return cls(0, 0)
+        cols = rows[0].n
+        for r in rows:
+            if r.n != cols:
+                raise ValueError("all rows must have the same length")
+        words = np.stack([r.words for r in rows])
+        return cls(len(rows), cols, words)
+
+    @classmethod
+    def random(cls, rows: int, cols: int, rng: np.random.Generator) -> "BitMatrix":
+        """A uniformly random ``rows × cols`` GF(2) matrix."""
+        words = rng.integers(
+            0, 2**64, size=(rows, _n_words(cols)), dtype=np.uint64, endpoint=False
+        )
+        words &= _tail_mask(cols)[None, :]
+        return cls(rows, cols, words)
+
+    # ------------------------------------------------------------------
+    # Element / row access
+    # ------------------------------------------------------------------
+    def get(self, i: int, j: int) -> int:
+        self._check_index(i, j)
+        return (int(self.words[i, j // _WORD_BITS]) >> (j % _WORD_BITS)) & 1
+
+    def set(self, i: int, j: int, bit: int) -> None:
+        self._check_index(i, j)
+        mask = np.uint64(1) << np.uint64(j % _WORD_BITS)
+        if bit & 1:
+            self.words[i, j // _WORD_BITS] |= mask
+        else:
+            self.words[i, j // _WORD_BITS] &= ~mask
+
+    def row(self, i: int) -> BitVector:
+        """Row ``i`` as a :class:`BitVector` (copies the backing words)."""
+        if not 0 <= i < self.rows:
+            raise IndexError(f"row {i} out of range for {self.rows} rows")
+        return BitVector(self.cols, self.words[i].copy())
+
+    def set_row(self, i: int, vec: BitVector) -> None:
+        if vec.n != self.cols:
+            raise ValueError(f"row length {vec.n} != {self.cols} columns")
+        self.words[i] = vec.words
+
+    def column(self, j: int) -> BitVector:
+        """Column ``j`` as a :class:`BitVector` of length ``rows``."""
+        bits = np.array([self.get(i, j) for i in range(self.rows)], dtype=np.uint8)
+        return BitVector.from_array(bits)
+
+    def _check_index(self, i: int, j: int) -> None:
+        if not (0 <= i < self.rows and 0 <= j < self.cols):
+            raise IndexError(
+                f"index ({i}, {j}) out of range for {self.rows}x{self.cols}"
+            )
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_array(self) -> np.ndarray:
+        """Unpack into a ``uint8`` array of shape ``(rows, cols)``."""
+        out = np.zeros((self.rows, self.cols), dtype=np.uint8)
+        for j in range(self.cols):
+            word = self.words[:, j // _WORD_BITS]
+            out[:, j] = (word >> np.uint64(j % _WORD_BITS)).astype(np.uint64) & np.uint64(1)
+        return out
+
+    def transpose(self) -> "BitMatrix":
+        return BitMatrix.from_array(self.to_array().T)
+
+    def copy(self) -> "BitMatrix":
+        return BitMatrix(self.rows, self.cols, self.words.copy())
+
+    def submatrix(self, rows: int, cols: int) -> "BitMatrix":
+        """Leading ``rows × cols`` submatrix (top-left corner)."""
+        if rows > self.rows or cols > self.cols:
+            raise ValueError("submatrix larger than matrix")
+        return BitMatrix.from_array(self.to_array()[:rows, :cols])
+
+    # ------------------------------------------------------------------
+    # GF(2) arithmetic
+    # ------------------------------------------------------------------
+    def __xor__(self, other: "BitMatrix") -> "BitMatrix":
+        if (self.rows, self.cols) != (other.rows, other.cols):
+            raise ValueError("shape mismatch")
+        return BitMatrix(self.rows, self.cols, self.words ^ other.words)
+
+    __add__ = __xor__
+
+    def matvec(self, vec: BitVector) -> BitVector:
+        """``self @ vec`` over GF(2) (vector of length ``rows``)."""
+        if vec.n != self.cols:
+            raise ValueError(f"vector length {vec.n} != {self.cols} columns")
+        parities = np.bitwise_count(self.words & vec.words[None, :]).sum(axis=1) & 1
+        return BitVector.from_array(parities.astype(np.uint8))
+
+    def vecmat(self, vec: BitVector) -> BitVector:
+        """``vec^T @ self`` over GF(2) (vector of length ``cols``).
+
+        This is exactly the operation each processor performs in the PRG of
+        Theorem 1.3: its pseudo-random tail is ``x^T M``.  Implemented as an
+        XOR of the rows selected by the one-bits of ``vec``, which is fast
+        for the packed representation.
+        """
+        if vec.n != self.rows:
+            raise ValueError(f"vector length {vec.n} != {self.rows} rows")
+        acc = np.zeros(self.words.shape[1], dtype=np.uint64)
+        for i in range(self.rows):
+            if vec[i]:
+                acc ^= self.words[i]
+        return BitVector(self.cols, acc)
+
+    def matmul(self, other: "BitMatrix") -> "BitMatrix":
+        """Matrix product ``self @ other`` over GF(2)."""
+        if self.cols != other.rows:
+            raise ValueError(
+                f"inner dimension mismatch: {self.cols} vs {other.rows}"
+            )
+        other_t = other.transpose()
+        # result[i, j] = parity(popcount(self.row_words[i] & other_t.row_words[j]))
+        ands = self.words[:, None, :] & other_t.words[None, :, :]
+        parities = (np.bitwise_count(ands).sum(axis=2) & 1).astype(np.uint8)
+        return BitMatrix.from_array(parities)
+
+    # ------------------------------------------------------------------
+    # Rank and elimination
+    # ------------------------------------------------------------------
+    def rank(self) -> int:
+        """Rank over GF(2) via Gaussian elimination on packed rows."""
+        work = self.words.copy()
+        n_rows = self.rows
+        pivot_row = 0
+        for j in range(self.cols):
+            if pivot_row >= n_rows:
+                break
+            word, bit = j // _WORD_BITS, np.uint64(j % _WORD_BITS)
+            col_bits = (work[pivot_row:, word] >> bit) & np.uint64(1)
+            hits = np.nonzero(col_bits)[0]
+            if hits.size == 0:
+                continue
+            pivot = pivot_row + int(hits[0])
+            if pivot != pivot_row:
+                work[[pivot_row, pivot]] = work[[pivot, pivot_row]]
+            # Clear column j in every row below the pivot.
+            below = (work[pivot_row + 1 :, word] >> bit) & np.uint64(1)
+            mask = below.astype(bool)
+            work[pivot_row + 1 :][mask] ^= work[pivot_row]
+            pivot_row += 1
+        return pivot_row
+
+    def is_full_rank(self) -> bool:
+        """True iff the rank equals ``min(rows, cols)``."""
+        return self.rank() == min(self.rows, self.cols)
+
+    def row_space_contains(self, vec: BitVector) -> bool:
+        """True iff ``vec`` lies in the row span of the matrix."""
+        if vec.n != self.cols:
+            raise ValueError(f"vector length {vec.n} != {self.cols} columns")
+        base = self.rank()
+        extended = BitMatrix(
+            self.rows + 1,
+            self.cols,
+            np.vstack([self.words, vec.words[None, :]]),
+        )
+        return extended.rank() == base
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitMatrix):
+            return NotImplemented
+        return (
+            self.rows == other.rows
+            and self.cols == other.cols
+            and bool(np.array_equal(self.words, other.words))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.rows, self.cols, self.words.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"BitMatrix({self.rows}x{self.cols})"

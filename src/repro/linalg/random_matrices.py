@@ -1,0 +1,84 @@
+"""Samplers for structured random GF(2) matrices.
+
+Besides uniform matrices these samplers produce the *low-rank pseudo-random*
+matrices at the heart of the paper: the PRG of Theorem 1.3 hands every
+processor a row of the matrix ``[X | X M]`` where ``X`` is uniform
+``n × k`` and ``M`` is a shared uniform ``k × (m-k)`` "secret".  The support
+of that distribution is exactly the set of matrices whose last ``m - k``
+columns lie in the span of the first ``k`` — which is what the seed-length
+attack of Theorem 8.1 tests for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitmatrix import BitMatrix
+
+__all__ = [
+    "uniform_matrix",
+    "prg_matrix",
+    "rank_deficient_matrix",
+    "matrix_with_rank",
+]
+
+
+def uniform_matrix(rows: int, cols: int, rng: np.random.Generator) -> BitMatrix:
+    """A uniformly random ``rows × cols`` GF(2) matrix."""
+    return BitMatrix.random(rows, cols, rng)
+
+
+def prg_matrix(
+    n: int, m: int, k: int, rng: np.random.Generator
+) -> tuple[BitMatrix, BitMatrix, BitMatrix]:
+    """Sample the joint PRG output of Theorem 1.3 for ``n`` processors.
+
+    Each processor ``i`` holds seed row ``x_i ∈ {0,1}^k``; the shared secret
+    is ``M ∈ {0,1}^{k×(m-k)}``; its pseudo-random string is ``(x_i, x_i^T M)``.
+
+    Returns
+    -------
+    (output, seeds, secret):
+        ``output`` is the ``n × m`` matrix of pseudo-random strings,
+        ``seeds`` the ``n × k`` seed matrix ``X`` and ``secret`` the shared
+        ``k × (m-k)`` matrix ``M``.
+    """
+    if not 0 < k <= m:
+        raise ValueError(f"need 0 < k <= m, got k={k}, m={m}")
+    seeds = BitMatrix.random(n, k, rng)
+    secret = BitMatrix.random(k, m - k, rng)
+    if m == k:
+        return seeds.copy(), seeds, secret
+    tail = seeds.matmul(secret)
+    combined = np.hstack([seeds.to_array(), tail.to_array()])
+    return BitMatrix.from_array(combined), seeds, secret
+
+
+def rank_deficient_matrix(n: int, rng: np.random.Generator) -> BitMatrix:
+    """Sample from the close-to-uniform rank-``≤ n-1`` distribution of T1.4.
+
+    This is the ``k = n - 1`` instance of the toy PRG: each row is
+    ``(x, x·b)`` for a shared uniform ``b ∈ {0,1}^{n-1}``, so the final
+    column is a linear combination of the others and the matrix can never
+    have rank ``n``.
+    """
+    output, _, _ = prg_matrix(n, n, n - 1, rng)
+    return output
+
+
+def matrix_with_rank(
+    n: int, m: int, r: int, rng: np.random.Generator, max_tries: int = 1000
+) -> BitMatrix:
+    """A random ``n × m`` matrix of rank exactly ``r`` (rejection-sampled
+    product of uniform full-rank-whp factors ``A_{n×r} B_{r×m}``)."""
+    if not 0 <= r <= min(n, m):
+        raise ValueError(f"rank {r} impossible for {n}x{m}")
+    if r == 0:
+        return BitMatrix.zeros(n, m)
+    for _ in range(max_tries):
+        left = BitMatrix.random(n, r, rng)
+        right = BitMatrix.random(r, m, rng)
+        product = left.matmul(right)
+        if product.rank() == r:
+            return product
+    raise RuntimeError(f"failed to sample a rank-{r} matrix in {max_tries} tries")

@@ -1,0 +1,60 @@
+"""Theorem machinery: closed-form bound calculators, the Section 3 progress
+framework (exact), and the rank/time-hierarchy protocols."""
+
+from .bounds import (
+    full_prg_bound,
+    interesting_clique_range,
+    lemma_1_8_bound,
+    lemma_1_10_bound,
+    lemma_4_3_bound,
+    lemma_4_4_bound,
+    max_rounds_fooled,
+    planted_clique_bound,
+    planted_clique_one_round_bound,
+    toy_prg_bound,
+    toy_prg_one_round_bound,
+)
+from .framework import (
+    conditional_support_mask,
+    lemma_1_8_statistic,
+    lemma_1_10_statistic,
+    lemma_5_2_statistic,
+    prefix_pmf,
+    progress_curve,
+    real_distance_curve,
+)
+from .hierarchy import (
+    TopSubmatrixRankProtocol,
+    accuracy_on_uniform,
+    conditional_full_rank_probability,
+    full_rank_indicator,
+    optimal_accuracy_with_columns,
+    top_submatrix_full_rank,
+)
+
+__all__ = [
+    "full_prg_bound",
+    "interesting_clique_range",
+    "lemma_1_8_bound",
+    "lemma_1_10_bound",
+    "lemma_4_3_bound",
+    "lemma_4_4_bound",
+    "max_rounds_fooled",
+    "planted_clique_bound",
+    "planted_clique_one_round_bound",
+    "toy_prg_bound",
+    "toy_prg_one_round_bound",
+    "conditional_support_mask",
+    "lemma_1_8_statistic",
+    "lemma_1_10_statistic",
+    "lemma_5_2_statistic",
+    "prefix_pmf",
+    "progress_curve",
+    "real_distance_curve",
+    "TopSubmatrixRankProtocol",
+    "accuracy_on_uniform",
+    "conditional_full_rank_probability",
+    "full_rank_indicator",
+    "optimal_accuracy_with_columns",
+    "top_submatrix_full_rank",
+]

@@ -1,0 +1,159 @@
+"""Average-case hardness of rank and the time hierarchy (Theorems 1.4/1.5).
+
+The separating function of Theorem 1.5 is
+``F_k(A) = [the top k × k submatrix of A has full GF(2) rank]``:
+
+* **upper bound** — ``F_k`` is computable *exactly* in ``k`` rounds of
+  ``BCAST(1)``: in round ``j`` each of processors ``0 … k-1`` broadcasts
+  bit ``j`` of its row; after ``k`` rounds everyone knows the block and
+  computes its rank locally (:class:`TopSubmatrixRankProtocol`);
+* **lower bound** — by Theorem 1.4 (via the PRG), no ``k/20``-round
+  protocol reaches accuracy 0.99 on uniform inputs.  Empirically we sweep
+  truncated-budget protocols and verify their accuracy stays pinned near
+  the majority-class rate ``1 − Q_0 ≈ 0.711``, far below 0.99, until the
+  budget reaches ``k``.
+
+:func:`optimal_accuracy_with_columns` gives the exact accuracy ceiling for
+*any* decision rule that sees only the first ``j`` columns of the block —
+the information revealed by the truncated protocol — so the measured curve
+can be compared with its information-theoretic limit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.processor import ProcessorContext
+from ..core.protocol import Protocol
+from ..core.simulator import run_protocol
+from ..linalg.bitmatrix import BitMatrix
+
+__all__ = [
+    "full_rank_indicator",
+    "top_submatrix_full_rank",
+    "TopSubmatrixRankProtocol",
+    "conditional_full_rank_probability",
+    "optimal_accuracy_with_columns",
+    "accuracy_on_uniform",
+]
+
+
+def full_rank_indicator(matrix: np.ndarray) -> int:
+    """``F_full-rank``: 1 iff the square 0/1 matrix has full GF(2) rank."""
+    matrix = np.asarray(matrix)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("full-rank indicator needs a square matrix")
+    return int(BitMatrix.from_array(matrix).is_full_rank())
+
+
+def top_submatrix_full_rank(matrix: np.ndarray, k: int) -> int:
+    """``F_k``: 1 iff the leading ``k × k`` block has full GF(2) rank."""
+    matrix = np.asarray(matrix)
+    if k > min(matrix.shape):
+        raise ValueError(f"block size {k} exceeds matrix shape {matrix.shape}")
+    return full_rank_indicator(matrix[:k, :k])
+
+
+class TopSubmatrixRankProtocol(Protocol):
+    """Computes ``F_k`` in ``min(rounds_budget, k)`` rounds of ``BCAST(1)``.
+
+    With the full budget (``rounds_budget = k``, the default) the output is
+    exact.  With a truncated budget ``j < k`` every processor knows only
+    the first ``j`` columns of the block; the output is then the Bayes
+    decision given that information: "not full rank" if the revealed
+    columns are already dependent (certainty), else the majority of the
+    conditional full-rank probability — which stays below 1/2 for every
+    ``j < k``, so the truncated protocol answers 0.
+    """
+
+    def __init__(self, k: int, rounds_budget: int | None = None):
+        if k < 1:
+            raise ValueError("block size k must be positive")
+        self.k = k
+        self.rounds_budget = k if rounds_budget is None else rounds_budget
+        if self.rounds_budget < 0:
+            raise ValueError("rounds budget must be non-negative")
+
+    def num_rounds(self, n: int) -> int:
+        return min(self.rounds_budget, self.k)
+
+    def broadcast(self, proc: ProcessorContext, round_index: int) -> int:
+        if proc.proc_id < self.k and round_index < self.k:
+            return int(proc.input[round_index])
+        return 0
+
+    def _revealed_block(self, proc: ProcessorContext) -> np.ndarray:
+        """The ``k × j`` revealed left block (j = rounds actually run)."""
+        j = min(self.rounds_budget, self.k)
+        block = np.zeros((self.k, j), dtype=np.uint8)
+        for event in proc.transcript:
+            if event.sender < self.k and event.round_index < j:
+                block[event.sender, event.round_index] = event.message
+        return block
+
+    def output(self, proc: ProcessorContext) -> int:
+        block = self._revealed_block(proc)
+        j = block.shape[1]
+        if j >= self.k:
+            return int(BitMatrix.from_array(block).is_full_rank())
+        if j == 0:
+            # No information: majority class is "not full rank".
+            return 0
+        revealed_rank = BitMatrix.from_array(block).rank()
+        if revealed_rank < j:
+            return 0  # dependent columns already — certainly not full rank
+        posterior = conditional_full_rank_probability(self.k, j)
+        return int(posterior > 0.5)
+
+
+def conditional_full_rank_probability(k: int, j: int) -> float:
+    """``Pr[k×k uniform block full rank | first j columns independent]``.
+
+    Each remaining column must avoid the span of its predecessors:
+    ``∏_{i=j}^{k-1} (1 − 2^{i-k})``.  Strictly below 1/2 for every
+    ``j < k`` (the last factor alone is 1/2).
+    """
+    if not 0 <= j <= k:
+        raise ValueError(f"need 0 <= j <= k, got j={j}, k={k}")
+    prob = 1.0
+    for i in range(j, k):
+        prob *= 1.0 - 2.0 ** (i - k)
+    return prob
+
+
+def optimal_accuracy_with_columns(k: int, j: int) -> float:
+    """Exact accuracy ceiling for any rule seeing only the first ``j``
+    columns of a uniform ``k × k`` block.
+
+    ``= Pr[first j columns dependent] · 1
+       + Pr[independent] · max(q_j, 1 − q_j)``
+    where ``q_j`` is :func:`conditional_full_rank_probability`.
+    """
+    if not 0 <= j <= k:
+        raise ValueError(f"need 0 <= j <= k, got j={j}, k={k}")
+    p_independent = 1.0
+    for i in range(j):
+        p_independent *= 1.0 - 2.0 ** (i - k)
+    q = conditional_full_rank_probability(k, j)
+    return (1.0 - p_independent) + p_independent * max(q, 1.0 - q)
+
+
+def accuracy_on_uniform(
+    protocol: Protocol,
+    n: int,
+    k: int,
+    n_samples: int,
+    rng: np.random.Generator,
+    target_fn=None,
+) -> float:
+    """Fraction of samples on which processor 0's output matches ``F_k``
+    over uniform ``n × n`` input matrices."""
+    if target_fn is None:
+        target_fn = lambda matrix: top_submatrix_full_rank(matrix, k)  # noqa: E731
+    correct = 0
+    for _ in range(n_samples):
+        matrix = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+        result = run_protocol(protocol, matrix, rng=rng)
+        if int(result.outputs[0]) == int(target_fn(matrix)):
+            correct += 1
+    return correct / n_samples

@@ -1,0 +1,33 @@
+"""The paper's primary contribution: pseudo-random generators that fool the
+Broadcast Congested Clique, the derandomization transform built on them, the
+matching seed-length attack, and the Newman-style baseline."""
+
+from .toy import ToyPRGProtocol, toy_prg_rounds
+from .generator import MatrixPRGProtocol, matrix_prg_rounds, seed_bits_per_processor
+from .derandomize import DerandomizedProtocol
+from .attacks import SupportMembershipAttack, attack_rounds, false_positive_bound
+from .params import PRGParameters, choose_parameters
+from .newman import (
+    NewmanCompiled,
+    newman_family_size,
+    newman_public_bits,
+    simulation_error,
+)
+
+__all__ = [
+    "ToyPRGProtocol",
+    "toy_prg_rounds",
+    "MatrixPRGProtocol",
+    "matrix_prg_rounds",
+    "seed_bits_per_processor",
+    "DerandomizedProtocol",
+    "SupportMembershipAttack",
+    "attack_rounds",
+    "false_positive_bound",
+    "PRGParameters",
+    "choose_parameters",
+    "NewmanCompiled",
+    "newman_family_size",
+    "newman_public_bits",
+    "simulation_error",
+]

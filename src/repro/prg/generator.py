@@ -1,0 +1,95 @@
+"""The full PRG of Theorem 1.3.
+
+Parameters ``(k, m)``: every processor ends with ``m`` pseudo-random bits
+that fool every ``j ≤ k/10``-round ``BCAST(1)`` protocol (statistical
+distance ``O(j·n/2^{k/9})``, Theorem 5.4), starting from ``O(k)`` private
+random bits per processor.
+
+Construction (verbatim from the paper):
+
+1. each processor gets ``k + ⌈k·(m-k)/n⌉`` private random bits;
+2. in ``⌈k·(m-k)/n⌉`` rounds of ``BCAST(1)`` all processors broadcast
+   their extra bits, which everyone assembles (row-major) into the shared
+   secret matrix ``M ∈ {0,1}^{k×(m-k)}``;
+3. each processor outputs ``(x, x^T M)`` where ``x`` is its first ``k``
+   private bits.
+
+The shared matrix is *public*; the pseudo-randomness resides in each
+processor's private seed ``x``, and the adversary's problem is that all
+outputs secretly live in the same ``k``-dimensional affine structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.processor import ProcessorContext
+from ..core.protocol import Protocol
+from ..linalg.bitmatrix import BitMatrix
+from ..linalg.bitvec import BitVector
+
+__all__ = ["MatrixPRGProtocol", "matrix_prg_rounds", "seed_bits_per_processor"]
+
+
+def matrix_prg_rounds(n: int, k: int, m: int) -> int:
+    """``⌈k·(m-k)/n⌉`` rounds of ``BCAST(1)`` to publish the secret matrix."""
+    shared = k * (m - k)
+    return -(-shared // n) if shared else 0
+
+
+def seed_bits_per_processor(n: int, k: int, m: int) -> int:
+    """Private random bits each processor consumes: ``k`` seed bits plus its
+    share of the matrix broadcast."""
+    return k + matrix_prg_rounds(n, k, m)
+
+
+class MatrixPRGProtocol(Protocol):
+    """Executable full PRG (Theorem 1.3).
+
+    Outputs per processor: a ``uint8`` array of ``m`` bits, ``(x, x^T M)``.
+    The input matrix is ignored (compose with a payload protocol to use the
+    bits).  After the run, :meth:`shared_matrix` reconstructs ``M`` from
+    the transcript — every processor can do this, which is what makes the
+    construction a *protocol* rather than an oracle.
+    """
+
+    def __init__(self, k: int, m: int):
+        if k <= 0:
+            raise ValueError("seed length k must be positive")
+        if m < k:
+            raise ValueError(f"output length m={m} must be at least k={k}")
+        self.k = k
+        self.m = m
+
+    def num_rounds(self, n: int) -> int:
+        return matrix_prg_rounds(n, self.k, self.m)
+
+    @property
+    def shared_bits_needed(self) -> int:
+        return self.k * (self.m - self.k)
+
+    def setup(self, proc: ProcessorContext) -> None:
+        proc.memory["prg_seed"] = proc.coins.draw_bits(self.k)
+
+    def broadcast(self, proc: ProcessorContext, round_index: int) -> int:
+        if round_index * proc.n + proc.proc_id < self.shared_bits_needed:
+            return proc.coins.draw_bit()
+        return 0
+
+    def shared_matrix(self, proc: ProcessorContext) -> BitMatrix:
+        """Assemble the public secret ``M`` (row-major) from the transcript."""
+        flat = np.zeros(self.shared_bits_needed, dtype=np.uint8)
+        for event in proc.transcript:
+            index = event.round_index * proc.n + event.sender
+            if index < self.shared_bits_needed:
+                flat[index] = event.message
+        return BitMatrix.from_array(flat.reshape(self.k, self.m - self.k))
+
+    def output(self, proc: ProcessorContext) -> np.ndarray:
+        seed: BitVector = proc.memory["prg_seed"]
+        head = seed.to_array()
+        if self.m == self.k:
+            return head
+        secret = self.shared_matrix(proc)
+        tail = secret.vecmat(seed).to_array()
+        return np.concatenate([head, tail])

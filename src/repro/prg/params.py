@@ -1,0 +1,112 @@
+"""PRG parameter selection — Theorem 5.4 inverted for practitioners.
+
+Given the clique size ``n``, the number of rounds ``j`` the surrounding
+computation will run, the pseudo-random bits ``m`` each processor needs,
+and a tolerable distinguishing error ``ε``, choose the seed length ``k``
+and report the full cost sheet (rounds, coins, wire bits) of the
+construction.  The constraints, straight from Theorem 5.4 and
+Theorem 1.3:
+
+* fooling horizon:   ``j ≤ k/10``                    → ``k ≥ 10·j``
+* error budget:      ``2·j·n/2^{k/9} ≤ ε``           → ``k ≥ 9·log₂(2jn/ε)``
+* output length:     ``m ≤ 2^{k/20}``                → ``k ≥ 20·log₂ m``
+* base requirement:  ``k = Ω(log n)``                → ``k ≥ log₂ n``
+
+Theorem 8.1 caps what is achievable: the PRG *will* be broken by a
+``k + 1``-round attack, so :attr:`PRGParameters.security_margin` reports
+the gap between the fooling horizon and the breaking round count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .attacks import attack_rounds
+from .generator import matrix_prg_rounds, seed_bits_per_processor
+
+__all__ = ["PRGParameters", "choose_parameters"]
+
+
+@dataclass(frozen=True)
+class PRGParameters:
+    """A complete PRG cost sheet for concrete ``(n, m, j, ε)``."""
+
+    n: int
+    m: int
+    j_rounds_fooled: int
+    epsilon: float
+    k: int
+    construction_rounds: int
+    private_bits_per_processor: int
+    broadcast_bits_total: int
+    breaking_rounds: int
+
+    @property
+    def security_margin(self) -> int:
+        """Rounds between the fooling horizon and the breaking attack."""
+        return self.breaking_rounds - self.j_rounds_fooled
+
+    @property
+    def stretch(self) -> float:
+        """Output bits per private random bit consumed."""
+        return self.m / self.private_bits_per_processor
+
+    def summary(self) -> str:
+        return (
+            f"k={self.k}: fools {self.j_rounds_fooled} rounds at error "
+            f"<= {self.epsilon:g}; constructed in {self.construction_rounds} "
+            f"rounds with {self.private_bits_per_processor} coins/processor; "
+            f"broken at {self.breaking_rounds} rounds"
+        )
+
+
+def choose_parameters(
+    n: int, m: int, j_rounds: int, epsilon: float = None
+) -> PRGParameters:
+    """Choose the minimal seed length satisfying Theorem 5.4's constraints.
+
+    Parameters
+    ----------
+    n:
+        Number of processors.
+    m:
+        Pseudo-random bits needed per processor (``m ≥ 1``).
+    j_rounds:
+        Rounds of computation the PRG must fool.
+    epsilon:
+        Distinguishing-error budget (default ``1/n``, the definition's
+        baseline).
+    """
+    if n < 2:
+        raise ValueError("need at least two processors")
+    if m < 1:
+        raise ValueError("need at least one output bit")
+    if j_rounds < 1:
+        raise ValueError("must fool at least one round")
+    if epsilon is None:
+        epsilon = 1.0 / n
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must lie in (0, 1)")
+
+    k = max(
+        10 * j_rounds,
+        math.ceil(9 * math.log2(2 * j_rounds * n / epsilon)),
+        math.ceil(20 * math.log2(max(2, m))),
+        math.ceil(math.log2(n)),
+    )
+    # The construction needs m >= k; pad the output if the caller asked
+    # for fewer bits than the seed itself provides for free.
+    effective_m = max(m, k)
+    rounds = matrix_prg_rounds(n, k, effective_m)
+    return PRGParameters(
+        n=n,
+        m=effective_m,
+        j_rounds_fooled=j_rounds,
+        epsilon=epsilon,
+        k=k,
+        construction_rounds=rounds,
+        private_bits_per_processor=seed_bits_per_processor(n, k, effective_m),
+        broadcast_bits_total=k * (effective_m - k),
+        breaking_rounds=attack_rounds(k),
+    )

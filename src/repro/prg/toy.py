@@ -1,0 +1,76 @@
+"""The toy PRG (Section 5): one extra pseudo-random bit per processor.
+
+Every processor privately samples a ``k``-bit seed ``x``.  A shared secret
+``b ∈ {0,1}^k`` is assembled from broadcast private coins (``⌈k/n⌉`` rounds
+of ``BCAST(1)``: in round ``r`` processor ``i`` contributes bit ``r·n+i``
+of ``b``).  Each processor's pseudo-random string is ``(x, x·b)`` — its
+seed plus one derived inner-product bit.
+
+Theorems 5.1 and 5.3 show the joint output fools every
+``j ≤ k/10``-round ``BCAST(1)`` protocol up to statistical distance
+``O(j·n / 2^{k/9})``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.processor import ProcessorContext
+from ..core.protocol import Protocol
+
+__all__ = ["ToyPRGProtocol", "toy_prg_rounds"]
+
+
+def toy_prg_rounds(n: int, k: int) -> int:
+    """Rounds of ``BCAST(1)`` needed to publish the ``k`` shared bits."""
+    return -(-k // n)  # ceil(k / n)
+
+
+class ToyPRGProtocol(Protocol):
+    """Executable toy PRG.
+
+    Each processor's output is a ``uint8`` array of ``k + 1`` bits:
+    its private seed followed by the derived inner-product bit.  Private
+    randomness drawn per processor: ``k`` seed bits plus however many of
+    the shared bits it contributes (at most ``⌈k/n⌉``), i.e. ``O(k)``
+    total, matching Theorem 1.3's accounting at ``m = k + 1``.
+
+    The protocol ignores its input matrix — inputs exist so it can be
+    composed in front of payload protocols that *do* read inputs.
+    """
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ValueError("seed length k must be positive")
+        self.k = k
+
+    def num_rounds(self, n: int) -> int:
+        return toy_prg_rounds(n, self.k)
+
+    def setup(self, proc: ProcessorContext) -> None:
+        proc.memory["prg_seed"] = proc.coins.draw_bits(self.k)
+
+    def _share_index(self, proc: ProcessorContext, round_index: int) -> int:
+        """Global index of the shared bit this processor emits this round."""
+        return round_index * proc.n + proc.proc_id
+
+    def broadcast(self, proc: ProcessorContext, round_index: int) -> int:
+        if self._share_index(proc, round_index) < self.k:
+            return proc.coins.draw_bit()
+        return 0
+
+    def shared_vector(self, proc: ProcessorContext) -> np.ndarray:
+        """Reconstruct the public secret ``b`` from the transcript."""
+        bits = np.zeros(self.k, dtype=np.uint8)
+        for event in proc.transcript:
+            index = event.round_index * proc.n + event.sender
+            if index < self.k:
+                bits[index] = event.message
+        return bits
+
+    def output(self, proc: ProcessorContext) -> np.ndarray:
+        seed = proc.memory["prg_seed"]
+        b = self.shared_vector(proc)
+        seed_bits = np.array([seed[i] for i in range(self.k)], dtype=np.uint8)
+        extra = np.uint8(int(seed_bits @ b) & 1)
+        return np.concatenate([seed_bits, [extra]])

@@ -1,0 +1,44 @@
+"""Workload protocol library.
+
+Concrete ``BCAST(b)`` protocols used as payloads for the derandomization
+transform, as cost-accounting baselines, and as implementations of the
+Section 9 candidate problems (connectivity, triangle counting) the paper
+proposes for future lower bounds.
+"""
+
+from .parity import GlobalParityProtocol
+from .equality import (
+    DeterministicEqualityProtocol,
+    FingerprintEqualityProtocol,
+    fingerprint_error_bound,
+)
+from .connectivity import ConnectivityProtocol, components_from_labels
+from .triangles import (
+    FullExchangeTriangleProtocol,
+    SampledTriangleProtocol,
+    count_k4,
+    count_triangles,
+)
+from .mst import (
+    BoruvkaMSTProtocol,
+    decode_weight_row,
+    encode_weight_matrix,
+    mst_reference_weight,
+)
+
+__all__ = [
+    "GlobalParityProtocol",
+    "DeterministicEqualityProtocol",
+    "FingerprintEqualityProtocol",
+    "fingerprint_error_bound",
+    "ConnectivityProtocol",
+    "components_from_labels",
+    "FullExchangeTriangleProtocol",
+    "SampledTriangleProtocol",
+    "count_k4",
+    "count_triangles",
+    "BoruvkaMSTProtocol",
+    "decode_weight_row",
+    "encode_weight_matrix",
+    "mst_reference_weight",
+]

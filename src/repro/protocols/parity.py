@@ -1,0 +1,28 @@
+"""Global parity — the simplest non-trivial BCAST(1) workload.
+
+Every processor broadcasts the parity of its private row; the XOR of all
+broadcasts is the parity of the entire input matrix.  One round, zero
+randomness, and every processor ends with the answer — used throughout the
+test-suite as a deterministic payload and as a baseline for cost
+accounting.
+"""
+
+from __future__ import annotations
+
+from ..core.processor import ProcessorContext
+from ..core.protocol import Protocol
+
+__all__ = ["GlobalParityProtocol"]
+
+
+class GlobalParityProtocol(Protocol):
+    """Compute the parity of all input bits in one ``BCAST(1)`` round."""
+
+    def num_rounds(self, n: int) -> int:
+        return 1
+
+    def broadcast(self, proc: ProcessorContext, round_index: int) -> int:
+        return int(proc.input.sum()) % 2
+
+    def output(self, proc: ProcessorContext) -> int:
+        return sum(e.message for e in proc.transcript) % 2

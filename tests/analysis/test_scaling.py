@@ -1,0 +1,102 @@
+"""Tests for scaling-law fitting."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    dominance_constant,
+    fit_exponential_decay,
+    fit_power_law,
+    is_dominated,
+)
+
+
+class TestPowerLaw:
+    def test_exact_recovery(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        ys = [3.0 * x**2 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(2.0)
+        assert fit.coefficient == pytest.approx(3.0)
+        assert fit.residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [2, 8, 32])
+        assert fit.predict(8) == pytest.approx(128.0)
+
+    def test_negative_exponent(self):
+        xs = [1.0, 4.0, 16.0]
+        ys = [1.0 / math.sqrt(x) for x in xs]
+        assert fit_power_law(xs, ys).exponent == pytest.approx(-0.5)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([0.0, 1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [1.0, 0.0])
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [2.0])
+        with pytest.raises(ValueError):
+            fit_power_law([2.0, 2.0], [1.0, 3.0])
+
+
+class TestExponential:
+    def test_exact_recovery(self):
+        xs = [2, 4, 6, 8]
+        ys = [5.0 * 2.0 ** (-0.5 * x) for x in xs]
+        fit = fit_exponential_decay(xs, ys)
+        assert fit.rate == pytest.approx(-0.5)
+        assert fit.coefficient == pytest.approx(5.0)
+        assert fit.halving_distance == pytest.approx(2.0)
+
+    def test_toy_prg_rate_example(self):
+        """The E-T5.1 measured series decays like 2^{-k}."""
+        ks = [2, 4, 6, 8]
+        distances = [0.21875, 0.0546875, 0.013671875, 0.00341796875]
+        fit = fit_exponential_decay(ks, distances)
+        assert fit.rate == pytest.approx(-1.0, abs=0.01)
+
+    def test_flat_series(self):
+        fit = fit_exponential_decay([1, 2, 3], [4.0, 4.0, 4.0])
+        assert fit.rate == pytest.approx(0.0)
+        assert fit.halving_distance == math.inf
+
+
+class TestDominance:
+    def test_constant_computed(self):
+        assert dominance_constant([1.0, 2.0], [2.0, 2.0]) == pytest.approx(1.0)
+        assert dominance_constant([1.0, 3.0], [2.0, 2.0]) == pytest.approx(1.5)
+
+    def test_zero_bound_handling(self):
+        assert dominance_constant([0.0], [0.0]) == 0.0
+        assert dominance_constant([0.1], [0.0]) == math.inf
+
+    def test_is_dominated(self):
+        assert is_dominated([0.1, 0.2], [0.2, 0.4])
+        assert not is_dominated([0.3], [0.2])
+        assert is_dominated([0.3], [0.2], constant=2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dominance_constant([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            dominance_constant([-1.0], [1.0])
+
+
+@given(
+    exponent=st.floats(-3, 3),
+    coefficient=st.floats(0.01, 100),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_power_law_roundtrip_property(exponent, coefficient, seed):
+    xs = [1.0, 2.0, 3.0, 5.0, 8.0]
+    ys = [coefficient * x**exponent for x in xs]
+    fit = fit_power_law(xs, ys)
+    assert fit.exponent == pytest.approx(exponent, abs=1e-6)
+    assert fit.coefficient == pytest.approx(coefficient, rel=1e-6)

@@ -1,0 +1,53 @@
+"""Tests for the degree heuristic."""
+
+import numpy as np
+
+from repro.cliques import degree_candidates, degree_recover, recovery_quality
+from repro.distributions import PlantedClique
+
+
+class TestDegreeCandidates:
+    def test_returns_k_vertices(self, rng):
+        adj = (rng.random((20, 20)) < 0.5).astype(np.uint8)
+        assert len(degree_candidates(adj, 5)) == 5
+
+    def test_prefers_high_degree(self):
+        adj = np.zeros((5, 5), dtype=np.uint8)
+        adj[0, 1:] = 1
+        adj[1:, 0] = 1
+        assert 0 in degree_candidates(adj, 1)
+
+
+class TestDegreeRecover:
+    def test_recovers_large_clique(self, rng):
+        """k = n/2 >> sqrt(n): the degree heuristic succeeds."""
+        n, k = 100, 50
+        matrix, clique = PlantedClique(n, k).sample_with_clique(rng)
+        recovered = degree_recover(matrix, k)
+        precision, recall = recovery_quality(recovered, clique)
+        assert recall > 0.9
+
+    def test_fails_on_small_clique(self, rng):
+        """k ~ n^{1/4}: the degree signal is buried in noise."""
+        n, k = 256, 4
+        hits = 0
+        trials = 10
+        for _ in range(trials):
+            matrix, clique = PlantedClique(n, k).sample_with_clique(rng)
+            recovered = degree_recover(matrix, k)
+            _, recall = recovery_quality(recovered, clique)
+            hits += recall
+        assert hits / trials < 0.5  # mostly noise
+
+    def test_refinement_no_worse_than_raw(self, rng):
+        n, k = 80, 30
+        matrix, clique = PlantedClique(n, k).sample_with_clique(rng)
+        raw = degree_candidates(matrix, k)
+        refined = degree_recover(matrix, k, refine_rounds=3)
+        _, recall_raw = recovery_quality(raw, clique)
+        _, recall_refined = recovery_quality(refined, clique)
+        assert recall_refined >= recall_raw - 0.1
+
+    def test_output_size_k(self, rng):
+        matrix, _ = PlantedClique(40, 10).sample_with_clique(rng)
+        assert len(degree_recover(matrix, 10)) == 10

@@ -1,0 +1,98 @@
+"""Tests for degree-detection information ceilings."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cliques import (
+    degree_crossover_estimate,
+    degree_profile_advantage_estimate,
+    row_weight_pmf_planted,
+    row_weight_pmf_rand,
+    single_row_weight_tv,
+)
+
+
+class TestPmfs:
+    def test_rand_pmf_is_binomial(self):
+        pmf = row_weight_pmf_rand(4)
+        # Binomial(3, 1/2) = [1, 3, 3, 1] / 8
+        assert np.allclose(pmf, [1 / 8, 3 / 8, 3 / 8, 1 / 8])
+
+    def test_planted_pmf_normalised(self):
+        for n, k in [(8, 2), (16, 4), (64, 8)]:
+            assert row_weight_pmf_planted(n, k).sum() == pytest.approx(1.0)
+
+    def test_member_weight_floor(self):
+        """A clique member's weight is at least k-1: the planted pmf puts
+        extra mass at and above k-1, none below relative to the mixture
+        weights."""
+        n, k = 12, 6
+        planted = row_weight_pmf_planted(n, k)
+        rand = row_weight_pmf_rand(n)
+        # Below k-1 the planted pmf is the (1 - k/n)-scaled random pmf.
+        for w in range(k - 1):
+            assert planted[w] == pytest.approx((1 - k / n) * rand[w])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            row_weight_pmf_rand(1)
+        with pytest.raises(ValueError):
+            row_weight_pmf_planted(4, 5)
+
+
+class TestTV:
+    def test_monotone_in_k(self):
+        n = 128
+        values = [single_row_weight_tv(n, k) for k in (2, 4, 8, 16, 32)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_small_in_lower_bound_regime(self):
+        n = 256
+        k = round(n ** 0.25)
+        assert single_row_weight_tv(n, k) < 0.01
+
+    def test_large_for_big_cliques(self):
+        assert single_row_weight_tv(64, 32) > 0.2
+
+    def test_at_most_k_over_n(self):
+        """The mixture differs only on the k/n member branch, so the TV is
+        at most k/n."""
+        for n, k in [(32, 4), (64, 16), (128, 8)]:
+            assert single_row_weight_tv(n, k) <= k / n + 1e-12
+
+
+class TestCrossover:
+    def test_profile_estimate_clamped(self):
+        assert degree_profile_advantage_estimate(64, 60) == 1.0
+
+    def test_crossover_near_sqrt_n(self):
+        for n in (256, 1024):
+            crossover = degree_crossover_estimate(n)
+            assert math.sqrt(n) / 2 <= crossover <= 2 * math.sqrt(
+                n * math.log2(n)
+            )
+
+    def test_crossover_grows_with_n(self):
+        assert degree_crossover_estimate(1024) > degree_crossover_estimate(64)
+
+    def test_measured_attack_respects_ceiling(self, rng):
+        """The implemented degree attack cannot beat the information
+        ceiling of the degree profile."""
+        from repro.distinguish import (
+            DegreeThresholdDistinguisher,
+            estimate_protocol_advantage,
+        )
+        from repro.distributions import PlantedClique, RandomDigraph
+
+        n, k = 128, 8
+        est = estimate_protocol_advantage(
+            DegreeThresholdDistinguisher.for_clique_size(n, k),
+            PlantedClique(n, k),
+            RandomDigraph(n),
+            n_samples=80,
+            rng=rng,
+        )
+        ceiling = degree_profile_advantage_estimate(n, k)
+        assert est.advantage <= ceiling + est.interval.radius

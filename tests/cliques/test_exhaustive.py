@@ -1,0 +1,91 @@
+"""Tests for exact max-clique search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cliques import greedy_clique, max_clique, max_clique_size
+
+
+def complete_graph(n):
+    adj = np.ones((n, n), dtype=np.uint8)
+    np.fill_diagonal(adj, 0)
+    return adj
+
+
+def graph_from_edges(n, edges):
+    adj = np.zeros((n, n), dtype=np.uint8)
+    for u, v in edges:
+        adj[u, v] = adj[v, u] = 1
+    return adj
+
+
+def is_clique(adj, vertices):
+    vs = sorted(vertices)
+    return all(adj[u, v] for u in vs for v in vs if u != v)
+
+
+class TestMaxClique:
+    def test_empty_graph(self):
+        assert max_clique_size(np.zeros((5, 5), dtype=np.uint8)) == 1
+
+    def test_complete_graph(self):
+        assert max_clique(complete_graph(6)) == frozenset(range(6))
+
+    def test_triangle_plus_pendant(self):
+        adj = graph_from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert max_clique(adj) == frozenset({0, 1, 2})
+
+    def test_two_cliques_picks_larger(self):
+        edges = [(0, 1), (1, 2), (0, 2)]  # triangle
+        edges += [(3, 4), (4, 5), (3, 5), (3, 6), (4, 6), (5, 6)]  # K4
+        adj = graph_from_edges(7, edges)
+        assert max_clique(adj) == frozenset({3, 4, 5, 6})
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            max_clique(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_planted_clique_found(self, rng):
+        from repro.cliques import bidirected_skeleton
+        from repro.distributions import PlantedClique
+
+        matrix, clique = PlantedClique(24, 8).sample_with_clique(rng)
+        skeleton = bidirected_skeleton(matrix)
+        found = max_clique(skeleton)
+        # The planted clique is by far the largest in a graph this small.
+        assert clique <= found or len(found) >= 8
+
+
+class TestGreedy:
+    def test_returns_a_clique(self, rng):
+        adj = (rng.random((12, 12)) < 0.5).astype(np.uint8)
+        adj = adj & adj.T
+        np.fill_diagonal(adj, 0)
+        result = greedy_clique(adj)
+        assert is_clique(adj, result)
+
+    def test_complete_graph(self):
+        assert greedy_clique(complete_graph(5)) == frozenset(range(5))
+
+    def test_custom_order(self):
+        adj = graph_from_edges(4, [(0, 1), (2, 3)])
+        result = greedy_clique(adj, order=np.array([2, 3, 0, 1]))
+        assert result == frozenset({2, 3})
+
+
+@given(n=st.integers(2, 10), p=st.floats(0.1, 0.9), seed=st.integers(0, 2**31))
+@settings(max_examples=30, deadline=None)
+def test_max_clique_properties(n, p, seed):
+    rng = np.random.default_rng(seed)
+    upper = (rng.random((n, n)) < p).astype(np.uint8)
+    adj = np.triu(upper, 1)
+    adj = adj | adj.T
+    clique = max_clique(adj)
+    # It is a clique.
+    assert is_clique(adj, clique)
+    # It is at least as large as the greedy one.
+    assert len(clique) >= len(greedy_clique(adj))
+    # Nonempty on any graph with vertices.
+    assert len(clique) >= 1

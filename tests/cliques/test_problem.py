@@ -1,0 +1,81 @@
+"""Tests for planted-clique instances and verification helpers."""
+
+import numpy as np
+import pytest
+
+from repro.cliques import (
+    bidirected_skeleton,
+    generate_instance,
+    is_directed_clique,
+    recovery_quality,
+)
+
+
+class TestInstances:
+    def test_planted_instance_has_clique(self, rng):
+        instance = generate_instance(12, 4, rng)
+        assert instance.has_planted_clique
+        assert len(instance.planted) == 4
+        assert is_directed_clique(instance.adjacency, instance.planted)
+
+    def test_null_instance(self, rng):
+        instance = generate_instance(8, None, rng)
+        assert not instance.has_planted_clique
+        assert instance.n == 8
+
+    def test_diagonal_always_zero(self, rng):
+        for k in (None, 3):
+            instance = generate_instance(10, k, rng)
+            assert np.all(np.diag(instance.adjacency) == 0)
+
+
+class TestVerification:
+    def test_is_directed_clique_checks_both_directions(self):
+        adj = np.zeros((3, 3), dtype=np.uint8)
+        adj[0, 1] = 1  # only one direction
+        assert not is_directed_clique(adj, {0, 1})
+        adj[1, 0] = 1
+        assert is_directed_clique(adj, {0, 1})
+
+    def test_singleton_and_empty_cliques(self):
+        adj = np.zeros((3, 3), dtype=np.uint8)
+        assert is_directed_clique(adj, {1})
+        assert is_directed_clique(adj, set())
+
+
+class TestSkeleton:
+    def test_skeleton_symmetric_and_and(self):
+        adj = np.array(
+            [[0, 1, 1], [1, 0, 0], [0, 1, 0]], dtype=np.uint8
+        )
+        skel = bidirected_skeleton(adj)
+        assert np.array_equal(skel, skel.T)
+        assert skel[0, 1] == 1  # both directions
+        assert skel[0, 2] == 0  # one direction only
+        assert np.all(np.diag(skel) == 0)
+
+    def test_skeleton_density_quarter(self, rng):
+        from repro.distributions import RandomDigraph
+
+        adj = RandomDigraph(80).sample(rng)
+        skel = bidirected_skeleton(adj)
+        off = skel[~np.eye(80, dtype=bool)]
+        assert 0.2 < off.mean() < 0.3
+
+
+class TestRecoveryQuality:
+    def test_perfect_recovery(self):
+        precision, recall = recovery_quality({1, 2, 3}, frozenset({1, 2, 3}))
+        assert precision == 1.0 and recall == 1.0
+
+    def test_partial_recovery(self):
+        precision, recall = recovery_quality({1, 2, 9}, frozenset({1, 2, 3, 4}))
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(0.5)
+
+    def test_empty_recovery(self):
+        assert recovery_quality(set(), frozenset({1})) == (0.0, 0.0)
+
+    def test_no_ground_truth_raises(self):
+        with pytest.raises(ValueError):
+            recovery_quality({1}, None)

@@ -1,0 +1,94 @@
+"""Tests for transcript rendering and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BroadcastEvent,
+    FunctionProtocol,
+    Transcript,
+    format_transcript,
+    run_protocol,
+    transcript_stats,
+)
+
+
+def build_transcript(messages, n, width=1):
+    t = Transcript()
+    for turn, message in enumerate(messages):
+        t.append(
+            BroadcastEvent(turn, turn // n, turn % n, message, width)
+        )
+    return t
+
+
+class TestFormat:
+    def test_empty(self):
+        assert format_transcript(Transcript()) == "(empty transcript)"
+
+    def test_grid_layout(self):
+        t = build_transcript([1, 0, 0, 1], n=2)
+        rendered = format_transcript(t, n=2)
+        lines = rendered.splitlines()
+        assert "p0" in lines[0] and "p1" in lines[0]
+        assert lines[2].startswith("    0 |")
+        assert lines[3].startswith("    1 |")
+
+    def test_infers_n(self):
+        t = build_transcript([1, 0, 1], n=3)
+        rendered = format_transcript(t)
+        assert "p2" in rendered
+
+    def test_partial_round_shows_dots(self):
+        t = Transcript()
+        t.append(BroadcastEvent(0, 0, 0, 1, 1))
+        rendered = format_transcript(t, n=3)
+        assert "." in rendered
+
+
+class TestStats:
+    def test_empty_stats(self):
+        stats = transcript_stats(Transcript())
+        assert stats.n_turns == 0
+        assert stats.payload_entropy == 0.0
+
+    def test_counts(self):
+        t = build_transcript([1, 0, 1, 1], n=2)
+        stats = transcript_stats(t)
+        assert stats.n_turns == 4
+        assert stats.n_rounds == 2
+        assert stats.total_bits == 4
+        assert stats.ones_fraction == pytest.approx(0.75)
+        assert stats.per_sender_ones == {0: 1.0, 1: 0.5}
+
+    def test_entropy_of_constant_payloads(self):
+        t = build_transcript([1, 1, 1, 1], n=2)
+        assert transcript_stats(t).payload_entropy == pytest.approx(0.0)
+
+    def test_balance_check(self):
+        balanced = build_transcript([1, 0, 1, 0], n=2)
+        assert transcript_stats(balanced).is_balanced()
+        skewed = build_transcript([1, 1, 1, 1], n=2)
+        assert not transcript_stats(skewed).is_balanced()
+
+    def test_on_prg_transcript(self, rng):
+        """The PRG's broadcast phase is raw coin flips: stats must look
+        balanced and high-entropy."""
+        from repro.prg import MatrixPRGProtocol
+
+        result = run_protocol(
+            MatrixPRGProtocol(8, 24),
+            np.zeros((16, 1), dtype=np.uint8),
+            rng=rng,
+        )
+        stats = transcript_stats(result.transcript)
+        assert stats.is_balanced(tolerance=0.15)
+
+    def test_multibit_payload_stats(self, rng):
+        protocol = FunctionProtocol(1, lambda i, row, p: 3, message_size=2)
+        result = run_protocol(
+            protocol, np.zeros((3, 1), dtype=np.uint8), rng=rng
+        )
+        stats = transcript_stats(result.transcript)
+        assert stats.total_bits == 6
+        assert stats.ones_fraction == 1.0

@@ -1,0 +1,107 @@
+"""Tests for transcripts and broadcast events."""
+
+import pytest
+
+from repro.core import BroadcastEvent, Transcript
+
+
+def make_event(turn, round_index=0, sender=0, message=1, width=1):
+    return BroadcastEvent(turn, round_index, sender, message, width)
+
+
+class TestBroadcastEvent:
+    def test_bits_little_endian(self):
+        event = make_event(0, message=0b101, width=3)
+        assert event.bits() == (1, 0, 1)
+
+    def test_single_bit(self):
+        assert make_event(0, message=1, width=1).bits() == (1,)
+
+    def test_frozen(self):
+        event = make_event(0)
+        with pytest.raises(AttributeError):
+            event.turn = 5
+
+
+class TestTranscript:
+    def test_append_and_length(self):
+        t = Transcript()
+        t.append(make_event(0))
+        t.append(make_event(1, sender=1))
+        assert len(t) == 2
+        assert t.n_turns == 2
+
+    def test_turn_ordering_enforced(self):
+        t = Transcript()
+        t.append(make_event(0))
+        with pytest.raises(ValueError):
+            t.append(make_event(2))
+
+    def test_first_turn_must_be_zero(self):
+        t = Transcript()
+        with pytest.raises(ValueError):
+            t.append(make_event(1))
+
+    def test_total_bits(self):
+        t = Transcript()
+        t.append(make_event(0, width=3, message=5))
+        t.append(make_event(1, width=1))
+        assert t.total_bits == 4
+
+    def test_messages_from(self):
+        t = Transcript()
+        t.append(make_event(0, sender=0, message=1))
+        t.append(make_event(1, sender=1, message=0))
+        t.append(make_event(2, sender=0, message=0))
+        from_zero = t.messages_from(0)
+        assert [e.message for e in from_zero] == [1, 0]
+
+    def test_messages_in_round(self):
+        t = Transcript()
+        t.append(make_event(0, round_index=0))
+        t.append(make_event(1, round_index=0))
+        t.append(make_event(2, round_index=1))
+        assert len(t.messages_in_round(0)) == 2
+        assert len(t.messages_in_round(1)) == 1
+        assert len(t.last_round_messages()) == 1
+
+    def test_last_round_of_empty(self):
+        assert Transcript().last_round_messages() == []
+
+    def test_key_and_bits(self):
+        t = Transcript()
+        t.append(make_event(0, message=2, width=2))
+        t.append(make_event(1, message=1, width=2))
+        assert t.key() == (2, 1)
+        assert t.bits() == (0, 1, 1, 0)
+
+    def test_prefix(self):
+        t = Transcript()
+        for turn in range(4):
+            t.append(make_event(turn, sender=turn % 2))
+        prefix = t.prefix(2)
+        assert prefix.n_turns == 2
+        with pytest.raises(ValueError):
+            t.prefix(5)
+
+    def test_equality_and_hash(self):
+        a, b = Transcript(), Transcript()
+        a.append(make_event(0))
+        b.append(make_event(0))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_copy_is_independent(self):
+        a = Transcript()
+        a.append(make_event(0))
+        b = a.copy()
+        b.append(make_event(1))
+        assert a.n_turns == 1
+        assert b.n_turns == 2
+
+    def test_getitem_and_iter(self):
+        t = Transcript()
+        t.append(make_event(0, message=1))
+        t.append(make_event(1, message=0))
+        assert t[0].message == 1
+        assert [e.message for e in t] == [1, 0]

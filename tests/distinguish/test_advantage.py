@@ -1,0 +1,31 @@
+"""Tests for advantage semantics."""
+
+import pytest
+
+from repro.distinguish import (
+    guessing_probability,
+    optimal_advantage_from_tv,
+    tv_needed_for_advantage,
+)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        for adv in (0.0, 0.1, 0.25, 0.5):
+            assert optimal_advantage_from_tv(
+                tv_needed_for_advantage(adv)
+            ) == pytest.approx(adv)
+
+    def test_known_values(self):
+        assert optimal_advantage_from_tv(1.0) == 0.5
+        assert optimal_advantage_from_tv(0.0) == 0.0
+        assert guessing_probability(0.5) == 1.0
+        assert guessing_probability(0.0) == 0.5
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            optimal_advantage_from_tv(1.5)
+        with pytest.raises(ValueError):
+            tv_needed_for_advantage(0.6)
+        with pytest.raises(ValueError):
+            guessing_probability(-0.1)

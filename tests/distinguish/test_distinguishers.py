@@ -1,0 +1,132 @@
+"""Tests for the concrete distinguisher protocols."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_protocol
+from repro.distinguish import (
+    DegreeThresholdDistinguisher,
+    NeighborhoodVoteDistinguisher,
+    RandomParityProbe,
+    estimate_protocol_advantage,
+    random_function_protocol,
+)
+from repro.distributions import (
+    PlantedClique,
+    PRGOutput,
+    RandomDigraph,
+    UniformRows,
+)
+
+
+class TestDegreeThreshold:
+    def test_detects_large_planted_clique(self, rng):
+        """For k well above sqrt(n log n) the degree attack succeeds."""
+        n, k = 64, 32
+        est = estimate_protocol_advantage(
+            DegreeThresholdDistinguisher.for_clique_size(n, k),
+            PlantedClique(n, k),
+            RandomDigraph(n),
+            n_samples=60,
+            rng=rng,
+        )
+        assert est.advantage > 0.25
+
+    def test_fails_on_small_cliques(self, rng):
+        """In the lower-bound regime k ~ n^{1/4} the one-round degree
+        attack must have negligible advantage (Theorem 1.6)."""
+        n, k = 256, 4  # k = n^{1/4}
+        est = estimate_protocol_advantage(
+            DegreeThresholdDistinguisher.for_clique_size(n, k),
+            PlantedClique(n, k),
+            RandomDigraph(n),
+            n_samples=80,
+            rng=rng,
+        )
+        assert est.advantage < 0.2
+
+    def test_single_round(self):
+        assert DegreeThresholdDistinguisher(1, 1).num_rounds(10) == 1
+
+
+class TestNeighborhoodVote:
+    def test_two_rounds(self):
+        assert NeighborhoodVoteDistinguisher(1.0).num_rounds(8) == 2
+
+    def test_detects_large_clique(self, rng):
+        n, k = 64, 32
+        est = estimate_protocol_advantage(
+            NeighborhoodVoteDistinguisher.for_clique_size(n, k),
+            PlantedClique(n, k),
+            RandomDigraph(n),
+            n_samples=60,
+            rng=rng,
+        )
+        assert est.advantage > 0.2
+
+    def test_runs_without_claimants(self, rng):
+        protocol = NeighborhoodVoteDistinguisher(
+            degree_threshold=1e9, vote_threshold=1
+        )
+        result = run_protocol(
+            protocol, RandomDigraph(8).sample(rng), rng=rng
+        )
+        assert result.outputs[0] == 0
+
+
+class TestRandomParityProbe:
+    def test_round_count(self):
+        assert RandomParityProbe(5, 8).num_rounds(4) == 5
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            RandomParityProbe(0, 8)
+
+    def test_low_advantage_against_prg(self, rng):
+        """Linear probes cannot beat the 2^{-Omega(k)} ceiling of
+        Theorem 5.4 — with k = 10 the advantage is within noise of zero."""
+        n, m, k = 16, 14, 10
+        probe = RandomParityProbe(3, m, seed=1)
+        est = estimate_protocol_advantage(
+            probe, PRGOutput(n, m, k), UniformRows(n, m),
+            n_samples=150, rng=rng,
+        )
+        assert est.advantage < 0.1
+
+    def test_detects_tiny_secret(self, rng):
+        """With k = 1 the kernel event has probability 1/2 per probe and
+        several probes detect the collapse reliably."""
+        n, m, k = 12, 8, 1
+        probe = RandomParityProbe(6, m, seed=2)
+        est = estimate_protocol_advantage(
+            probe, PRGOutput(n, m, k), UniformRows(n, m),
+            n_samples=120, rng=rng,
+        )
+        assert est.advantage > 0.3
+
+
+class TestRandomFunctionProtocol:
+    def test_deterministic_given_seed(self, rng):
+        inputs = RandomDigraph(4).sample(rng)
+        p1 = random_function_protocol(2, seed=7)
+        p2 = random_function_protocol(2, seed=7)
+        key1 = run_protocol(p1, inputs, rng=np.random.default_rng(0)).transcript.key()
+        key2 = run_protocol(p2, inputs, rng=np.random.default_rng(1)).transcript.key()
+        assert key1 == key2  # no private coins involved
+
+    def test_different_seeds_differ(self, rng):
+        inputs = RandomDigraph(6).sample(rng)
+        keys = {
+            run_protocol(
+                random_function_protocol(2, seed=s), inputs,
+                rng=np.random.default_rng(0),
+            ).transcript.key()
+            for s in range(8)
+        }
+        assert len(keys) > 1
+
+    def test_message_size_respected(self, rng):
+        protocol = random_function_protocol(1, seed=0, message_size=3)
+        inputs = UniformRows(3, 2).sample(rng)
+        result = run_protocol(protocol, inputs, rng=rng)
+        assert all(0 <= e.message < 8 for e in result.transcript)

@@ -1,0 +1,192 @@
+"""Tests for the exact transcript-distribution engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_protocol
+from repro.distinguish import (
+    ProtocolSpec,
+    exact_transcript_pmf,
+    mixture_transcript_pmf,
+    transcript_distance,
+)
+from repro.distributions import (
+    PlantedClique,
+    PlantedCliqueAt,
+    RandomDigraph,
+    ToyPRGOutput,
+    UniformRows,
+)
+
+
+def first_bit_spec(n, rounds=1, sees_current=True):
+    return ProtocolSpec.from_scalar(
+        n, rounds, lambda i, row, p: int(row[0]), sees_current_round=sees_current
+    )
+
+
+class TestBasicPmfs:
+    def test_first_bit_uniform(self):
+        pmf = exact_transcript_pmf(first_bit_spec(3), UniformRows(3, 2))
+        assert len(pmf) == 8
+        for p in pmf.values():
+            assert p == pytest.approx(1 / 8)
+
+    def test_constant_protocol_single_transcript(self):
+        spec = ProtocolSpec.from_scalar(3, 2, lambda i, row, p: 1)
+        pmf = exact_transcript_pmf(spec, UniformRows(3, 2))
+        assert pmf == {(1,) * 6: pytest.approx(1.0)}
+
+    def test_digraph_diagonal_forces_zero(self):
+        # Broadcasting one's own diagonal bit always yields 0 under A_rand.
+        spec = ProtocolSpec.from_scalar(
+            3, 1, lambda i, row, p: int(row[i])
+        )
+        pmf = exact_transcript_pmf(spec, RandomDigraph(3))
+        assert pmf == {(0, 0, 0): pytest.approx(1.0)}
+
+    def test_pmf_normalised(self):
+        spec = ProtocolSpec.from_scalar(
+            4, 2, lambda i, row, p: int(row.sum() % 2)
+        )
+        pmf = exact_transcript_pmf(spec, UniformRows(4, 4))
+        assert sum(pmf.values()) == pytest.approx(1.0)
+
+    def test_row_count_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            exact_transcript_pmf(first_bit_spec(3), UniformRows(4, 2))
+
+    def test_planted_forces_clique_bits(self):
+        # Protocol: processor i broadcasts bit (i+1) mod n.  Under A_C with
+        # C = all vertices, every broadcast is a forced 1.
+        n = 3
+        spec = ProtocolSpec.from_scalar(
+            n, 1, lambda i, row, p: int(row[(i + 1) % n])
+        )
+        pmf = exact_transcript_pmf(spec, PlantedCliqueAt(n, {0, 1, 2}))
+        assert pmf == {(1, 1, 1): pytest.approx(1.0)}
+
+
+class TestConditioning:
+    def test_multi_round_conditioning(self):
+        """A processor that repeats its first broadcast produces perfectly
+        correlated rounds — the engine must condition on its own history."""
+        spec = ProtocolSpec.from_scalar(
+            2, 2, lambda i, row, p: int(row[0])
+        )
+        pmf = exact_transcript_pmf(spec, UniformRows(2, 1))
+        # Each processor's round-1 bit equals its round-0 bit.
+        for key, p in pmf.items():
+            assert key[0] == key[2] and key[1] == key[3]
+            assert p == pytest.approx(1 / 4)
+
+    def test_turn_vs_round_visibility(self):
+        """In the turn model processor 1 can echo processor 0's message of
+        the same round; in the round model it cannot see it."""
+
+        def echo_fn(i, row, p):
+            if i == 0:
+                return int(row[0])
+            return p[-1] if len(p) > 0 else 0
+
+        turn_spec = ProtocolSpec.from_scalar(
+            2, 1, echo_fn, sees_current_round=True
+        )
+        round_spec = ProtocolSpec.from_scalar(
+            2, 1, echo_fn, sees_current_round=False
+        )
+        turn_pmf = exact_transcript_pmf(turn_spec, UniformRows(2, 1))
+        round_pmf = exact_transcript_pmf(round_spec, UniformRows(2, 1))
+        assert turn_pmf == {
+            (0, 0): pytest.approx(0.5),
+            (1, 1): pytest.approx(0.5),
+        }
+        assert round_pmf == {
+            (0, 0): pytest.approx(0.5),
+            (1, 0): pytest.approx(0.5),
+        }
+
+
+class TestAgainstSimulator:
+    @pytest.mark.parametrize("sees_current", [True, False])
+    def test_exact_matches_sampled(self, sees_current):
+        """Cross-validation: exact pmf vs Monte-Carlo over the simulator."""
+        n = 3
+        spec = ProtocolSpec.from_scalar(
+            n,
+            2,
+            lambda i, row, p: int((row.sum() + sum(p)) % 2),
+            sees_current_round=sees_current,
+        )
+        dist = UniformRows(n, 3)
+        exact = exact_transcript_pmf(spec, dist)
+        protocol = spec.as_function_protocol()
+        rng = np.random.default_rng(0)
+        counts: dict = {}
+        trials = 4000
+        for _ in range(trials):
+            result = run_protocol(
+                protocol,
+                dist.sample(rng),
+                scheduler=spec.scheduler_name,
+                rng=rng,
+            )
+            key = result.transcript.key()
+            counts[key] = counts.get(key, 0) + 1
+        sampled = {k: c / trials for k, c in counts.items()}
+        assert transcript_distance(exact, sampled) < 0.05
+
+
+class TestMixture:
+    def test_mixture_pmf_is_average(self):
+        n, k = 3, 2
+        mixture = PlantedClique(n, k)
+        spec = first_bit_spec(n)
+        direct = mixture_transcript_pmf(spec, mixture)
+        manual: dict = {}
+        for w, comp in mixture.components():
+            for key, p in exact_transcript_pmf(spec, comp).items():
+                manual[key] = manual.get(key, 0.0) + w * p
+        assert transcript_distance(direct, manual) < 1e-12
+
+    def test_row_independent_passthrough(self):
+        spec = first_bit_spec(2)
+        dist = UniformRows(2, 2)
+        assert mixture_transcript_pmf(spec, dist) == exact_transcript_pmf(
+            spec, dist
+        )
+
+    def test_toy_prg_mixture(self):
+        spec = ProtocolSpec.from_scalar(2, 1, lambda i, row, p: int(row[-1]))
+        pmf = mixture_transcript_pmf(spec, ToyPRGOutput(2, 2))
+        assert sum(pmf.values()) == pytest.approx(1.0)
+
+
+class TestDistance:
+    def test_zero_for_identical(self):
+        pmf = {(0,): 0.5, (1,): 0.5}
+        assert transcript_distance(pmf, dict(pmf)) == 0.0
+
+    def test_one_for_disjoint(self):
+        assert transcript_distance({(0,): 1.0}, {(1,): 1.0}) == pytest.approx(
+            1.0
+        )
+
+    def test_vector_fn_shape_check(self):
+        spec = ProtocolSpec(
+            2, 1, lambda i, rows, p: np.zeros(3, dtype=np.int64)
+        )
+        with pytest.raises(ValueError):
+            exact_transcript_pmf(spec, UniformRows(2, 1))
+
+    def test_message_width_above_one(self):
+        spec = ProtocolSpec.from_scalar(
+            2, 1, lambda i, row, p: int(row[0]) * 3, message_size=2
+        )
+        pmf = exact_transcript_pmf(spec, UniformRows(2, 1))
+        assert pmf == {
+            (0, 0): pytest.approx(0.25),
+            (0, 3): pytest.approx(0.25),
+            (3, 0): pytest.approx(0.25),
+            (3, 3): pytest.approx(0.25),
+        }

@@ -1,0 +1,119 @@
+"""Property-based tests of the exact transcript engine's invariants."""
+
+import hashlib
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run_protocol
+from repro.distinguish import (
+    ProtocolSpec,
+    exact_transcript_pmf,
+    transcript_distance,
+)
+from repro.distributions import (
+    PlantedCliqueAt,
+    RandomDigraph,
+    SharedVectorRows,
+    UniformRows,
+)
+from repro.lowerbounds import prefix_pmf
+
+
+def hashed_spec(n, rounds, seed, sees_current=True):
+    """A random deterministic protocol derived from a hash — an arbitrary
+    member of the class the theorems quantify over."""
+
+    def fn(i, rows, p):
+        out = np.empty(rows.shape[0], dtype=np.int64)
+        prefix = (
+            seed.to_bytes(8, "little") + i.to_bytes(4, "little") + bytes(p)
+        )
+        for idx, row in enumerate(rows):
+            digest = hashlib.blake2b(
+                prefix + bytes(row), digest_size=1
+            ).digest()
+            out[idx] = digest[0] & 1
+        return out
+
+    return ProtocolSpec(n, rounds, fn, sees_current_round=sees_current)
+
+
+def random_distribution(n, kind, seed):
+    rng = np.random.default_rng(seed)
+    if kind == 0:
+        return UniformRows(n, 3)
+    if kind == 1:
+        return RandomDigraph(n)
+    if kind == 2:
+        clique = frozenset(
+            int(v) for v in rng.choice(n, size=min(2, n), replace=False)
+        )
+        return PlantedCliqueAt(n, clique)
+    return SharedVectorRows(n, rng.integers(0, 2, size=2, dtype=np.uint8))
+
+
+@given(
+    n=st.integers(2, 4),
+    rounds=st.integers(1, 2),
+    kind=st.integers(0, 3),
+    seed=st.integers(0, 2**31),
+    sees=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_pmf_is_a_distribution(n, rounds, kind, seed, sees):
+    spec = hashed_spec(n, rounds, seed, sees)
+    pmf = exact_transcript_pmf(spec, random_distribution(n, kind, seed))
+    assert abs(sum(pmf.values()) - 1.0) < 1e-9
+    assert all(p > 0 for p in pmf.values())
+    assert all(len(key) == rounds * n for key in pmf)
+
+
+@given(
+    n=st.integers(2, 4),
+    kind_a=st.integers(0, 3),
+    kind_b=st.integers(0, 3),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_prefix_distance_monotone(n, kind_a, kind_b, seed):
+    """Revealing more turns can only increase TV distance (data
+    processing): the prefix curve is non-decreasing."""
+    spec = hashed_spec(n, 2, seed)
+    dist_a = random_distribution(n, kind_a, seed)
+    dist_b = random_distribution(n, kind_b, seed + 1)
+    if dist_a.row_length != dist_b.row_length:
+        return
+    pmf_a = exact_transcript_pmf(spec, dist_a)
+    pmf_b = exact_transcript_pmf(spec, dist_b)
+    curve = [
+        transcript_distance(prefix_pmf(pmf_a, t), prefix_pmf(pmf_b, t))
+        for t in range(2 * n + 1)
+    ]
+    assert all(b >= a - 1e-12 for a, b in zip(curve, curve[1:]))
+
+
+@given(
+    n=st.integers(2, 3),
+    seed=st.integers(0, 2**31),
+    sees=st.booleans(),
+)
+@settings(max_examples=10, deadline=None)
+def test_exact_agrees_with_monte_carlo(n, seed, sees):
+    """End-to-end cross-validation on random protocols."""
+    spec = hashed_spec(n, 1, seed, sees)
+    dist = UniformRows(n, 3)
+    exact = exact_transcript_pmf(spec, dist)
+    protocol = spec.as_function_protocol()
+    rng = np.random.default_rng(seed)
+    counts: dict = {}
+    trials = 1500
+    for _ in range(trials):
+        key = run_protocol(
+            protocol, dist.sample(rng),
+            scheduler=spec.scheduler_name, rng=rng,
+        ).transcript.key()
+        counts[key] = counts.get(key, 0) + 1
+    sampled = {k: c / trials for k, c in counts.items()}
+    assert transcript_distance(exact, sampled) < 0.12

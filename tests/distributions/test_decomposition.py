@@ -1,0 +1,81 @@
+"""Tests for exact joint pmfs and the mixture decompositions."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    PlantedClique,
+    RandomDigraph,
+    ToyPRGOutput,
+    UniformRows,
+    empirical_matrix_pmf,
+    exact_matrix_pmf,
+    pmf_distance,
+)
+
+
+class TestExactPmf:
+    def test_uniform_rows_pmf(self):
+        pmf = exact_matrix_pmf(UniformRows(2, 2))
+        assert len(pmf) == 16
+        assert sum(pmf.values()) == pytest.approx(1.0)
+        assert all(p == pytest.approx(1 / 16) for p in pmf.values())
+
+    def test_digraph_pmf_support(self):
+        pmf = exact_matrix_pmf(RandomDigraph(3))
+        # 6 free off-diagonal entries.
+        assert len(pmf) == 64
+        for key in pmf:
+            matrix = np.frombuffer(key, dtype=np.uint8).reshape(3, 3)
+            assert np.all(np.diag(matrix) == 0)
+
+    def test_toy_prg_mixture_pmf(self):
+        pmf = exact_matrix_pmf(ToyPRGOutput(2, 2))
+        assert sum(pmf.values()) == pytest.approx(1.0)
+
+    def test_too_large_raises(self):
+        with pytest.raises(ValueError):
+            exact_matrix_pmf(UniformRows(4, 8))
+
+    def test_type_error_for_plain_distribution(self):
+        from repro.distributions.base import InputDistribution
+
+        with pytest.raises(TypeError):
+            exact_matrix_pmf(InputDistribution(2, 2))
+
+
+class TestMixtureIdentity:
+    def test_planted_clique_is_average_of_components(self):
+        """A_k == average over C of A_C — the paper's core decomposition."""
+        direct = exact_matrix_pmf(PlantedClique(3, 2))
+        assert sum(direct.values()) == pytest.approx(1.0)
+
+    def test_toy_prg_single_processor_marginal_uniform(self):
+        """For n=1 the toy PRG output pmf is exactly uniform on {0,1}^{k+1}:
+        every (x, bit) pair is achieved by exactly half the secrets b...
+        except the all-zero seed, where the derived bit is always 0.  The
+        exact pmf quantifies this: distance from uniform is 2^{-(k+1)}."""
+        k = 3
+        pmf = exact_matrix_pmf(ToyPRGOutput(1, k))
+        uniform = {key: 1.0 / (1 << (k + 1)) for key in _all_keys(k + 1)}
+        distance = pmf_distance(pmf, uniform)
+        assert distance == pytest.approx(2.0 ** -(k + 1))
+
+
+def _all_keys(m):
+    for value in range(1 << m):
+        yield np.array(
+            [(value >> i) & 1 for i in range(m)], dtype=np.uint8
+        ).reshape(1, m).tobytes()
+
+
+class TestEmpiricalPmf:
+    def test_matches_exact_for_uniform(self, rng):
+        dist = UniformRows(2, 2)
+        empirical = empirical_matrix_pmf(dist, 8000, rng)
+        exact = exact_matrix_pmf(dist)
+        assert pmf_distance(empirical, exact) < 0.08
+
+    def test_positive_sample_count_required(self, rng):
+        with pytest.raises(ValueError):
+            empirical_matrix_pmf(UniformRows(2, 2), 0, rng)

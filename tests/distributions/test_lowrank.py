@@ -1,0 +1,40 @@
+"""Tests for the rank-deficient distribution of Theorem 1.4."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import RankDeficientMatrix
+from repro.linalg import BitMatrix
+
+
+class TestRankDeficient:
+    def test_never_full_rank(self, rng):
+        dist = RankDeficientMatrix(8)
+        for _ in range(25):
+            sample = dist.sample(rng)
+            assert BitMatrix.from_array(sample).rank() <= dist.max_rank()
+
+    def test_shape_square(self, rng):
+        sample = RankDeficientMatrix(6).sample(rng)
+        assert sample.shape == (6, 6)
+
+    def test_parameters(self):
+        dist = RankDeficientMatrix(10)
+        assert dist.k == 9
+        assert dist.m == 10
+        assert dist.max_rank() == 9
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            RankDeficientMatrix(1)
+
+    def test_close_to_uniform_in_single_entries(self, rng):
+        """The distribution is close to uniform; single-entry marginals are
+        indistinguishable from fair coins."""
+        dist = RankDeficientMatrix(10)
+        acc = np.zeros((10, 10))
+        trials = 300
+        for _ in range(trials):
+            acc += dist.sample(rng)
+        freqs = acc / trials
+        assert np.abs(freqs - 0.5).max() < 0.12

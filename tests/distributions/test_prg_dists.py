@@ -1,0 +1,128 @@
+"""Tests for the PRG output distributions U[b], toy mixture, U_M, full."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    PRGOutput,
+    SharedMatrixRows,
+    SharedVectorRows,
+    ToyPRGOutput,
+)
+
+
+class TestSharedVectorRows:
+    def test_rows_satisfy_inner_product(self, rng):
+        b = np.array([1, 0, 1], dtype=np.uint8)
+        dist = SharedVectorRows(4, b)
+        sample = dist.sample(rng)
+        assert sample.shape == (4, 4)
+        for row in sample:
+            assert row[3] == (row[:3] @ b) % 2
+
+    def test_row_support_is_graph_of_parity(self):
+        b = np.array([1, 1], dtype=np.uint8)
+        support, probs = SharedVectorRows(2, b).row_support(0)
+        assert support.shape == (4, 3)
+        for row in support:
+            assert row[2] == (row[0] + row[1]) % 2
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_secret_must_be_1d(self):
+        with pytest.raises(ValueError):
+            SharedVectorRows(2, np.zeros((2, 2), dtype=np.uint8))
+
+
+class TestToyPRGOutput:
+    def test_component_count(self):
+        assert ToyPRGOutput(3, 4).n_components() == 16
+
+    def test_components_weights(self):
+        comps = list(ToyPRGOutput(2, 3).components())
+        assert len(comps) == 8
+        assert sum(w for w, _ in comps) == pytest.approx(1.0)
+
+    def test_sample_shape(self, rng):
+        sample = ToyPRGOutput(5, 6).sample(rng)
+        assert sample.shape == (5, 7)
+
+    def test_refuses_huge_enumeration(self):
+        with pytest.raises(ValueError):
+            list(ToyPRGOutput(2, 25).components())
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ToyPRGOutput(2, 0)
+
+    def test_marginal_of_single_row_nearly_uniform(self, rng):
+        """One processor's output alone is *nearly* uniform on
+        {0,1}^{k+1}: for a non-zero seed x the derived bit x·b is a fair
+        coin over b, while the all-zero seed forces it to 0.  So the
+        outcome (0…0, 1) never occurs and (0…0, 0) has doubled mass."""
+        k = 3
+        dist = ToyPRGOutput(1, k)
+        counts = np.zeros(1 << (k + 1))
+        trials = 4000
+        for _ in range(trials):
+            row = dist.sample(rng)[0]
+            index = int(sum(int(b) << i for i, b in enumerate(row)))
+            counts[index] += 1
+        freqs = counts / counts.sum()
+        zero_seed_bit1 = 1 << k  # row (0,0,0,1)
+        assert counts[zero_seed_bit1] == 0
+        assert freqs[0] == pytest.approx(2 / 16, abs=0.03)
+        nonzero = np.delete(freqs, [0, zero_seed_bit1])
+        assert np.abs(nonzero - 1 / 16).max() < 0.03
+
+
+class TestSharedMatrixRows:
+    def test_rows_satisfy_matrix_product(self, rng):
+        secret = np.array([[1, 0], [0, 1], [1, 1]], dtype=np.uint8)
+        dist = SharedMatrixRows(4, secret)
+        sample = dist.sample(rng)
+        assert sample.shape == (4, 5)
+        for row in sample:
+            assert np.array_equal(row[3:], (row[:3] @ secret) % 2)
+
+    def test_row_support_size(self):
+        secret = np.zeros((2, 3), dtype=np.uint8)
+        support, _ = SharedMatrixRows(2, secret).row_support(0)
+        assert support.shape == (4, 5)
+
+    def test_secret_must_be_2d(self):
+        with pytest.raises(ValueError):
+            SharedMatrixRows(2, np.zeros(3, dtype=np.uint8))
+
+
+class TestPRGOutput:
+    def test_secret_bits(self):
+        assert PRGOutput(4, 10, 3).secret_bits == 21
+
+    def test_sample_linear_structure(self, rng):
+        dist = PRGOutput(20, 12, 4)
+        sample = dist.sample(rng)
+        # All rows lie in a rank <= 4 structure: the tail is a linear
+        # function of the head.
+        from repro.linalg import BitMatrix
+
+        assert BitMatrix.from_array(sample).rank() <= 4 + 0  # head rank <= k
+
+    def test_component_enumeration_small(self):
+        dist = PRGOutput(2, 3, 2)  # secret bits = 2
+        comps = list(dist.components())
+        assert len(comps) == 4
+
+    def test_refuses_huge_enumeration(self):
+        with pytest.raises(ValueError):
+            list(PRGOutput(2, 30, 8).components())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PRGOutput(2, 3, 0)
+        with pytest.raises(ValueError):
+            PRGOutput(2, 3, 4)
+
+    def test_m_equals_k_is_uniform(self, rng):
+        dist = PRGOutput(3, 4, 4)
+        sample = dist.sample(rng)
+        assert sample.shape == (3, 4)

@@ -1,0 +1,92 @@
+"""Tests for the undirected (Section 9) extension distributions."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import UndirectedPlantedClique, UndirectedRandomGraph
+
+
+class TestUndirectedRandomGraph:
+    def test_symmetric_zero_diagonal(self, rng):
+        sample = UndirectedRandomGraph(10).sample(rng)
+        assert np.array_equal(sample, sample.T)
+        assert np.all(np.diag(sample) == 0)
+
+    def test_rows_are_dependent(self, rng):
+        """The defining obstruction: A[i,j] == A[j,i] always — rows share
+        bits, unlike every directed distribution in the paper."""
+        dist = UndirectedRandomGraph(6)
+        for _ in range(10):
+            sample = dist.sample(rng)
+            assert sample[2, 5] == sample[5, 2]
+
+    def test_edge_density(self, rng):
+        sample = UndirectedRandomGraph(60).sample(rng)
+        off = sample[~np.eye(60, dtype=bool)]
+        assert 0.45 < off.mean() < 0.55
+
+    def test_enumerate_support_complete(self):
+        dist = UndirectedRandomGraph(3)
+        support = list(dist.enumerate_support())
+        assert len(support) == 8  # 2^C(3,2)
+        assert sum(p for _, p in support) == pytest.approx(1.0)
+        for matrix, _ in support:
+            assert np.array_equal(matrix, matrix.T)
+
+    def test_enumerate_refuses_large(self):
+        with pytest.raises(ValueError):
+            list(UndirectedRandomGraph(8).enumerate_support())
+
+
+class TestUndirectedPlantedClique:
+    def test_clique_planted_symmetric(self, rng):
+        dist = UndirectedPlantedClique(12, 5)
+        matrix, clique = dist.sample_with_clique(rng)
+        assert np.array_equal(matrix, matrix.T)
+        members = sorted(clique)
+        for a in members:
+            for b in members:
+                if a != b:
+                    assert matrix[a, b] == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            UndirectedPlantedClique(4, 0)
+
+    def test_enumerate_support_normalised(self):
+        dist = UndirectedPlantedClique(4, 2)
+        support = list(dist.enumerate_support())
+        assert sum(p for _, p in support) == pytest.approx(1.0)
+
+    def test_enumerate_refuses_large(self):
+        with pytest.raises(ValueError):
+            list(UndirectedPlantedClique(8, 3).enumerate_support())
+
+
+class TestUndirectedConjecture:
+    def test_one_round_distance_small(self):
+        """The Section 9 conjecture, measured exactly on a tiny instance:
+        a one-round degree protocol's transcript distance between
+        undirected G(n,1/2) and the undirected planted-clique mixture is
+        small — consistent with the directed Theorem 1.6 extending."""
+        from repro.distinguish import (
+            ProtocolSpec,
+            brute_force_transcript_pmf,
+            transcript_distance,
+        )
+
+        n, k = 4, 2
+
+        def degree_fn(i, rows, p):
+            return (rows.sum(axis=1) >= (n - 1) / 2 + 0.5).astype(np.int64)
+
+        spec = ProtocolSpec(n, 1, degree_fn)
+        pmf_rand = brute_force_transcript_pmf(
+            spec, list(UndirectedRandomGraph(n).enumerate_support())
+        )
+        pmf_planted = brute_force_transcript_pmf(
+            spec, list(UndirectedPlantedClique(n, k).enumerate_support())
+        )
+        distance = transcript_distance(pmf_rand, pmf_planted)
+        # k=2 plants a single edge: the distance must be tiny.
+        assert distance < 0.2

@@ -1,0 +1,133 @@
+"""Tests for statistical distance, KL divergence, and Pinsker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infotheory import (
+    bernoulli_tv,
+    chain_step_bound,
+    kl_divergence,
+    pinsker_bound,
+    total_variation,
+    tv_from_counts,
+)
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert total_variation(p, p) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        assert total_variation(
+            np.array([0.5, 0.5]), np.array([0.75, 0.25])
+        ) == pytest.approx(0.25)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            total_variation(np.array([1.0]), np.array([0.5, 0.5]))
+
+    def test_bernoulli_tv(self):
+        assert bernoulli_tv(0.3, 0.8) == pytest.approx(0.5)
+
+
+class TestCounts:
+    def test_tv_from_counts(self):
+        p = {"a": 3, "b": 1}
+        q = {"a": 1, "b": 1, "c": 2}
+        # p: a=.75 b=.25; q: a=.25 b=.25 c=.5 -> tv = (.5+0+.5)/2 = .5
+        assert tv_from_counts(p, q) == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            tv_from_counts({}, {"a": 1})
+
+
+class TestKL:
+    def test_identical_is_zero(self):
+        p = np.array([0.4, 0.6])
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+
+    def test_support_escape_is_infinite(self):
+        assert kl_divergence(
+            np.array([0.5, 0.5]), np.array([1.0, 0.0])
+        ) == float("inf")
+
+    def test_known_value(self):
+        # D(Ber(1) || Ber(1/2)) = 1 bit
+        assert kl_divergence(
+            np.array([0.0, 1.0]), np.array([0.5, 0.5])
+        ) == pytest.approx(1.0)
+
+
+class TestPinsker:
+    def test_pinsker_bound_formula(self):
+        assert pinsker_bound(0.5) == pytest.approx(0.5)
+
+    def test_clamped_at_one(self):
+        assert pinsker_bound(1000.0) == 1.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            pinsker_bound(-0.1)
+
+
+class TestChainStep:
+    def test_addition_and_clamp(self):
+        assert chain_step_bound(0.2, 0.3) == pytest.approx(0.5)
+        assert chain_step_bound(0.8, 0.9) == 1.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            chain_step_bound(-0.1, 0.0)
+
+
+@given(
+    st.lists(st.floats(0.01, 10.0), min_size=2, max_size=15),
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_pinsker_inequality_property(weights_p, data):
+    """Pinsker's inequality holds for arbitrary distribution pairs."""
+    weights_q = data.draw(
+        st.lists(
+            st.floats(0.01, 10.0),
+            min_size=len(weights_p),
+            max_size=len(weights_p),
+        )
+    )
+    p = np.array(weights_p) / np.sum(weights_p)
+    q = np.array(weights_q) / np.sum(weights_q)
+    tv = total_variation(p, q)
+    assert tv <= pinsker_bound(kl_divergence(p, q)) + 1e-9
+
+
+@given(
+    st.lists(st.floats(0.01, 10.0), min_size=2, max_size=15),
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_tv_is_a_metric_property(weights_p, data):
+    size = len(weights_p)
+    weights_q = data.draw(
+        st.lists(st.floats(0.01, 10.0), min_size=size, max_size=size)
+    )
+    weights_r = data.draw(
+        st.lists(st.floats(0.01, 10.0), min_size=size, max_size=size)
+    )
+    p = np.array(weights_p) / np.sum(weights_p)
+    q = np.array(weights_q) / np.sum(weights_q)
+    r = np.array(weights_r) / np.sum(weights_r)
+    assert total_variation(p, q) == pytest.approx(total_variation(q, p))
+    assert (
+        total_variation(p, r)
+        <= total_variation(p, q) + total_variation(q, r) + 1e-12
+    )
+    assert 0.0 <= total_variation(p, q) <= 1.0

@@ -1,0 +1,126 @@
+"""Tests for entropy / mutual information tools."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infotheory import (
+    binary_entropy,
+    binary_entropy_inverse_gap,
+    conditional_entropy,
+    empirical_distribution,
+    entropy,
+    joint_entropy,
+    mutual_information,
+)
+
+
+class TestEntropy:
+    def test_uniform_is_log_support(self):
+        assert entropy(np.full(8, 1 / 8)) == pytest.approx(3.0)
+
+    def test_point_mass_is_zero(self):
+        assert entropy(np.array([1.0, 0.0, 0.0])) == pytest.approx(0.0)
+
+    def test_invalid_distribution_raises(self):
+        with pytest.raises(ValueError):
+            entropy(np.array([0.5, 0.2]))
+        with pytest.raises(ValueError):
+            entropy(np.array([1.5, -0.5]))
+
+    def test_binary_entropy_symmetric(self):
+        assert binary_entropy(0.3) == pytest.approx(binary_entropy(0.7))
+
+    def test_binary_entropy_extremes(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+        assert binary_entropy(0.5) == pytest.approx(1.0)
+
+    def test_binary_entropy_out_of_range(self):
+        with pytest.raises(ValueError):
+            binary_entropy(1.2)
+
+
+class TestFact23:
+    """Fact 2.3: H(p) >= 0.9 implies p in [0.3, 0.7] and
+    (1-H(p))/(p-1/2)^2 in [2, 3]."""
+
+    def test_ratio_in_range_where_entropy_high(self):
+        for p in np.linspace(0.31, 0.69, 50):
+            if binary_entropy(p) >= 0.9:
+                ratio = binary_entropy_inverse_gap(p)
+                assert 2.0 <= ratio <= 3.0, f"ratio {ratio} at p={p}"
+
+    def test_high_entropy_implies_p_range(self):
+        for p in np.linspace(0.001, 0.999, 999):
+            if binary_entropy(p) >= 0.9:
+                assert 0.3 <= p <= 0.7
+
+    def test_limit_at_half(self):
+        assert binary_entropy_inverse_gap(0.5) == pytest.approx(
+            2.0 / np.log(2.0)
+        )
+
+
+class TestJointQuantities:
+    def test_independent_mutual_information_zero(self):
+        x = np.array([0.3, 0.7])
+        y = np.array([0.6, 0.4])
+        joint = np.outer(x, y)
+        assert mutual_information(joint) == pytest.approx(0.0, abs=1e-12)
+
+    def test_identical_variables_full_information(self):
+        joint = np.diag([0.5, 0.5])
+        assert mutual_information(joint) == pytest.approx(1.0)
+        assert conditional_entropy(joint) == pytest.approx(0.0, abs=1e-12)
+
+    def test_chain_rule(self):
+        rng = np.random.default_rng(7)
+        joint = rng.random((4, 5))
+        joint /= joint.sum()
+        h_joint = joint_entropy(joint)
+        h_y = entropy(joint.sum(axis=0))
+        assert conditional_entropy(joint) == pytest.approx(h_joint - h_y)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            conditional_entropy(np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            mutual_information(np.array([1.0]))
+
+
+class TestEmpirical:
+    def test_counts(self):
+        pmf = empirical_distribution(np.array([0, 0, 1, 2]), support=4)
+        assert np.allclose(pmf, [0.5, 0.25, 0.25, 0.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_distribution(np.array([], dtype=int), support=2)
+
+
+@given(st.lists(st.floats(0.01, 10.0), min_size=2, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_entropy_bounds_property(weights):
+    p = np.array(weights) / np.sum(weights)
+    h = entropy(p)
+    assert -1e-9 <= h <= np.log2(len(p)) + 1e-9
+
+
+@given(
+    st.integers(2, 5),
+    st.integers(2, 5),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_information_inequalities_property(nx, ny, seed):
+    rng = np.random.default_rng(seed)
+    joint = rng.random((nx, ny))
+    joint /= joint.sum()
+    mi = mutual_information(joint)
+    h_x = entropy(joint.sum(axis=1))
+    h_y = entropy(joint.sum(axis=0))
+    assert -1e-9 <= mi <= min(h_x, h_y) + 1e-9
+    # Sub-additivity: H(X,Y) <= H(X) + H(Y)
+    assert joint_entropy(joint) <= h_x + h_y + 1e-9

@@ -1,0 +1,123 @@
+"""Tests for confidence intervals and advantage estimation."""
+
+import numpy as np
+import pytest
+
+from repro.infotheory import (
+    estimate_advantage,
+    estimate_tv_distance,
+    hoeffding_interval,
+    wilson_interval,
+)
+from repro.infotheory.estimation import _normal_quantile
+
+
+class TestHoeffding:
+    def test_contains_estimate(self):
+        ci = hoeffding_interval(0.5, 100)
+        assert ci.lower <= 0.5 <= ci.upper
+        assert ci.contains(0.5)
+
+    def test_radius_shrinks_with_samples(self):
+        r_small = hoeffding_interval(0.5, 100).radius
+        r_large = hoeffding_interval(0.5, 10000).radius
+        assert r_large < r_small
+        assert r_large == pytest.approx(r_small / 10, rel=0.01)
+
+    def test_clamped_to_unit_interval(self):
+        ci = hoeffding_interval(0.01, 10)
+        assert ci.lower >= 0.0
+        ci = hoeffding_interval(0.99, 10)
+        assert ci.upper <= 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            hoeffding_interval(0.5, 0)
+        with pytest.raises(ValueError):
+            hoeffding_interval(0.5, 10, confidence=1.5)
+
+    def test_coverage_simulation(self):
+        # 95% interval should cover the true mean in most trials.
+        rng = np.random.default_rng(0)
+        true_p, n, covered = 0.3, 200, 0
+        trials = 200
+        for _ in range(trials):
+            mean = rng.binomial(n, true_p) / n
+            if hoeffding_interval(mean, n, 0.95).contains(true_p):
+                covered += 1
+        assert covered / trials >= 0.93
+
+
+class TestWilson:
+    def test_extreme_counts(self):
+        ci = wilson_interval(0, 50)
+        assert ci.lower == pytest.approx(0.0, abs=1e-12)
+        assert ci.upper > 0.0
+        ci = wilson_interval(50, 50)
+        assert ci.upper == pytest.approx(1.0, abs=1e-12)
+        assert ci.lower < 1.0
+
+    def test_centre_near_proportion(self):
+        ci = wilson_interval(30, 100)
+        assert ci.estimate == pytest.approx(0.3)
+        assert ci.lower < 0.3 < ci.upper
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+    def test_normal_quantile_sanity(self):
+        assert _normal_quantile(0.975) == pytest.approx(1.95996, abs=1e-3)
+        assert _normal_quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+        with pytest.raises(ValueError):
+            _normal_quantile(0.0)
+
+
+class TestAdvantage:
+    def test_perfect_distinguisher(self):
+        est = estimate_advantage(np.ones(100), np.zeros(100))
+        assert est.advantage == pytest.approx(0.5)
+
+    def test_useless_distinguisher(self):
+        est = estimate_advantage(np.ones(100), np.ones(100))
+        assert est.advantage == 0.0
+
+    def test_interval_contains_estimate(self):
+        rng = np.random.default_rng(1)
+        est = estimate_advantage(
+            rng.integers(0, 2, 500), rng.integers(0, 2, 500)
+        )
+        ci = est.interval
+        assert ci.lower <= est.advantage <= ci.upper
+
+    def test_unequal_sizes_raise(self):
+        with pytest.raises(ValueError):
+            estimate_advantage(np.ones(10), np.ones(20))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            estimate_advantage(np.array([]), np.array([]))
+
+
+class TestTVEstimate:
+    def test_identical_samples_zero(self):
+        samples = ["a"] * 50 + ["b"] * 50
+        ci = estimate_tv_distance(samples, list(samples))
+        assert ci.estimate == 0.0
+
+    def test_disjoint_samples_one(self):
+        ci = estimate_tv_distance(["a"] * 50, ["b"] * 50)
+        assert ci.estimate == 1.0
+
+    def test_interval_covers_truth_for_same_distribution(self):
+        rng = np.random.default_rng(2)
+        p = rng.integers(0, 4, 2000).tolist()
+        q = rng.integers(0, 4, 2000).tolist()
+        ci = estimate_tv_distance(p, q, confidence=0.99)
+        assert ci.lower <= 0.0 + 1e-12  # truth is 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            estimate_tv_distance([], ["a"])

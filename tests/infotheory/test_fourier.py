@@ -1,0 +1,122 @@
+"""Tests for Boolean Fourier analysis (Section 2.2 tools)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infotheory import (
+    fourier_coefficient,
+    fourier_coefficients,
+    inverse_fourier,
+    parseval_gap,
+    truth_table,
+    walsh_hadamard,
+)
+
+
+class TestWalshHadamard:
+    def test_constant_function(self):
+        out = walsh_hadamard(np.ones(8))
+        assert out[0] == pytest.approx(8.0)
+        assert np.allclose(out[1:], 0.0)
+
+    def test_non_power_of_two_raises(self):
+        with pytest.raises(ValueError):
+            walsh_hadamard(np.ones(6))
+
+    def test_involution_up_to_scaling(self):
+        rng = np.random.default_rng(3)
+        values = rng.random(16)
+        twice = walsh_hadamard(walsh_hadamard(values))
+        assert np.allclose(twice, 16 * values)
+
+
+class TestCoefficients:
+    def test_empty_set_coefficient_is_mean(self):
+        rng = np.random.default_rng(5)
+        truth = rng.integers(0, 2, size=32).astype(float)
+        coeffs = fourier_coefficients(truth)
+        assert coeffs[0] == pytest.approx(truth.mean())
+
+    def test_parity_function_single_coefficient(self):
+        # f(x) = (-1)^{x_0 + x_1} over n=2 has all weight on S = {0,1}.
+        n = 2
+        xs = np.arange(1 << n)
+        signs = ((-1.0) ** (np.bitwise_count(xs.astype(np.uint64)))).astype(float)
+        coeffs = fourier_coefficients(signs)
+        assert coeffs[3] == pytest.approx(1.0)
+        assert np.allclose(np.delete(coeffs, 3), 0.0)
+
+    def test_single_coefficient_matches_full_transform(self):
+        rng = np.random.default_rng(11)
+        truth = rng.random(64)
+        coeffs = fourier_coefficients(truth)
+        for mask in (0, 1, 7, 63, 32):
+            assert fourier_coefficient(truth, mask) == pytest.approx(
+                coeffs[mask]
+            )
+
+    def test_inverse_recovers_truth_table(self):
+        rng = np.random.default_rng(13)
+        truth = rng.random(32)
+        assert np.allclose(inverse_fourier(fourier_coefficients(truth)), truth)
+
+    def test_bad_mask_raises(self):
+        with pytest.raises(ValueError):
+            fourier_coefficient(np.ones(4), 4)
+
+
+class TestParseval:
+    @given(st.integers(1, 8), st.integers(0, 2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_parseval_identity_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        truth = rng.integers(0, 2, size=1 << n).astype(float)
+        assert parseval_gap(truth) < 1e-9
+
+    def test_real_valued_functions_too(self):
+        rng = np.random.default_rng(17)
+        truth = rng.normal(size=128)
+        assert parseval_gap(truth) < 1e-9
+
+
+class TestLemma52Identity:
+    """The algebraic identity behind Lemma 5.2's proof:
+    f_hat(S_b ∪ {k+1}) = E_{U[b]}[f] − E_{U_{k+1}}[f]."""
+
+    @given(k=st.integers(2, 6), seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_bias_equals_fourier_coefficient(self, k, seed):
+        rng = np.random.default_rng(seed)
+        truth = rng.integers(0, 2, size=1 << (k + 1)).astype(float)
+        b = int(rng.integers(0, 1 << k))
+        # Support of U[b]: inputs whose last bit equals <x, b>.
+        xs = np.arange(1 << (k + 1), dtype=np.uint64)
+        heads = xs & np.uint64((1 << k) - 1)
+        last = (xs >> np.uint64(k)) & np.uint64(1)
+        parity = np.bitwise_count(heads & np.uint64(b)) % 2
+        on_support = parity == last
+        bias = truth[on_support].mean() - truth.mean()
+        # The coefficient at S_b ∪ {k+1}: mask = b | 2^k.
+        coeff = fourier_coefficient(truth, b | (1 << k))
+        assert coeff == pytest.approx(bias, abs=1e-9)
+
+
+class TestTruthTable:
+    def test_majority(self):
+        table = truth_table(lambda bits: int(bits.sum() >= 2), 3)
+        # index 3 = 0b011 -> bits (1,1,0) -> majority 1
+        assert table[3] == 1
+        assert table[0] == 0
+        assert table[7] == 1
+
+    def test_indexing_convention(self):
+        # Bit i of the index is coordinate x_i.
+        table = truth_table(lambda bits: int(bits[2]), 3)
+        assert table[4] == 1  # index 4 = 0b100 -> x_2 = 1
+        assert table[3] == 0
+
+    def test_negative_n_raises(self):
+        with pytest.raises(ValueError):
+            truth_table(lambda bits: 0, -1)

@@ -1,0 +1,33 @@
+"""Smoke tests: the quickstart example must run end to end.
+
+The heavier examples (clique demo, derandomization tour) are exercised by
+the benchmark suite's equivalent code paths; here we only pin the
+user-facing quickstart so a packaging/API regression cannot ship.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def test_quickstart_runs():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "ParityPoll outputs" in result.stdout
+    assert "pseudo-random bits" in result.stdout
+    assert "rank" in result.stdout
+
+
+def test_all_examples_compile():
+    """Every example at least byte-compiles (cheap regression net)."""
+    import py_compile
+
+    for path in sorted(EXAMPLES.glob("*.py")):
+        py_compile.compile(str(path), doraise=True)

@@ -1,0 +1,173 @@
+"""Unit and property tests for GF(2) bit vectors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import BitVector
+
+
+class TestConstruction:
+    def test_zeros_has_no_ones(self):
+        v = BitVector.zeros(130)
+        assert v.weight() == 0
+        assert v.is_zero()
+        assert len(v) == 130
+
+    def test_ones_has_full_weight(self):
+        v = BitVector.ones(130)
+        assert v.weight() == 130
+        assert all(bit == 1 for bit in v)
+
+    def test_from_bits_roundtrip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        v = BitVector.from_bits(bits)
+        assert list(v) == bits
+
+    def test_from_array_nonbinary_coerced(self):
+        v = BitVector.from_array(np.array([0, 2, 5, 0]))
+        assert list(v) == [0, 1, 1, 0]
+
+    def test_from_int_roundtrip(self):
+        value = 0b1011001110001
+        v = BitVector.from_int(value, 70)
+        assert v.to_int() == value
+
+    def test_from_int_too_small_raises(self):
+        with pytest.raises(ValueError):
+            BitVector.from_int(0b111, 2)
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            BitVector(-1)
+
+    def test_backing_store_validation(self):
+        with pytest.raises(ValueError):
+            BitVector(5, np.zeros(3, dtype=np.uint64))
+
+    def test_empty_vector(self):
+        v = BitVector.zeros(0)
+        assert len(v) == 0
+        assert v.weight() == 0
+        assert v.to_int() == 0
+
+    def test_random_has_correct_length(self, rng):
+        v = BitVector.random(100, rng)
+        assert len(v) == 100
+        assert all(bit in (0, 1) for bit in v)
+
+    def test_random_tail_bits_clear(self, rng):
+        # Bits past position n-1 in the last word must stay clear.
+        v = BitVector.random(65, rng)
+        assert int(v.words[1]) < 2
+
+
+class TestBitAccess:
+    def test_set_and_get(self):
+        v = BitVector.zeros(200)
+        v[67] = 1
+        assert v[67] == 1
+        assert v.weight() == 1
+        v[67] = 0
+        assert v.weight() == 0
+
+    def test_out_of_range_raises(self):
+        v = BitVector.zeros(10)
+        with pytest.raises(IndexError):
+            _ = v[10]
+        with pytest.raises(IndexError):
+            v[-1] = 1
+
+
+class TestArithmetic:
+    def test_xor_is_addition(self):
+        a = BitVector.from_bits([1, 0, 1, 0])
+        b = BitVector.from_bits([1, 1, 0, 0])
+        assert list(a ^ b) == [0, 1, 1, 0]
+        assert list(a + b) == [0, 1, 1, 0]
+
+    def test_xor_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BitVector.zeros(3) ^ BitVector.zeros(4)
+
+    def test_dot_parity(self):
+        a = BitVector.from_bits([1, 1, 1, 0])
+        b = BitVector.from_bits([1, 1, 0, 1])
+        assert a.dot(b) == 0  # two overlapping ones
+        c = BitVector.from_bits([1, 0, 0, 0])
+        assert a.dot(c) == 1
+
+    def test_concat(self):
+        a = BitVector.from_bits([1, 0])
+        b = BitVector.from_bits([1, 1, 1])
+        assert list(a.concat(b)) == [1, 0, 1, 1, 1]
+
+    def test_and(self):
+        a = BitVector.from_bits([1, 1, 0])
+        b = BitVector.from_bits([1, 0, 0])
+        assert list(a & b) == [1, 0, 0]
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = BitVector.from_bits([1, 0, 1])
+        b = BitVector.from_bits([1, 0, 1])
+        c = BitVector.from_bits([1, 0, 0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_copy_is_independent(self):
+        a = BitVector.from_bits([1, 0, 1])
+        b = a.copy()
+        b[0] = 0
+        assert a[0] == 1
+
+    def test_repr_small_and_large(self):
+        assert "101" in repr(BitVector.from_bits([1, 0, 1]))
+        assert "n=100" in repr(BitVector.zeros(100))
+
+
+@given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_property(bits):
+    v = BitVector.from_bits(bits)
+    assert list(v) == bits
+    assert v.weight() == sum(bits)
+    assert np.array_equal(v.to_array(), np.array(bits, dtype=np.uint8))
+
+
+@given(
+    bits_a=st.lists(st.integers(0, 1), min_size=1, max_size=150),
+    data=st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_xor_matches_numpy(bits_a, data):
+    bits_b = data.draw(
+        st.lists(st.integers(0, 1), min_size=len(bits_a), max_size=len(bits_a))
+    )
+    a, b = BitVector.from_bits(bits_a), BitVector.from_bits(bits_b)
+    expected = (np.array(bits_a) ^ np.array(bits_b)).tolist()
+    assert list(a ^ b) == expected
+
+
+@given(
+    bits_a=st.lists(st.integers(0, 1), min_size=1, max_size=150),
+    data=st.data(),
+)
+@settings(max_examples=50, deadline=None)
+def test_dot_matches_numpy(bits_a, data):
+    bits_b = data.draw(
+        st.lists(st.integers(0, 1), min_size=len(bits_a), max_size=len(bits_a))
+    )
+    a, b = BitVector.from_bits(bits_a), BitVector.from_bits(bits_b)
+    expected = int(np.array(bits_a) @ np.array(bits_b)) % 2
+    assert a.dot(b) == expected
+
+
+@given(st.integers(0, 2**100 - 1))
+@settings(max_examples=50, deadline=None)
+def test_int_roundtrip_property(value):
+    v = BitVector.from_int(value, 100)
+    assert v.to_int() == value

@@ -1,0 +1,106 @@
+"""Tests for the random GF(2) matrix rank law (Kolchin)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    BitMatrix,
+    Q0,
+    count_matrices_of_rank,
+    full_rank_probability,
+    kolchin_q,
+    rank_pmf,
+)
+
+
+class TestCounting:
+    def test_total_count_is_all_matrices(self):
+        for n, m in [(2, 2), (3, 3), (3, 4), (4, 3)]:
+            total = sum(
+                count_matrices_of_rank(n, m, r) for r in range(min(n, m) + 1)
+            )
+            assert total == 2 ** (n * m)
+
+    def test_rank_zero_is_unique(self):
+        assert count_matrices_of_rank(5, 5, 0) == 1
+
+    def test_rank_one_2x2(self):
+        # 2x2 rank-1: (2^2-1)(2^2-1)/(2-1) = 9
+        assert count_matrices_of_rank(2, 2, 1) == 9
+
+    def test_full_rank_2x2(self):
+        # GL(2, F2) has order 6.
+        assert count_matrices_of_rank(2, 2, 2) == 6
+
+    def test_impossible_rank_zero_count(self):
+        assert count_matrices_of_rank(3, 3, 4) == 0
+        assert count_matrices_of_rank(3, 3, -1) == 0
+
+    def test_brute_force_3x3(self):
+        counts = np.zeros(4, dtype=int)
+        for bits in range(2**9):
+            arr = np.array(
+                [(bits >> i) & 1 for i in range(9)], dtype=np.uint8
+            ).reshape(3, 3)
+            counts[BitMatrix.from_array(arr).rank()] += 1
+        for r in range(4):
+            assert counts[r] == count_matrices_of_rank(3, 3, r)
+
+
+class TestPmf:
+    def test_pmf_sums_to_one(self):
+        for n in (2, 4, 6):
+            assert rank_pmf(n).sum() == pytest.approx(1.0)
+
+    def test_rectangular_pmf(self):
+        pmf = rank_pmf(3, 5)
+        assert len(pmf) == 4
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_full_rank_probability_matches_pmf(self):
+        for n in (2, 3, 5):
+            assert full_rank_probability(n) == pytest.approx(rank_pmf(n)[-1])
+
+    def test_full_rank_probability_decreasing_to_q0(self):
+        probs = [full_rank_probability(n) for n in range(2, 12)]
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+        assert probs[-1] == pytest.approx(Q0, abs=1e-3)
+
+
+class TestKolchin:
+    def test_q0_value_from_paper(self):
+        # The paper quotes Q_0 ≈ 0.2887880950866.
+        assert Q0 == pytest.approx(0.2887880950866, abs=1e-9)
+
+    def test_q_sums_to_one(self):
+        assert sum(kolchin_q(s) for s in range(30)) == pytest.approx(1.0)
+
+    def test_q_peaks_at_corank_one(self):
+        # The corank law peaks at s = 1: Q_1 = 2*Q_0 > Q_0 > Q_2 > ...
+        values = [kolchin_q(s) for s in range(6)]
+        assert values[1] == pytest.approx(2 * values[0])
+        assert values[1] > values[0] > values[2]
+        assert all(a > b for a, b in zip(values[1:], values[2:]))
+
+    def test_negative_corank_raises(self):
+        with pytest.raises(ValueError):
+            kolchin_q(-1)
+
+    def test_finite_n_converges_to_q(self):
+        # P_{n,s} -> Q_s (paper, proof of Theorem 1.4).
+        pmf = rank_pmf(14)
+        for s in range(4):
+            assert pmf[14 - s] == pytest.approx(kolchin_q(s), abs=1e-3)
+
+
+class TestEmpirical:
+    def test_sampled_rank_frequencies_match_law(self, rng):
+        n, samples = 16, 400
+        full = sum(
+            1
+            for _ in range(samples)
+            if BitMatrix.random(n, n, rng).is_full_rank()
+        )
+        observed = full / samples
+        # 400 samples: Hoeffding radius ~0.096 at 99% confidence.
+        assert abs(observed - full_rank_probability(n)) < 0.1

@@ -1,0 +1,94 @@
+"""Tests for the closed-form bound calculators."""
+
+import math
+
+import pytest
+
+from repro.lowerbounds import (
+    full_prg_bound,
+    interesting_clique_range,
+    lemma_1_8_bound,
+    lemma_1_10_bound,
+    lemma_4_3_bound,
+    lemma_4_4_bound,
+    max_rounds_fooled,
+    planted_clique_bound,
+    planted_clique_one_round_bound,
+    toy_prg_bound,
+    toy_prg_one_round_bound,
+)
+
+
+class TestScalingShapes:
+    def test_lemma_1_10_scales_inverse_sqrt(self):
+        assert lemma_1_10_bound(400) == pytest.approx(
+            lemma_1_10_bound(100) / 2
+        )
+
+    def test_lemma_1_8_linear_in_k(self):
+        assert lemma_1_8_bound(10000, 8) == pytest.approx(
+            2 * lemma_1_8_bound(10000, 4)
+        )
+
+    def test_lemma_4_3_reduces_to_1_8_at_small_t(self):
+        # With t = 1 the partial-function bound matches the total one.
+        assert lemma_4_3_bound(10000, 5, 1) == pytest.approx(
+            lemma_1_8_bound(10000, 5)
+        )
+
+    def test_lemma_4_4_grows_with_entropy_deficiency(self):
+        assert lemma_4_4_bound(1000, 9) == pytest.approx(
+            3 * lemma_4_4_bound(1000, 1)
+        )
+
+    def test_one_round_clique_bound_quadratic_in_k(self):
+        assert planted_clique_one_round_bound(10**6, 4) == pytest.approx(
+            4 * planted_clique_one_round_bound(10**6, 2)
+        )
+
+    def test_clique_bound_vanishes_in_lower_bound_regime(self):
+        """k = n^{1/4-eps}: bound -> 0 as n grows (Corollary 4.2)."""
+        values = []
+        for n in (2**16, 2**20, 2**24):
+            k = int(n ** (1 / 4 - 0.15))
+            values.append(planted_clique_bound(n, k, j=2))
+        assert values[0] > values[1] > values[2]
+        assert values[2] < 0.1
+
+    def test_clique_bound_trivial_above_sqrt_n(self):
+        """At k = sqrt(n) the bound clamps to 1 — no contradiction with the
+        degree algorithm working there."""
+        n = 10**4
+        assert planted_clique_bound(n, int(math.sqrt(n)), 1) == 1.0
+
+    def test_prg_bounds_exponential_in_k(self):
+        assert toy_prg_one_round_bound(100, 20) == pytest.approx(
+            toy_prg_one_round_bound(100, 18) / 2
+        )
+        assert toy_prg_bound(100, 90, 2) == pytest.approx(
+            toy_prg_bound(100, 81, 2) / 2
+        )
+
+    def test_all_bounds_clamped_to_one(self):
+        assert planted_clique_one_round_bound(4, 100) == 1.0
+        assert toy_prg_bound(10**9, 1, 1) == 1.0
+
+
+class TestValidation:
+    def test_full_prg_bound_rejects_large_m(self):
+        with pytest.raises(ValueError):
+            full_prg_bound(n=64, k=20, m=10**6, j=2)
+
+    def test_full_prg_bound_valid_m(self):
+        assert full_prg_bound(n=64, k=100, m=32, j=10) == toy_prg_bound(
+            64, 100, 10
+        )
+
+    def test_interesting_range(self):
+        low, high = interesting_clique_range(256)
+        assert low == pytest.approx(8.0)
+        assert high == pytest.approx(16.0)
+
+    def test_max_rounds_fooled(self):
+        assert max_rounds_fooled(100) == 10
+        assert max_rounds_fooled(9) == 0

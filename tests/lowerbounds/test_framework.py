@@ -1,0 +1,180 @@
+"""Tests for the executable Section 3 framework."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distinguish import ProtocolSpec
+from repro.distributions import PlantedClique, RandomDigraph
+from repro.lowerbounds import (
+    conditional_support_mask,
+    lemma_1_8_bound,
+    lemma_1_8_statistic,
+    lemma_1_10_bound,
+    lemma_1_10_statistic,
+    lemma_5_2_statistic,
+    prefix_pmf,
+    progress_curve,
+    real_distance_curve,
+)
+
+
+class TestPrefixPmf:
+    def test_marginalisation(self):
+        pmf = {(0, 0): 0.25, (0, 1): 0.25, (1, 0): 0.5}
+        assert prefix_pmf(pmf, 1) == {(0,): 0.5, (1,): 0.5}
+        assert prefix_pmf(pmf, 0) == {(): 1.0}
+
+
+class TestCurves:
+    def test_progress_dominates_real_distance(self):
+        """The triangle inequality L_real <= L_progress, checked exactly —
+        the paper's justification for tracking the progress function."""
+        n, k = 4, 2
+        spec = ProtocolSpec.from_scalar(
+            n, 1, lambda i, row, p: int(row.sum() >= (n - 1) / 2 + 0.5)
+        )
+        mixture = PlantedClique(n, k)
+        reference = RandomDigraph(n)
+        progress = progress_curve(spec, mixture, reference)
+        real = real_distance_curve(spec, mixture, reference)
+        assert len(progress) == len(real) == n + 1
+        for lr, lp in zip(real, progress):
+            assert lr <= lp + 1e-12
+
+    def test_curves_monotone(self):
+        """Both curves are non-decreasing in t: revealing more broadcasts
+        cannot decrease statistical distance."""
+        n, k = 4, 3
+        spec = ProtocolSpec.from_scalar(
+            n, 1, lambda i, row, p: int(row[(i + 1) % n])
+        )
+        mixture = PlantedClique(n, k)
+        reference = RandomDigraph(n)
+        for curve in (
+            progress_curve(spec, mixture, reference),
+            real_distance_curve(spec, mixture, reference),
+        ):
+            for a, b in zip(curve, curve[1:]):
+                assert b >= a - 1e-12
+
+    def test_component_subsampling(self):
+        n, k = 4, 2
+        spec = ProtocolSpec.from_scalar(n, 1, lambda i, row, p: int(row[0]))
+        mixture = PlantedClique(n, k)
+        reference = RandomDigraph(n)
+        curve = progress_curve(
+            spec, mixture, reference, max_components=3,
+            rng=np.random.default_rng(0),
+        )
+        assert len(curve) == n + 1
+        assert curve[0] == 0.0
+
+
+class TestLemmaStatistics:
+    def test_lemma_1_10_on_dictator(self):
+        """f(x) = x_0: the statistic is exactly (1/n) * (1/2)."""
+        n = 6
+        truth = np.array([(x >> 0) & 1 for x in range(1 << n)], dtype=float)
+        stat = lemma_1_10_statistic(truth)
+        assert stat == pytest.approx(0.5 / n)
+
+    def test_lemma_1_10_on_constant(self):
+        truth = np.ones(64)
+        assert lemma_1_10_statistic(truth) == 0.0
+
+    def test_lemma_1_10_within_bound_random_functions(self, rng):
+        n = 10
+        for _ in range(10):
+            truth = (rng.random(1 << n) < 0.5).astype(float)
+            stat = lemma_1_10_statistic(truth)
+            assert stat <= lemma_1_10_bound(n, constant=2.0)
+
+    def test_lemma_1_8_on_majority(self):
+        n, k = 8, 2
+        xs = np.arange(1 << n, dtype=np.uint64)
+        truth = (np.bitwise_count(xs) >= n / 2).astype(float)
+        stat = lemma_1_8_statistic(truth, k)
+        # Majority is the distance-maximising shape; constant ~1 suffices.
+        assert stat <= lemma_1_8_bound(n, k, constant=2.0)
+
+    def test_lemma_1_8_with_domain_restriction(self, rng):
+        """The partial-function variant (Lemma 4.3): restrict to a random
+        half of the cube and the statistic stays bounded."""
+        n, k = 8, 2
+        truth = (rng.random(1 << n) < 0.5).astype(float)
+        domain = rng.random(1 << n) < 0.5  # |D| ~ 2^{n-1}, t ~ 1
+        stat = lemma_1_8_statistic(truth, k, domain=domain)
+        from repro.lowerbounds import lemma_4_3_bound
+
+        assert stat <= lemma_4_3_bound(n, k, t=2, constant=4.0)
+
+    def test_lemma_1_8_subsampled_cliques(self, rng):
+        n, k = 10, 3
+        truth = (rng.random(1 << n) < 0.5).astype(float)
+        full = lemma_1_8_statistic(truth, k, max_cliques=None)
+        sampled = lemma_1_8_statistic(
+            truth, k, max_cliques=40, rng=rng
+        )
+        assert abs(full - sampled) < 0.2
+
+    def test_conditional_support_mask(self):
+        mask = conditional_support_mask(3, (0, 2))
+        # Selected strings have bits 0 and 2 set: indices 5 and 7.
+        assert set(np.nonzero(mask)[0]) == {5, 7}
+
+    def test_bad_truth_table_length(self):
+        with pytest.raises(ValueError):
+            lemma_1_10_statistic(np.ones(6))
+        with pytest.raises(ValueError):
+            lemma_1_8_statistic(np.ones(6), 2)
+
+
+class TestLemma52:
+    def test_inequality_on_random_functions(self, rng):
+        k = 6
+        for _ in range(10):
+            truth = (rng.random(1 << (k + 1)) < 0.3).astype(float)
+            lhs, rhs = lemma_5_2_statistic(truth)
+            assert lhs <= rhs + 1e-9
+
+    def test_tight_for_inner_product_indicator(self):
+        """f(x, y) = [y = x·b*] for a fixed b*: f distinguishes U[b*]
+        perfectly, and Lemma 5.2 says it can do so for essentially only
+        that one b."""
+        k = 5
+        b_star = 0b10110
+        size = 1 << (k + 1)
+        truth = np.zeros(size)
+        for x in range(1 << k):
+            parity = bin(x & b_star).count("1") % 2
+            truth[x | (parity << k)] = 1.0
+        lhs, rhs = lemma_5_2_statistic(truth)
+        assert lhs <= rhs + 1e-9
+        # The b* term alone contributes (1 - 1/2)^2 = 1/4.
+        assert lhs >= 0.25 - 1e-9
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            lemma_5_2_statistic(np.ones(5))
+
+
+@given(n=st.integers(4, 9), seed=st.integers(0, 2**31))
+@settings(max_examples=25, deadline=None)
+def test_lemma_1_10_property(n, seed):
+    """Lemma 1.10 with the proof's explicit constant 2, for arbitrary
+    Boolean functions."""
+    rng = np.random.default_rng(seed)
+    truth = (rng.random(1 << n) < rng.random()).astype(float)
+    assert lemma_1_10_statistic(truth) <= 2.0 / np.sqrt(n) + 1e-9
+
+
+@given(k=st.integers(2, 6), seed=st.integers(0, 2**31))
+@settings(max_examples=25, deadline=None)
+def test_lemma_5_2_property(k, seed):
+    """Lemma 5.2 for arbitrary Boolean functions on {0,1}^{k+1}."""
+    rng = np.random.default_rng(seed)
+    truth = (rng.random(1 << (k + 1)) < rng.random()).astype(float)
+    lhs, rhs = lemma_5_2_statistic(truth)
+    assert lhs <= rhs + 1e-9

@@ -1,0 +1,139 @@
+"""Tests for the rank protocols and the time hierarchy (Theorems 1.4/1.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_protocol
+from repro.linalg import full_rank_probability
+from repro.lowerbounds import (
+    TopSubmatrixRankProtocol,
+    accuracy_on_uniform,
+    conditional_full_rank_probability,
+    full_rank_indicator,
+    optimal_accuracy_with_columns,
+    top_submatrix_full_rank,
+)
+
+
+class TestIndicators:
+    def test_full_rank_indicator(self):
+        assert full_rank_indicator(np.eye(4, dtype=np.uint8)) == 1
+        assert full_rank_indicator(np.zeros((3, 3), dtype=np.uint8)) == 0
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            full_rank_indicator(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_top_submatrix(self):
+        matrix = np.zeros((4, 4), dtype=np.uint8)
+        matrix[:2, :2] = np.eye(2)
+        assert top_submatrix_full_rank(matrix, 2) == 1
+        assert top_submatrix_full_rank(matrix, 3) == 0
+
+    def test_block_too_large(self):
+        with pytest.raises(ValueError):
+            top_submatrix_full_rank(np.zeros((2, 2), dtype=np.uint8), 3)
+
+
+class TestFullBudgetProtocol:
+    def test_exact_on_all_samples(self, rng):
+        """The k-round protocol computes F_k exactly — the upper-bound side
+        of Theorem 1.5."""
+        n, k = 8, 5
+        protocol = TopSubmatrixRankProtocol(k)
+        for _ in range(20):
+            matrix = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+            result = run_protocol(protocol, matrix, rng=rng)
+            assert result.outputs[0] == top_submatrix_full_rank(matrix, k)
+
+    def test_round_count_is_k(self, rng):
+        n, k = 8, 5
+        protocol = TopSubmatrixRankProtocol(k)
+        result = run_protocol(
+            protocol, rng.integers(0, 2, size=(n, n), dtype=np.uint8), rng=rng
+        )
+        assert result.cost.rounds == k
+
+    def test_all_processors_agree(self, rng):
+        protocol = TopSubmatrixRankProtocol(4)
+        matrix = rng.integers(0, 2, size=(6, 6), dtype=np.uint8)
+        result = run_protocol(protocol, matrix, rng=rng)
+        assert len(set(result.outputs)) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TopSubmatrixRankProtocol(0)
+        with pytest.raises(ValueError):
+            TopSubmatrixRankProtocol(4, rounds_budget=-1)
+
+
+class TestTruncatedProtocol:
+    def test_certain_rejection_used(self, rng):
+        """If the revealed columns are dependent the truncated protocol
+        answers 0, which is always correct."""
+        n, k, j = 8, 6, 3
+        protocol = TopSubmatrixRankProtocol(k, rounds_budget=j)
+        matrix = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+        matrix[:, 1] = matrix[:, 0]  # force dependent revealed columns
+        result = run_protocol(protocol, matrix, rng=rng)
+        assert result.outputs[0] == 0
+        assert top_submatrix_full_rank(matrix, k) == 0
+
+    def test_truncated_round_count(self, rng):
+        protocol = TopSubmatrixRankProtocol(6, rounds_budget=2)
+        matrix = rng.integers(0, 2, size=(8, 8), dtype=np.uint8)
+        result = run_protocol(protocol, matrix, rng=rng)
+        assert result.cost.rounds == 2
+
+
+class TestClosedForms:
+    def test_conditional_probability_at_zero_is_q0ish(self):
+        assert conditional_full_rank_probability(
+            12, 0
+        ) == pytest.approx(full_rank_probability(12), rel=1e-9)
+
+    def test_conditional_below_half_until_k(self):
+        k = 10
+        for j in range(k):
+            assert conditional_full_rank_probability(k, j) < 0.5 + 1e-12
+        assert conditional_full_rank_probability(k, k) == 1.0
+
+    def test_optimal_accuracy_monotone_in_j(self):
+        k = 10
+        values = [optimal_accuracy_with_columns(k, j) for j in range(k + 1)]
+        for a, b in zip(values, values[1:]):
+            assert b >= a - 1e-12
+        assert values[0] == pytest.approx(1 - full_rank_probability(k))
+        assert values[-1] == 1.0
+
+    def test_hierarchy_gap(self):
+        """The Theorem 1.5 shape: below ~k rounds no column-revealing rule
+        reaches 0.99, at k rounds accuracy is 1."""
+        k = 20
+        assert optimal_accuracy_with_columns(k, k // 20) < 0.99
+        assert optimal_accuracy_with_columns(k, k // 2) < 0.99
+        assert optimal_accuracy_with_columns(k, k) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            conditional_full_rank_probability(4, 5)
+        with pytest.raises(ValueError):
+            optimal_accuracy_with_columns(4, -1)
+
+
+class TestAccuracyHarness:
+    def test_full_budget_accuracy_is_one(self, rng):
+        acc = accuracy_on_uniform(
+            TopSubmatrixRankProtocol(4), n=6, k=4, n_samples=30, rng=rng
+        )
+        assert acc == 1.0
+
+    def test_truncated_accuracy_matches_theory(self, rng):
+        """Measured truncated-protocol accuracy tracks the closed form."""
+        n, k, j = 8, 6, 2
+        acc = accuracy_on_uniform(
+            TopSubmatrixRankProtocol(k, rounds_budget=j),
+            n=n, k=k, n_samples=250, rng=rng,
+        )
+        expected = optimal_accuracy_with_columns(k, j)
+        assert abs(acc - expected) < 0.1

@@ -1,0 +1,102 @@
+"""Tests for the full PRG protocol (Theorem 1.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_protocol
+from repro.linalg import BitMatrix
+from repro.prg import (
+    MatrixPRGProtocol,
+    matrix_prg_rounds,
+    seed_bits_per_processor,
+)
+
+
+def run_prg(n, k, m, seed=0):
+    protocol = MatrixPRGProtocol(k, m)
+    inputs = np.zeros((n, 1), dtype=np.uint8)
+    result = run_protocol(protocol, inputs, rng=np.random.default_rng(seed))
+    return protocol, result
+
+
+class TestRoundAccounting:
+    def test_round_formula(self):
+        assert matrix_prg_rounds(n=16, k=4, m=8) == 1  # 16 shared bits
+        assert matrix_prg_rounds(n=16, k=4, m=12) == 2  # 32 shared bits
+        assert matrix_prg_rounds(n=16, k=4, m=4) == 0  # no tail
+        assert matrix_prg_rounds(n=10, k=3, m=10) == 3  # 21 bits -> ceil
+
+    def test_theorem_1_3_order_k_rounds(self):
+        """For m = c·n the construction takes O(k) rounds: exactly
+        ⌈k(m-k)/n⌉ ≤ k·c."""
+        n, k = 64, 16
+        for c in (1, 2, 3):
+            m = c * n
+            rounds = matrix_prg_rounds(n, k, m)
+            assert rounds <= c * k
+            assert rounds >= (c - 1) * k  # tight up to the -k^2/n slack
+
+    def test_protocol_round_count(self):
+        protocol, result = run_prg(n=12, k=5, m=17)
+        assert result.cost.rounds == matrix_prg_rounds(12, 5, 17) == 5
+
+    def test_seed_bits_formula(self):
+        assert seed_bits_per_processor(n=16, k=4, m=12) == 6
+
+
+class TestOutputs:
+    def test_output_length_m(self):
+        _, result = run_prg(n=6, k=4, m=11)
+        for out in result.outputs:
+            assert out.shape == (11,)
+
+    def test_tail_is_linear_in_seed(self):
+        protocol, result = run_prg(n=8, k=5, m=13, seed=2)
+        secret = protocol.shared_matrix(result.contexts[0]).to_array()
+        for out in result.outputs:
+            assert np.array_equal(out[5:], (out[:5] @ secret) % 2)
+
+    def test_all_processors_agree_on_secret(self):
+        protocol, result = run_prg(n=5, k=3, m=9, seed=4)
+        matrices = [protocol.shared_matrix(c) for c in result.contexts]
+        for mat in matrices[1:]:
+            assert mat == matrices[0]
+
+    def test_joint_output_low_rank(self):
+        """The defining structural weakness: the n×m joint output always
+        has GF(2) rank at most k."""
+        _, result = run_prg(n=24, k=6, m=20, seed=5)
+        joint = BitMatrix.from_array(np.stack(result.outputs))
+        assert joint.rank() <= 6
+
+    def test_m_equals_k_passthrough(self):
+        _, result = run_prg(n=4, k=6, m=6)
+        assert result.cost.rounds == 0
+        for out in result.outputs:
+            assert out.shape == (6,)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MatrixPRGProtocol(0, 4)
+        with pytest.raises(ValueError):
+            MatrixPRGProtocol(5, 4)
+
+
+class TestRandomnessAccounting:
+    def test_private_bits_match_theorem(self):
+        n, k, m = 16, 6, 22
+        _, result = run_prg(n=n, k=k, m=m)
+        cap = seed_bits_per_processor(n, k, m)
+        for used in result.cost.private_bits_per_processor:
+            assert used <= cap
+        # Processor 0 speaks in every broadcast round.
+        assert result.cost.private_bits_per_processor[0] == cap
+
+    def test_output_distribution_matches_prg_dists(self):
+        """The protocol's joint output is distributed as PRGOutput: verify
+        the structural invariants on many runs."""
+        for seed in range(5):
+            protocol, result = run_prg(n=10, k=4, m=12, seed=seed)
+            joint = np.stack(result.outputs)
+            secret = protocol.shared_matrix(result.contexts[0]).to_array()
+            assert np.array_equal(joint[:, 4:], (joint[:, :4] @ secret) % 2)

@@ -1,0 +1,72 @@
+"""Tests for the toy PRG protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_protocol
+from repro.prg import ToyPRGProtocol, toy_prg_rounds
+
+
+def run_toy(n, k, seed=0):
+    protocol = ToyPRGProtocol(k)
+    inputs = np.zeros((n, 1), dtype=np.uint8)
+    return protocol, run_protocol(
+        protocol, inputs, rng=np.random.default_rng(seed)
+    )
+
+
+class TestRounds:
+    def test_round_formula(self):
+        assert toy_prg_rounds(8, 8) == 1
+        assert toy_prg_rounds(8, 9) == 2
+        assert toy_prg_rounds(4, 16) == 4
+        assert toy_prg_rounds(100, 3) == 1
+
+    def test_protocol_uses_formula(self):
+        protocol, result = run_toy(n=6, k=13)
+        assert result.cost.rounds == toy_prg_rounds(6, 13) == 3
+
+
+class TestOutputs:
+    def test_output_shape(self):
+        _, result = run_toy(n=5, k=7)
+        for out in result.outputs:
+            assert out.shape == (8,)
+            assert set(np.unique(out)) <= {0, 1}
+
+    def test_derived_bit_is_inner_product(self):
+        protocol, result = run_toy(n=6, k=9, seed=3)
+        b = protocol.shared_vector(result.contexts[0])
+        for out in result.outputs:
+            assert out[-1] == (out[:-1] @ b) % 2
+
+    def test_all_processors_agree_on_shared_vector(self):
+        protocol, result = run_toy(n=4, k=6, seed=5)
+        vectors = [protocol.shared_vector(c) for c in result.contexts]
+        for v in vectors[1:]:
+            assert np.array_equal(v, vectors[0])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ToyPRGProtocol(0)
+
+
+class TestRandomnessAccounting:
+    def test_private_bits_at_most_k_plus_share(self):
+        n, k = 8, 12
+        protocol, result = run_toy(n=n, k=k)
+        rounds = toy_prg_rounds(n, k)
+        for used in result.cost.private_bits_per_processor:
+            assert used <= k + rounds
+
+    def test_seeds_are_distinct_whp(self):
+        _, result = run_toy(n=10, k=32, seed=7)
+        seeds = {tuple(out[:-1]) for out in result.outputs}
+        assert len(seeds) == 10
+
+    def test_shared_bits_vary_across_runs(self):
+        protocol_a, result_a = run_toy(n=4, k=8, seed=1)
+        protocol_b, result_b = run_toy(n=4, k=8, seed=2)
+        b_a = protocol_a.shared_vector(result_a.contexts[0])
+        b_b = protocol_b.shared_vector(result_b.contexts[0])
+        assert not np.array_equal(b_a, b_b)

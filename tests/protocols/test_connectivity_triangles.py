@@ -1,0 +1,152 @@
+"""Tests for the connectivity and triangle-counting workloads."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import PublicCoins, run_protocol
+from repro.protocols import (
+    ConnectivityProtocol,
+    FullExchangeTriangleProtocol,
+    SampledTriangleProtocol,
+    components_from_labels,
+    count_triangles,
+)
+
+
+def symmetric_graph(n, edges):
+    adj = np.zeros((n, n), dtype=np.uint8)
+    for u, v in edges:
+        adj[u, v] = adj[v, u] = 1
+    return adj
+
+
+class TestConnectivity:
+    def test_two_components(self, rng):
+        adj = symmetric_graph(5, [(0, 1), (1, 2), (3, 4)])
+        result = run_protocol(ConnectivityProtocol(5), adj, rng=rng)
+        labels = [out[0] for out in result.outputs]
+        assert labels == [0, 0, 0, 3, 3]
+        assert all(out[1] == 2 for out in result.outputs)
+
+    def test_connected_graph(self, rng):
+        adj = symmetric_graph(6, [(i, i + 1) for i in range(5)])
+        result = run_protocol(ConnectivityProtocol(6), adj, rng=rng)
+        assert all(out[0] == 0 for out in result.outputs)
+
+    def test_isolated_vertices(self, rng):
+        adj = np.zeros((4, 4), dtype=np.uint8)
+        result = run_protocol(ConnectivityProtocol(4), adj, rng=rng)
+        assert [out[0] for out in result.outputs] == [0, 1, 2, 3]
+        assert all(out[1] == 4 for out in result.outputs)
+
+    def test_early_termination_on_dense_graph(self, rng):
+        """Random graphs have O(1) diameter: the dynamic termination stops
+        after a handful of rounds, far below the worst-case cap n."""
+        n = 24
+        upper = np.triu(rng.integers(0, 2, size=(n, n), dtype=np.uint8), 1)
+        adj = upper | upper.T
+        result = run_protocol(ConnectivityProtocol(n), adj, rng=rng)
+        assert result.cost.rounds <= 5
+
+    def test_message_size_log_n(self):
+        assert ConnectivityProtocol(64).message_size == 6
+        assert ConnectivityProtocol(65).message_size == 7
+
+    def test_matches_networkx(self, rng):
+        networkx = pytest.importorskip("networkx")
+        n = 16
+        upper = np.triu((rng.random((n, n)) < 0.08).astype(np.uint8), 1)
+        adj = upper | upper.T
+        result = run_protocol(ConnectivityProtocol(n), adj, rng=rng)
+        graph = networkx.from_numpy_array(adj)
+        expected = networkx.number_connected_components(graph)
+        assert result.outputs[0][1] == expected
+
+    def test_components_from_labels(self):
+        assert components_from_labels([0, 0, 3, 3, 5]) == 3
+
+
+class TestCountTriangles:
+    def test_triangle(self):
+        adj = symmetric_graph(3, [(0, 1), (1, 2), (0, 2)])
+        assert count_triangles(adj) == 1
+
+    def test_k4_has_four(self):
+        adj = symmetric_graph(4, [(i, j) for i in range(4) for j in range(i)])
+        assert count_triangles(adj) == 4
+
+    def test_no_triangles_in_star(self):
+        adj = symmetric_graph(5, [(0, i) for i in range(1, 5)])
+        assert count_triangles(adj) == 0
+
+    def test_rejects_asymmetric(self):
+        adj = np.zeros((3, 3), dtype=np.uint8)
+        adj[0, 1] = 1
+        with pytest.raises(ValueError):
+            count_triangles(adj)
+
+
+class TestFullExchange:
+    def test_exact_count(self, rng):
+        n = 10
+        upper = np.triu((rng.random((n, n)) < 0.4).astype(np.uint8), 1)
+        adj = upper | upper.T
+        protocol = FullExchangeTriangleProtocol(n)
+        result = run_protocol(protocol, adj, rng=rng)
+        assert all(out == count_triangles(adj) for out in result.outputs)
+
+    def test_round_count(self):
+        protocol = FullExchangeTriangleProtocol(64)  # b = 6
+        assert protocol.num_rounds(64) == math.ceil(64 / 6)
+
+    def test_bcast1_width(self, rng):
+        n = 6
+        adj = symmetric_graph(n, [(0, 1), (1, 2), (0, 2)])
+        protocol = FullExchangeTriangleProtocol(n, message_size=1)
+        result = run_protocol(protocol, adj, rng=rng)
+        assert result.cost.rounds == n
+        assert result.outputs[0] == 1
+
+
+class TestSampledEstimator:
+    def _run(self, adj, t_probes, seed=0):
+        protocol = SampledTriangleProtocol(adj.shape[0], t_probes)
+        public = PublicCoins(np.random.default_rng(seed))
+        return run_protocol(
+            protocol, adj, rng=np.random.default_rng(seed),
+            public_coins=public,
+        )
+
+    def test_unbiased_on_complete_graph(self):
+        n = 8
+        adj = symmetric_graph(n, [(i, j) for i in range(n) for j in range(i)])
+        result = self._run(adj, t_probes=20)
+        assert result.outputs[0] == pytest.approx(math.comb(n, 3))
+
+    def test_zero_on_empty_graph(self):
+        result = self._run(np.zeros((8, 8), dtype=np.uint8), t_probes=20)
+        assert result.outputs[0] == 0.0
+
+    def test_estimate_converges(self, rng):
+        n = 12
+        upper = np.triu((rng.random((n, n)) < 0.5).astype(np.uint8), 1)
+        adj = upper | upper.T
+        truth = count_triangles(adj)
+        estimates = [
+            self._run(adj, t_probes=300, seed=s).outputs[0] for s in range(5)
+        ]
+        mean = float(np.mean(estimates))
+        assert abs(mean - truth) < 0.5 * max(truth, 1)
+
+    def test_requires_public_coins(self, rng):
+        protocol = SampledTriangleProtocol(5, 3)
+        with pytest.raises(ValueError):
+            run_protocol(protocol, np.zeros((5, 5), dtype=np.uint8), rng=rng)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SampledTriangleProtocol(2, 5)
+        with pytest.raises(ValueError):
+            SampledTriangleProtocol(5, 0)

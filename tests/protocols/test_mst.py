@@ -1,0 +1,167 @@
+"""Tests for the Borůvka MST protocol and K4 counting (Section 9 problems)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run_protocol
+from repro.protocols import (
+    BoruvkaMSTProtocol,
+    count_k4,
+    decode_weight_row,
+    encode_weight_matrix,
+    mst_reference_weight,
+)
+
+
+def random_weights(n, weight_bits, rng):
+    upper = np.triu(
+        rng.integers(1, (1 << weight_bits) - 1, size=(n, n)), 1
+    )
+    return upper + upper.T
+
+
+class TestEncoding:
+    def test_roundtrip(self, rng):
+        weights = random_weights(6, 5, rng)
+        rows = encode_weight_matrix(weights, 5)
+        for i in range(6):
+            assert np.array_equal(decode_weight_row(rows[i], 5), weights[i])
+
+    def test_rejects_asymmetric(self):
+        weights = np.zeros((3, 3), dtype=np.int64)
+        weights[0, 1] = 1
+        with pytest.raises(ValueError):
+            encode_weight_matrix(weights, 4)
+
+    def test_rejects_overflow(self):
+        weights = np.full((2, 2), 20, dtype=np.int64)
+        np.fill_diagonal(weights, 0)
+        weights[0, 1] = weights[1, 0] = 16
+        with pytest.raises(ValueError):
+            encode_weight_matrix(weights, 4)
+
+    def test_bad_row_length(self):
+        with pytest.raises(ValueError):
+            decode_weight_row(np.zeros(7, dtype=np.uint8), 4)
+
+
+class TestBoruvka:
+    def _solve(self, weights, weight_bits, seed=0):
+        n = weights.shape[0]
+        rows = encode_weight_matrix(weights, weight_bits)
+        protocol = BoruvkaMSTProtocol(n, weight_bits)
+        result = run_protocol(
+            protocol, rows, rng=np.random.default_rng(seed)
+        )
+        return result
+
+    def test_matches_prim_weight(self, rng):
+        for _ in range(5):
+            weights = random_weights(9, 6, rng)
+            result = self._solve(weights, 6)
+            edges, total = result.outputs[0]
+            assert total == mst_reference_weight(weights)
+            assert len(edges) == 8  # spanning tree of 9 vertices
+
+    def test_tree_is_spanning_and_acyclic(self, rng):
+        networkx = pytest.importorskip("networkx")
+        weights = random_weights(10, 6, rng)
+        edges, _ = self._solve(weights, 6).outputs[0]
+        graph = networkx.Graph(list(edges))
+        graph.add_nodes_from(range(10))
+        assert networkx.is_tree(graph)
+
+    def test_all_processors_agree(self, rng):
+        weights = random_weights(7, 5, rng)
+        result = self._solve(weights, 5)
+        assert len(set(result.outputs)) == 1
+
+    def test_logarithmic_rounds(self, rng):
+        n = 16
+        weights = random_weights(n, 7, rng)
+        result = self._solve(weights, 7)
+        assert result.cost.rounds <= int(np.ceil(np.log2(n))) + 2
+
+    def test_path_like_weights(self):
+        """Adversarial weights forcing sequential merges still finish
+        within the Boruvka phase cap (components at least halve)."""
+        n = 8
+        weights = np.full((n, n), 60, dtype=np.int64)
+        np.fill_diagonal(weights, 0)
+        for i in range(n - 1):
+            weights[i, i + 1] = weights[i + 1, i] = i + 1
+        result = self._solve(weights, 6)
+        edges, total = result.outputs[0]
+        assert total == sum(range(1, n))  # the path is the MST
+        assert len(edges) == n - 1
+
+    def test_duplicate_weights_unique_mst(self, rng):
+        """All-equal weights: the tie-broken MST is still a spanning tree
+        and all processors agree on the same one."""
+        n = 6
+        weights = np.full((n, n), 5, dtype=np.int64)
+        np.fill_diagonal(weights, 0)
+        result = self._solve(weights, 4)
+        edges, total = result.outputs[0]
+        assert len(edges) == n - 1
+        assert total == 5 * (n - 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoruvkaMSTProtocol(1, 4)
+        with pytest.raises(ValueError):
+            BoruvkaMSTProtocol(4, 0)
+
+
+@given(n=st.integers(4, 9), seed=st.integers(0, 2**31))
+@settings(max_examples=20, deadline=None)
+def test_boruvka_weight_property(n, seed):
+    """Random weight matrices: protocol MST weight == Prim reference."""
+    rng = np.random.default_rng(seed)
+    upper = np.triu(rng.integers(1, 62, size=(n, n)), 1)
+    weights = upper + upper.T
+    rows = encode_weight_matrix(weights, 6)
+    protocol = BoruvkaMSTProtocol(n, 6)
+    result = run_protocol(protocol, rows, rng=np.random.default_rng(0))
+    edges, total = result.outputs[0]
+    assert total == mst_reference_weight(weights)
+    assert len(edges) == n - 1
+
+
+class TestCountK4:
+    def test_k4_graph(self):
+        adj = np.ones((4, 4), dtype=np.uint8)
+        np.fill_diagonal(adj, 0)
+        assert count_k4(adj) == 1
+
+    def test_k5_has_five(self):
+        adj = np.ones((5, 5), dtype=np.uint8)
+        np.fill_diagonal(adj, 0)
+        assert count_k4(adj) == 5  # C(5, 4)
+
+    def test_triangle_has_none(self):
+        adj = np.zeros((4, 4), dtype=np.uint8)
+        for u, v in [(0, 1), (1, 2), (0, 2)]:
+            adj[u, v] = adj[v, u] = 1
+        assert count_k4(adj) == 0
+
+    def test_matches_brute_force(self, rng):
+        from itertools import combinations
+
+        n = 9
+        upper = np.triu((rng.random((n, n)) < 0.6).astype(np.uint8), 1)
+        adj = upper | upper.T
+        brute = sum(
+            1
+            for quad in combinations(range(n), 4)
+            if all(adj[a, b] for a, b in combinations(quad, 2))
+        )
+        assert count_k4(adj) == brute
+
+    def test_rejects_asymmetric(self):
+        adj = np.zeros((3, 3), dtype=np.uint8)
+        adj[0, 1] = 1
+        with pytest.raises(ValueError):
+            count_k4(adj)

@@ -1,0 +1,103 @@
+"""Tests for the parity and equality workload protocols."""
+
+import numpy as np
+import pytest
+
+from repro.core import PublicCoins, run_protocol
+from repro.protocols import (
+    DeterministicEqualityProtocol,
+    FingerprintEqualityProtocol,
+    GlobalParityProtocol,
+    fingerprint_error_bound,
+)
+
+
+class TestGlobalParity:
+    def test_computes_parity(self, rng):
+        for _ in range(10):
+            inputs = rng.integers(0, 2, size=(5, 7), dtype=np.uint8)
+            result = run_protocol(GlobalParityProtocol(), inputs, rng=rng)
+            expected = int(inputs.sum()) % 2
+            assert all(out == expected for out in result.outputs)
+
+    def test_single_round_no_coins(self, rng):
+        inputs = rng.integers(0, 2, size=(4, 4), dtype=np.uint8)
+        result = run_protocol(GlobalParityProtocol(), inputs, rng=rng)
+        assert result.cost.rounds == 1
+        assert result.cost.total_private_bits == 0
+
+
+class TestDeterministicEquality:
+    def test_accepts_equal(self, rng):
+        row = rng.integers(0, 2, size=6, dtype=np.uint8)
+        inputs = np.tile(row, (4, 1))
+        result = run_protocol(DeterministicEqualityProtocol(6), inputs, rng=rng)
+        assert all(out == 1 for out in result.outputs)
+
+    def test_rejects_unequal(self, rng):
+        row = rng.integers(0, 2, size=6, dtype=np.uint8)
+        inputs = np.tile(row, (4, 1))
+        inputs[2, 3] ^= 1
+        result = run_protocol(DeterministicEqualityProtocol(6), inputs, rng=rng)
+        assert all(out == 0 for out in result.outputs)
+
+    def test_round_count_is_m(self, rng):
+        inputs = np.zeros((3, 9), dtype=np.uint8)
+        result = run_protocol(DeterministicEqualityProtocol(9), inputs, rng=rng)
+        assert result.cost.rounds == 9
+
+    def test_invalid_m(self):
+        with pytest.raises(ValueError):
+            DeterministicEqualityProtocol(0)
+
+
+class TestFingerprintEquality:
+    def _run(self, inputs, t_probes, seed=0):
+        protocol = FingerprintEqualityProtocol(inputs.shape[1], t_probes)
+        public = PublicCoins(np.random.default_rng(seed))
+        return run_protocol(
+            protocol, inputs,
+            rng=np.random.default_rng(seed + 1),
+            public_coins=public,
+        )
+
+    def test_always_accepts_equal(self, rng):
+        row = rng.integers(0, 2, size=16, dtype=np.uint8)
+        inputs = np.tile(row, (5, 1))
+        for seed in range(5):
+            result = self._run(inputs, t_probes=4, seed=seed)
+            assert all(out == 1 for out in result.outputs)
+
+    def test_catches_unequal_whp(self, rng):
+        row = rng.integers(0, 2, size=16, dtype=np.uint8)
+        inputs = np.tile(row, (5, 1))
+        inputs[3] = rng.integers(0, 2, size=16, dtype=np.uint8)
+        caught = sum(
+            1 - self._run(inputs, t_probes=8, seed=s).outputs[0]
+            for s in range(10)
+        )
+        assert caught >= 9  # error bound 2^-8 per run
+
+    def test_exponential_round_saving(self, rng):
+        """The separation: 8 rounds of fingerprints vs m = 256 rounds
+        deterministic, with error only 2^-8."""
+        m = 256
+        row = rng.integers(0, 2, size=m, dtype=np.uint8)
+        inputs = np.tile(row, (4, 1))
+        result = self._run(inputs, t_probes=8)
+        assert result.cost.rounds == 8
+        assert DeterministicEqualityProtocol(m).num_rounds(4) == m
+        assert fingerprint_error_bound(8) == pytest.approx(2**-8)
+
+    def test_requires_public_coins(self, rng):
+        protocol = FingerprintEqualityProtocol(4, 2)
+        with pytest.raises(ValueError):
+            run_protocol(protocol, np.zeros((3, 4), dtype=np.uint8), rng=rng)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FingerprintEqualityProtocol(0, 2)
+        with pytest.raises(ValueError):
+            FingerprintEqualityProtocol(4, 0)
+        with pytest.raises(ValueError):
+            fingerprint_error_bound(-1)

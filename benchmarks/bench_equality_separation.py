@@ -18,16 +18,20 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).parent))
 from _util import print_table
 
-from repro.core import PublicCoins, run_protocol
+from repro.core import Engine, ParallelExecutor, PublicCoins, RunSpec, run_protocol
 from repro.protocols import (
     DeterministicEqualityProtocol,
     FingerprintEqualityProtocol,
     fingerprint_error_bound,
 )
 
+# The per-t error estimation is a 200-trial engine batch (each trial gets
+# a fresh protocol copy and fresh public coins from its spawned seed),
+# pooled across cores where available.
+EXECUTOR = ParallelExecutor()
+
 M = 128
 N = 8
-
 
 def compute_table():
     rows = []
@@ -43,24 +47,22 @@ def compute_table():
     assert result_eq.outputs[0] == 1 and result_ne.outputs[0] == 0
     rows.append(["deterministic", result_eq.cost.rounds, 0.0, 0])
 
+    engine = Engine(EXECUTOR)
     for t in (2, 4, 8, 16):
-        errors = 0
         trials = 200
-        public_bits = 0
-        for s in range(trials):
-            protocol = FingerprintEqualityProtocol(M, t)
-            public = PublicCoins(np.random.default_rng(s))
-            result = run_protocol(
-                protocol, unequal_inputs,
-                rng=np.random.default_rng(s), public_coins=public,
-            )
-            errors += result.outputs[0]  # accepting unequal = error
-            public_bits = public.bits_used
+        spec = RunSpec(
+            protocol=FingerprintEqualityProtocol(M, t),
+            inputs=unequal_inputs,
+            seed=t,
+            public_coins=PublicCoins,  # fresh source per trial
+        )
+        batch = engine.run_batch(spec, trials)
+        errors = int(batch.decisions().sum())  # accepting unequal = error
+        public_bits = int(batch.public_bits[0])
         rows.append(
             [f"fingerprint t={t}", t, errors / trials, public_bits]
         )
     return rows
-
 
 def test_equality_separation(benchmark):
     rows = benchmark.pedantic(compute_table, rounds=1, iterations=1)

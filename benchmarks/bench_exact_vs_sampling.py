@@ -14,7 +14,7 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).parent))
 from _util import print_table
 
-from repro.core import FunctionProtocol
+from repro.core import FunctionProtocol, ParallelExecutor
 from repro.distinguish import (
     ProtocolSpec,
     estimate_transcript_distance,
@@ -25,20 +25,23 @@ from repro.distributions import PlantedClique, RandomDigraph
 
 N = 6
 K = 3
+THRESHOLD = (N - 1) / 2 + 0.5
 
+# Sampling runs through the execution engine on a process pool (a no-op
+# on 1-core hosts, where the pool runs in-process).  The next-message
+# functions live at module level so the protocol pickles into pool workers.
+EXECUTOR = ParallelExecutor()
+
+def _vector_fn(i, rows, p):
+    return (rows.sum(axis=1) >= THRESHOLD).astype(np.int64)
+
+def _row_fn(i, row, p):
+    return int(row.sum() >= THRESHOLD)
 
 def specs():
-    threshold = (N - 1) / 2 + 0.5
-
-    def fn(i, rows, p):
-        return (rows.sum(axis=1) >= threshold).astype(np.int64)
-
-    spec = ProtocolSpec(N, 1, fn, sees_current_round=False)
-    protocol = FunctionProtocol(
-        1, lambda i, row, p: int(row.sum() >= threshold)
-    )
+    spec = ProtocolSpec(N, 1, _vector_fn, sees_current_round=False)
+    protocol = FunctionProtocol(1, _row_fn)
     return spec, protocol
-
 
 def compute_table():
     spec, protocol = specs()
@@ -55,11 +58,10 @@ def compute_table():
     rng = np.random.default_rng(99)
     for samples in (100, 400, 1600, 6400):
         ci = estimate_transcript_distance(
-            protocol, reference, mixture, samples, rng
+            protocol, reference, mixture, samples, rng, executor=EXECUTOR
         )
         rows.append([samples, ci.estimate, exact, ci.estimate - exact])
     return rows
-
 
 def test_exact_vs_sampling(benchmark):
     rows = benchmark.pedantic(compute_table, rounds=1, iterations=1)

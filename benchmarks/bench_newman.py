@@ -17,9 +17,12 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).parent))
 from _util import print_table
 
-from repro.core import Protocol
+from repro.core import ParallelExecutor, Protocol
 from repro.prg import NewmanCompiled, newman_public_bits, simulation_error
 
+# Both the fresh-randomness and compiled sample sets run through the
+# execution engine on a process pool (in-process on 1-core hosts).
+EXECUTOR = ParallelExecutor()
 
 class ParityNoisePayload(Protocol):
     """Two rounds of input-parity-plus-coin broadcasts."""
@@ -33,7 +36,6 @@ class ParityNoisePayload(Protocol):
     def output(self, proc):
         return sum(e.message for e in proc.transcript) % 2
 
-
 def compute_table():
     protocol = ParityNoisePayload()
     inputs = np.ones((2, 3), dtype=np.uint8)  # 4-bit transcript space
@@ -46,10 +48,10 @@ def compute_table():
             inputs,
             n_samples=2500,
             rng=np.random.default_rng(100 + t),
+            executor=EXECUTOR,
         )
         rows.append([t, newman_public_bits(t), error, (1 / t) ** 0.5])
     return rows
-
 
 def test_theorem_a_1(benchmark):
     rows = benchmark.pedantic(compute_table, rounds=1, iterations=1)

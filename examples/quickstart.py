@@ -1,19 +1,24 @@
-"""Quickstart: run a protocol in the Broadcast Congested Clique simulator.
+"""Quickstart: run protocols through the unified execution engine.
 
-This walks the three core objects of the library:
+This walks the core objects of the library:
 
 1. a :class:`Protocol` — what every processor does each round;
-2. :func:`run_protocol` — execute it on an input matrix (row i is
-   processor i's private input) and get outputs + transcript + costs;
+2. :class:`RunSpec` / :class:`Engine` — describe one execution (protocol,
+   input source, scheduler, master seed) and run it, or run an N-trial
+   batch whose trials are independently seeded and executor-agnostic;
 3. the PRG of Theorem 1.3 — generate per-processor pseudo-random strings
    that no low-round protocol can tell from fresh coins.
+
+(:func:`run_protocol` remains as a one-line wrapper over the engine for
+single executions.)
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.core import Protocol, run_protocol
+from repro.core import Engine, Protocol, RunSpec, run_protocol
+from repro.distributions import UniformRows
 from repro.linalg import BitMatrix
 from repro.prg import MatrixPRGProtocol
 
@@ -34,12 +39,23 @@ class ParityPoll(Protocol):
 
 def main() -> None:
     rng = np.random.default_rng(0)
+    engine = Engine()  # SerialExecutor; Engine("parallel") uses all cores
 
     # --- 1/2: a tiny protocol over 8 processors with 16-bit inputs -----
     inputs = rng.integers(0, 2, size=(8, 16), dtype=np.uint8)
-    result = run_protocol(ParityPoll(), inputs, rng=rng)
+    result = engine.run(RunSpec(protocol=ParityPoll(), inputs=inputs, seed=0))
     print("ParityPoll outputs:", result.outputs)
     print("cost:", result.cost.summary())
+    print()
+
+    # --- 2b: the same protocol as a seeded 100-trial batch -------------
+    # Trials sample fresh inputs and coins from spawned per-trial seeds,
+    # so the BatchResult is bit-identical on every executor backend.
+    spec = RunSpec(protocol=ParityPoll(), distribution=UniformRows(8, 16), seed=7)
+    batch = engine.run_batch(spec, trials=100)
+    odd_counts = np.array(batch.outputs_of(0))
+    print(f"batch of {len(batch)} trials: {batch.cost_summary()}")
+    print(f"mean odd-row count: {odd_counts.mean():.2f} (expect ~4)")
     print()
 
     # --- 3: the PRG of Theorem 1.3 ------------------------------------

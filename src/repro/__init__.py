@@ -20,17 +20,33 @@ A faithful, executable reproduction of Chen & Grossman (PODC 2019):
 * :mod:`repro.distinguish` — exact transcript distributions and
   Monte-Carlo advantage estimation with concrete distinguishers.
 
-Quickstart::
+Quickstart — describe an execution with :class:`~repro.core.RunSpec` and
+run it through the :class:`~repro.core.Engine`::
 
     import numpy as np
-    from repro.core import run_protocol
+    from repro.core import Engine, RunSpec
     from repro.prg import MatrixPRGProtocol
 
     prg = MatrixPRGProtocol(k=16, m=64)
     inputs = np.zeros((32, 1), dtype=np.uint8)   # PRG ignores inputs
-    result = run_protocol(prg, inputs, rng=np.random.default_rng(0))
+    spec = RunSpec(protocol=prg, inputs=inputs, seed=0)
+
+    result = Engine().run(spec)                  # one full execution
     print(result.cost.summary())
     print(result.outputs[0])   # 64 pseudo-random bits for processor 0
+
+    # N independent trials; Engine("parallel") fans them out over a
+    # process pool with bit-identical results (SeedSequence.spawn seeding)
+    batch = Engine("parallel").run_batch(spec, trials=100)
+    print(batch.cost_summary())
+
+Specs can sample a fresh input per trial instead of fixing one
+(``RunSpec(protocol=..., distribution=UniformRows(8, 16), seed=7)``), and
+the Monte-Carlo estimators in :mod:`repro.distinguish`,
+:mod:`repro.prg.newman`, :mod:`repro.lowerbounds.hierarchy` and
+:mod:`repro.analysis.sweep` all accept an ``executor=`` selecting the same
+backends.  :func:`repro.core.run_protocol` remains as a one-line wrapper
+over the engine for single executions.
 """
 
 __version__ = "1.0.0"

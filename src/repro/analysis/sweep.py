@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
+from ..core.engine import Executor, resolve_executor
 from .scaling import ExponentialFit, PowerLawFit, fit_exponential_decay, fit_power_law
 
 __all__ = ["SweepPoint", "SweepResult", "run_sweep"]
@@ -71,22 +72,46 @@ class SweepResult:
         return [p[key] for p in self.points]
 
 
-def run_sweep(
-    grid: Iterable[Mapping[str, Any]],
-    measure: Callable[..., Mapping[str, float]],
-) -> SweepResult:
-    """Run ``measure(**params)`` for every grid point.
+class _MeasureCall:
+    """Picklable ``params → measure(**params)`` wrapper for executors.
 
-    ``measure`` returns a mapping of measured values; parameters and
-    values are kept side by side in the result.
+    Validates the return type here, inside the mapped call, so a bad
+    ``measure`` fails on its first grid point instead of after the whole
+    (possibly expensive, possibly pooled) sweep has run.
     """
-    result = SweepResult()
-    for params in grid:
-        values = measure(**params)
+
+    def __init__(self, measure: Callable[..., Mapping[str, float]]):
+        self.measure = measure
+
+    def __call__(self, params: Mapping[str, Any]) -> Mapping[str, float]:
+        values = self.measure(**params)
         if not isinstance(values, Mapping):
             raise TypeError(
                 "measure must return a mapping of named values, got "
                 f"{type(values).__name__}"
             )
+        return values
+
+
+def run_sweep(
+    grid: Iterable[Mapping[str, Any]],
+    measure: Callable[..., Mapping[str, float]],
+    executor: Executor | str | None = None,
+) -> SweepResult:
+    """Run ``measure(**params)`` for every grid point.
+
+    ``measure`` returns a mapping of measured values; parameters and
+    values are kept side by side in the result.  ``executor`` selects the
+    engine backend grid points run on: the default runs them serially in
+    order, ``"parallel"`` / a
+    :class:`~repro.core.engine.ParallelExecutor` spreads independent
+    points over a process pool (``measure`` must then be picklable —
+    module-level functions and :func:`functools.partial` are, closures
+    are not and fall back to serial with a warning).
+    """
+    grid = list(grid)
+    result = SweepResult()
+    all_values = resolve_executor(executor).map(_MeasureCall(measure), grid)
+    for params, values in zip(grid, all_values):
         result.points.append(SweepPoint(params=dict(params), values=dict(values)))
     return result

@@ -7,6 +7,17 @@ standard variant.
 """
 
 from .compile import Bcast1Compiled, compiled_round_count
+from .engine import (
+    BatchResult,
+    Engine,
+    Executor,
+    ParallelExecutor,
+    RunSpec,
+    SerialExecutor,
+    TrialResult,
+    derive_seed,
+    resolve_executor,
+)
 from .errors import (
     BroadcastCliqueError,
     MessageSizeError,
@@ -26,6 +37,15 @@ from .transcript import BroadcastEvent, Transcript
 __all__ = [
     "Bcast1Compiled",
     "compiled_round_count",
+    "BatchResult",
+    "Engine",
+    "Executor",
+    "ParallelExecutor",
+    "RunSpec",
+    "SerialExecutor",
+    "TrialResult",
+    "derive_seed",
+    "resolve_executor",
     "BroadcastCliqueError",
     "MessageSizeError",
     "ProtocolViolation",

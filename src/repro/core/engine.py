@@ -1,0 +1,621 @@
+"""The unified execution engine: ``RunSpec`` → ``Engine`` → ``BatchResult``.
+
+Every experiment in this reproduction ultimately executes a
+:class:`~repro.core.protocol.Protocol` many times — Monte-Carlo advantage
+estimators, Newman-compilation error measurements, accuracy sweeps,
+benchmarks.  Historically each of those re-implemented its own serial
+``for _ in range(n_samples): run_protocol(...)`` loop.  This module makes
+the *N-trial execution* a first-class object instead:
+
+* :class:`RunSpec` — a frozen description of one execution: the protocol,
+  the input source (a fixed matrix *or* an
+  :class:`~repro.distributions.base.InputDistribution` sampled afresh each
+  trial), the scheduler, budgets, an optional rounds override, and a
+  master ``seed``.
+* :class:`Engine` — executes specs.  :meth:`Engine.run` performs a single
+  full-fidelity execution (returning the usual
+  :class:`~repro.core.simulator.ExecutionResult`);
+  :meth:`Engine.run_batch` executes ``trials`` statistically independent
+  trials and aggregates them into a :class:`BatchResult`.
+* :class:`Executor` backends — :class:`SerialExecutor` runs trials in the
+  calling process; :class:`ParallelExecutor` fans them out over a
+  ``concurrent.futures.ProcessPoolExecutor``.
+
+**Determinism.**  Batch trials are seeded with
+``np.random.SeedSequence(seed).spawn(trials)``: trial ``t`` always receives
+the same spawned child regardless of which backend runs it or in what
+order, so serial and parallel executions of the same spec are
+*bit-identical*.  Each trial also gets a fresh deep copy of the protocol
+object, making trials independent even for protocols that cache state on
+``self``.
+
+**Picklability.**  The process-pool backend needs the spec (protocol,
+distribution, scheduler) to be picklable.  Library protocols are;
+:class:`~repro.core.protocol.FunctionProtocol` built from a lambda is not —
+:class:`ParallelExecutor` detects this up front and falls back to serial
+execution with a warning rather than failing.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+import numpy as np
+
+from .errors import SchedulingError
+from .network import CostReport
+from .protocol import Protocol
+from .randomness import CoinSource
+from .scheduler import RoundScheduler, Scheduler, TurnScheduler
+from .transcript import Transcript
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..distributions.base import InputDistribution
+    from .simulator import ExecutionResult
+
+__all__ = [
+    "RunSpec",
+    "TrialResult",
+    "BatchResult",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "Engine",
+    "resolve_executor",
+    "derive_seed",
+]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Derive a batch master seed from a caller-supplied generator.
+
+    The bridge between the library's ``rng``-parameter convention and the
+    engine's seed-based batches: the same generator state yields the same
+    batch, and the generator advances so successive calls draw fresh
+    batches.
+    """
+    return int(rng.integers(0, 2**63))
+
+
+def _resolve_scheduler(scheduler: Scheduler | str) -> Scheduler:
+    if isinstance(scheduler, Scheduler):
+        return scheduler
+    if scheduler == "round":
+        return RoundScheduler()
+    if scheduler == "turn":
+        return TurnScheduler()
+    raise SchedulingError(f"unknown scheduler name {scheduler!r}")
+
+
+# ----------------------------------------------------------------------
+# RunSpec
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class RunSpec:
+    """A frozen description of one protocol execution.
+
+    Parameters
+    ----------
+    protocol:
+        The protocol to run, or a zero-argument factory returning one
+        (use :func:`functools.partial` for picklable factories).  Batch
+        trials never share protocol state: each trial runs on a fresh
+        ``deepcopy`` of the instance (or a fresh factory call).
+    inputs:
+        Fixed ``n × m`` 0/1 input matrix, reused by every trial.
+        Mutually exclusive with ``distribution``.
+    distribution:
+        An :class:`~repro.distributions.base.InputDistribution`; each
+        trial samples a fresh input matrix from it.
+    scheduler:
+        ``"round"``, ``"turn"`` or a :class:`Scheduler` instance.
+    seed:
+        Master seed (int or :class:`numpy.random.SeedSequence`).  Batch
+        trial ``t`` is driven by child ``t`` of
+        ``SeedSequence(seed).spawn(trials)``; ``None`` means fresh OS
+        entropy (non-reproducible).
+    rounds:
+        Optional override of the protocol's own ``num_rounds``.
+    private_bit_budget:
+        Per-processor cap on private random bits.
+    public_coins:
+        Either a :class:`CoinSource` instance (single runs only) or a
+        factory ``rng → CoinSource`` called once per trial with the
+        trial's generator — the :class:`~repro.core.randomness.PublicCoins`
+        class itself is such a factory.
+    record_inputs:
+        Keep each trial's input matrix on its :class:`TrialResult`
+        (needed by accuracy estimators that compare against a target
+        function of the input).
+    record_transcripts:
+        Keep each trial's full :class:`Transcript` (not just its key).
+    """
+
+    protocol: Protocol | Callable[[], Protocol]
+    inputs: np.ndarray | None = None
+    distribution: "InputDistribution | None" = None
+    scheduler: Scheduler | str = "round"
+    seed: int | np.random.SeedSequence | None = None
+    rounds: int | None = None
+    private_bit_budget: int | None = None
+    public_coins: CoinSource | Callable[[np.random.Generator], CoinSource] | None = None
+    record_inputs: bool = False
+    record_transcripts: bool = False
+
+    def __post_init__(self):
+        if (self.inputs is None) == (self.distribution is None):
+            raise ValueError(
+                "RunSpec needs exactly one input source: pass `inputs` "
+                "(a fixed matrix) or `distribution` (sampled per trial)"
+            )
+        if self.inputs is not None:
+            array = np.asarray(self.inputs, dtype=np.uint8)
+            if array.ndim != 2:
+                raise ValueError(
+                    f"inputs must be a 2-D array, got shape {array.shape}"
+                )
+            object.__setattr__(self, "inputs", array)
+        if not (isinstance(self.protocol, Protocol) or callable(self.protocol)):
+            raise TypeError(
+                "protocol must be a Protocol instance or a factory callable, "
+                f"got {type(self.protocol).__name__}"
+            )
+        # Fail fast on bad scheduler names instead of inside a worker.
+        _resolve_scheduler(self.scheduler)
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """The master :class:`~numpy.random.SeedSequence` of this spec."""
+        if isinstance(self.seed, np.random.SeedSequence):
+            return self.seed
+        return np.random.SeedSequence(self.seed)
+
+    def fresh_protocol(self) -> Protocol:
+        """A protocol instance private to one trial."""
+        if isinstance(self.protocol, Protocol):
+            return copy.deepcopy(self.protocol)
+        protocol = self.protocol()
+        if not isinstance(protocol, Protocol):
+            raise TypeError(
+                "protocol factory must return a Protocol, got "
+                f"{type(protocol).__name__}"
+            )
+        return protocol
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class TrialResult:
+    """The lightweight outcome of one batch trial.
+
+    Mirrors the parts of :class:`~repro.core.simulator.ExecutionResult`
+    that batch consumers need (outputs, transcript key, cost report) while
+    staying cheap to ship across process boundaries.  ``inputs`` /
+    ``transcript`` are populated only when the spec asked for them.
+    """
+
+    trial_index: int
+    outputs: list[Any]
+    transcript_key: tuple[int, ...]
+    cost: CostReport
+    inputs: np.ndarray | None = None
+    transcript: Transcript | None = None
+
+    def output_of(self, proc_id: int) -> Any:
+        return self.outputs[proc_id]
+
+
+@dataclass
+class BatchResult:
+    """Aggregated outcome of ``Engine.run_batch``.
+
+    Holds the per-trial :class:`TrialResult` records plus vectorized views
+    over their :class:`~repro.core.network.CostReport` fields.
+    """
+
+    trials: list[TrialResult] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    def __iter__(self):
+        return iter(self.trials)
+
+    def __getitem__(self, index: int) -> TrialResult:
+        return self.trials[index]
+
+    # -- per-trial views ------------------------------------------------
+    @property
+    def outputs(self) -> list[list[Any]]:
+        """``outputs[t][i]`` is processor ``i``'s output in trial ``t``."""
+        return [t.outputs for t in self.trials]
+
+    @property
+    def transcript_keys(self) -> list[tuple[int, ...]]:
+        return [t.transcript_key for t in self.trials]
+
+    @property
+    def costs(self) -> list[CostReport]:
+        return [t.cost for t in self.trials]
+
+    def outputs_of(self, proc_id: int) -> list[Any]:
+        """Processor ``proc_id``'s output in every trial."""
+        return [t.outputs[proc_id] for t in self.trials]
+
+    def decisions(self, proc_id: int = 0) -> np.ndarray:
+        """Processor ``proc_id``'s outputs coerced to a 0/1 uint8 vector."""
+        return np.fromiter(
+            (int(bool(t.outputs[proc_id])) for t in self.trials),
+            dtype=np.uint8,
+            count=len(self.trials),
+        )
+
+    def key_counts(self) -> dict[tuple[int, ...], int]:
+        """Histogram of transcript keys across trials."""
+        counts: dict[tuple[int, ...], int] = {}
+        for key in self.transcript_keys:
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # -- vectorized cost statistics -------------------------------------
+    def _cost_array(self, attr: str) -> np.ndarray:
+        return np.fromiter(
+            (getattr(t.cost, attr) for t in self.trials),
+            dtype=np.int64,
+            count=len(self.trials),
+        )
+
+    @property
+    def rounds(self) -> np.ndarray:
+        return self._cost_array("rounds")
+
+    @property
+    def turns(self) -> np.ndarray:
+        return self._cost_array("turns")
+
+    @property
+    def broadcast_bits(self) -> np.ndarray:
+        return self._cost_array("broadcast_bits")
+
+    @property
+    def total_private_bits(self) -> np.ndarray:
+        return self._cost_array("total_private_bits")
+
+    @property
+    def max_private_bits(self) -> np.ndarray:
+        return self._cost_array("max_private_bits")
+
+    @property
+    def public_bits(self) -> np.ndarray:
+        return self._cost_array("public_bits")
+
+    def cost_totals(self) -> dict[str, int]:
+        """Summed resource usage over the whole batch."""
+        return {
+            "rounds": int(self.rounds.sum()),
+            "turns": int(self.turns.sum()),
+            "broadcast_bits": int(self.broadcast_bits.sum()),
+            "total_private_bits": int(self.total_private_bits.sum()),
+            "public_bits": int(self.public_bits.sum()),
+        }
+
+    def cost_summary(self) -> str:
+        if not self.trials:
+            return "empty batch"
+        totals = self.cost_totals()
+        return (
+            f"{len(self.trials)} trials, "
+            f"{totals['broadcast_bits']} bits on the wire, "
+            f"mean {self.rounds.mean():.2f} rounds/trial, "
+            f"{totals['total_private_bits']} private + "
+            f"{totals['public_bits']} public random bits"
+        )
+
+
+# ----------------------------------------------------------------------
+# Trial runner (module level so process pools can pickle it)
+# ----------------------------------------------------------------------
+class _TrialRunner:
+    """Callable shipping a spec to workers: ``(index, SeedSequence) → TrialResult``."""
+
+    def __init__(self, spec: RunSpec):
+        self.spec = spec
+
+    def __call__(self, task: tuple[int, np.random.SeedSequence]) -> TrialResult:
+        index, seed_seq = task
+        spec = self.spec
+        rng = np.random.default_rng(seed_seq)
+        protocol = spec.fresh_protocol()
+        if spec.distribution is not None:
+            inputs = spec.distribution.sample(rng)
+        else:
+            inputs = spec.inputs
+        public = spec.public_coins
+        if public is not None and not isinstance(public, CoinSource):
+            public = public(rng)
+        result = _execute(
+            protocol,
+            inputs,
+            _resolve_scheduler(spec.scheduler),
+            rng,
+            spec.rounds,
+            spec.private_bit_budget,
+            public,
+        )
+        return TrialResult(
+            trial_index=index,
+            outputs=result.outputs,
+            transcript_key=result.transcript.key(),
+            cost=result.cost,
+            inputs=inputs if spec.record_inputs else None,
+            transcript=result.transcript if spec.record_transcripts else None,
+        )
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+class Executor:
+    """Maps a function over items, preserving order.
+
+    The engine builds batches on top of :meth:`map`; other subsystems
+    (parameter sweeps, the Newman compiler) reuse the same primitive for
+    their own trial shapes.
+    """
+
+    name: str = "executor"
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """Run every item in the calling process, in order."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        return [fn(item) for item in items]
+
+
+class ParallelExecutor(Executor):
+    """Fan items out over a process pool.
+
+    Results are returned in submission order, so any deterministic ``fn``
+    produces output identical to :class:`SerialExecutor`.  If ``fn`` (or
+    its captured state) cannot be pickled the executor falls back to
+    serial execution with a :class:`RuntimeWarning` instead of raising —
+    lambdas and closures stay usable everywhere, they just don't
+    parallelize.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    chunksize:
+        Items per task shipped to a worker; defaults to
+        ``ceil(len(items) / (4 * max_workers))`` to amortize IPC.
+    """
+
+    name = "parallel"
+
+    def __init__(self, max_workers: int | None = None, chunksize: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        self.chunksize = chunksize
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        items = list(items)
+        if len(items) <= 1 or self.max_workers == 1:
+            return [fn(item) for item in items]
+        try:
+            pickle.dumps((fn, items[0]))
+        except Exception as exc:
+            return self._serial_fallback(fn, items, exc)
+        workers = min(self.max_workers, len(items))
+        chunksize = self.chunksize or max(1, math.ceil(len(items) / (4 * workers)))
+        try:
+            with _PoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, items, chunksize=chunksize))
+        except pickle.PicklingError as exc:
+            # A later item slipped past the sample pre-check.  Trials are
+            # pure, so rerunning from scratch in-process is safe.
+            return self._serial_fallback(fn, items, exc)
+
+    @staticmethod
+    def _serial_fallback(
+        fn: Callable[[Any], Any], items: list[Any], exc: Exception
+    ) -> list[Any]:
+        warnings.warn(
+            "ParallelExecutor task is not picklable "
+            f"({type(exc).__name__}: {exc}); running serially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return [fn(item) for item in items]
+
+
+def resolve_executor(executor: Executor | str | None) -> Executor:
+    """Coerce ``None`` / ``"serial"`` / ``"parallel"`` / instance to an Executor."""
+    if executor is None:
+        return SerialExecutor()
+    if isinstance(executor, Executor):
+        return executor
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "parallel":
+        return ParallelExecutor()
+    raise ValueError(f"unknown executor {executor!r}")
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+class Engine:
+    """Executes :class:`RunSpec` objects on a pluggable backend."""
+
+    def __init__(self, executor: Executor | str | None = None):
+        self.executor = resolve_executor(executor)
+
+    def run(
+        self, spec: RunSpec, rng: np.random.Generator | None = None
+    ) -> "ExecutionResult":
+        """One full-fidelity execution in the calling process.
+
+        Unlike batch trials, the spec's protocol instance is used as-is
+        (no copy) and a :class:`CoinSource` given as ``public_coins`` is
+        honoured directly — this is what makes :func:`run_protocol` an
+        exact wrapper.  ``rng`` overrides the spec's seed when given.
+        """
+        if rng is None:
+            rng = np.random.default_rng(spec.seed_sequence())
+        protocol = (
+            spec.protocol
+            if isinstance(spec.protocol, Protocol)
+            else spec.fresh_protocol()
+        )
+        if spec.distribution is not None:
+            inputs = spec.distribution.sample(rng)
+        else:
+            inputs = spec.inputs
+        public = spec.public_coins
+        if public is not None and not isinstance(public, CoinSource):
+            public = public(rng)
+        return _execute(
+            protocol,
+            inputs,
+            _resolve_scheduler(spec.scheduler),
+            rng,
+            spec.rounds,
+            spec.private_bit_budget,
+            public,
+        )
+
+    def run_batch(self, spec: RunSpec, trials: int) -> BatchResult:
+        """Execute ``trials`` independent trials of ``spec``.
+
+        Trial ``t`` is driven entirely by child ``t`` of the spec's master
+        :class:`~numpy.random.SeedSequence`, so the result is bit-identical
+        across executor backends.
+        """
+        if trials < 0:
+            raise ValueError("trial count must be non-negative")
+        if isinstance(spec.public_coins, CoinSource):
+            raise ValueError(
+                "run_batch needs per-trial public coins: pass a factory "
+                "(e.g. the PublicCoins class), not a CoinSource instance"
+            )
+        seeds = spec.seed_sequence().spawn(trials)
+        results = self.executor.map(_TrialRunner(spec), list(enumerate(seeds)))
+        return BatchResult(trials=results)
+
+
+# ----------------------------------------------------------------------
+# The execution core (moved verbatim from the original run_protocol)
+# ----------------------------------------------------------------------
+def _execute(
+    protocol: Protocol,
+    inputs: np.ndarray,
+    scheduler: Scheduler,
+    rng: np.random.Generator | None,
+    rounds: int | None,
+    private_bit_budget: int | None,
+    public_coins: CoinSource | None,
+) -> "ExecutionResult":
+    """Run one protocol execution; the single place simulation happens."""
+    from .errors import MessageSizeError
+    from .simulator import ExecutionResult, make_contexts
+    from .transcript import BroadcastEvent
+
+    contexts, transcript = make_contexts(
+        inputs, rng=rng, private_bit_budget=private_bit_budget,
+        public_coins=public_coins,
+    )
+    n = len(contexts)
+    n_rounds = protocol.num_rounds(n) if rounds is None else rounds
+    width = protocol.message_size
+    if width < 1:
+        raise MessageSizeError(f"message size must be >= 1, got {width}")
+    max_payload = 1 << width
+
+    for proc in contexts:
+        protocol.setup(proc)
+
+    turn = 0
+    rounds_run = 0
+    for round_index in range(n_rounds):
+        if rounds is None and protocol.finished(n, transcript, round_index):
+            break
+        if scheduler.sees_current_round:
+            # Sequential turns: append each event immediately so later
+            # speakers in the same round condition on it.
+            for proc_id in scheduler.speaking_order(n, round_index):
+                message = _checked_message(
+                    protocol.broadcast(contexts[proc_id], round_index),
+                    max_payload, proc_id, round_index,
+                )
+                transcript.append(
+                    BroadcastEvent(turn, round_index, proc_id, message, width)
+                )
+                turn += 1
+        else:
+            # Synchronous round: compute all messages against the frozen
+            # transcript of previous rounds, then publish together.
+            pending: list[tuple[int, int]] = []
+            for proc_id in scheduler.speaking_order(n, round_index):
+                message = _checked_message(
+                    protocol.broadcast(contexts[proc_id], round_index),
+                    max_payload, proc_id, round_index,
+                )
+                pending.append((proc_id, message))
+            for proc_id, message in pending:
+                transcript.append(
+                    BroadcastEvent(turn, round_index, proc_id, message, width)
+                )
+                turn += 1
+        round_messages = {
+            e.sender: e.message for e in transcript.messages_in_round(round_index)
+        }
+        for proc in contexts:
+            protocol.receive(proc, round_index, round_messages)
+        rounds_run = round_index + 1
+
+    outputs = [protocol.output(proc) for proc in contexts]
+    for proc, value in zip(contexts, outputs):
+        proc.output = value
+
+    cost = CostReport(
+        n_processors=n,
+        rounds=rounds_run,
+        turns=turn,
+        broadcast_bits=transcript.total_bits,
+        message_size=width,
+        private_bits_per_processor=[proc.coins.bits_used for proc in contexts],
+        public_bits=public_coins.bits_used if public_coins is not None else 0,
+    )
+    return ExecutionResult(
+        outputs=outputs, transcript=transcript, cost=cost, contexts=contexts
+    )
+
+
+def _checked_message(
+    message: Any, max_payload: int, proc_id: int, round_index: int
+) -> int:
+    message = int(message)
+    if not 0 <= message < max_payload:
+        from .errors import MessageSizeError
+
+        raise MessageSizeError(
+            f"processor {proc_id} broadcast payload {message} in round "
+            f"{round_index}, exceeding the BCAST width ({max_payload - 1} max)"
+        )
+    return message

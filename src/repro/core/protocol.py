@@ -157,6 +157,13 @@ class ComposedProtocol(Protocol):
         self.second = second
         self.message_size = first.message_size
 
+    @property
+    def _setup2_key(self) -> str:
+        # Keyed by composition identity: a nested ComposedProtocol must not
+        # see the outer composition's marker, or its own second phase's
+        # setup would be silently skipped.
+        return f"composed_setup2:{id(self)}"
+
     def num_rounds(self, n: int) -> int:
         return self.first.num_rounds(n) + self.second.num_rounds(n)
 
@@ -171,8 +178,8 @@ class ComposedProtocol(Protocol):
 
     def broadcast(self, proc: ProcessorContext, round_index: int) -> int:
         first_rounds = self.first.num_rounds(proc.n)
-        if round_index == first_rounds and "composed_setup2" not in proc.memory:
-            proc.memory["composed_setup2"] = True
+        if round_index == first_rounds and self._setup2_key not in proc.memory:
+            proc.memory[self._setup2_key] = True
             self.second.setup(proc)
         phase, local_round = self._phase(proc, round_index)
         return phase.broadcast(proc, local_round)
@@ -184,7 +191,7 @@ class ComposedProtocol(Protocol):
         phase.receive(proc, local_round, messages)
 
     def output(self, proc: ProcessorContext) -> Any:
-        if self.second.num_rounds(proc.n) == 0 and "composed_setup2" not in proc.memory:
-            proc.memory["composed_setup2"] = True
+        if self.second.num_rounds(proc.n) == 0 and self._setup2_key not in proc.memory:
+            proc.memory[self._setup2_key] = True
             self.second.setup(proc)
         return self.second.output(proc)

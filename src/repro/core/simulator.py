@@ -4,6 +4,9 @@
 input matrix (row ``i`` is processor ``i``'s private input), under either
 the synchronous round model or the paper's stronger sequential-turn model,
 and returns the outputs, the full transcript, and a resource-usage report.
+It is a thin single-shot wrapper over the unified execution engine in
+:mod:`repro.core.engine`, which owns the actual simulation loop and adds
+N-trial batching with pluggable serial/parallel executors.
 
 Model invariants enforced here:
 
@@ -23,13 +26,12 @@ from typing import Any
 
 import numpy as np
 
-from .errors import MessageSizeError, SchedulingError
 from .network import CostReport
 from .processor import ProcessorContext
 from .protocol import Protocol
 from .randomness import CoinSource, PrivateCoins
-from .scheduler import RoundScheduler, Scheduler, TurnScheduler
-from .transcript import BroadcastEvent, Transcript
+from .scheduler import Scheduler
+from .transcript import Transcript
 
 __all__ = ["ExecutionResult", "run_protocol", "make_contexts"]
 
@@ -94,6 +96,11 @@ def run_protocol(
 ) -> ExecutionResult:
     """Execute ``protocol`` on ``inputs`` and return the results.
 
+    This is a thin wrapper over :class:`~repro.core.engine.Engine`: it
+    builds a single-shot :class:`~repro.core.engine.RunSpec` and runs it
+    in-process.  Use the engine directly for N-trial batches
+    (:meth:`~repro.core.engine.Engine.run_batch`) and parallel backends.
+
     Parameters
     ----------
     protocol:
@@ -114,92 +121,16 @@ def run_protocol(
     public_coins:
         Optional shared randomness source.
     """
-    if isinstance(scheduler, str):
-        if scheduler == "round":
-            scheduler = RoundScheduler()
-        elif scheduler == "turn":
-            scheduler = TurnScheduler()
-        else:
-            raise SchedulingError(f"unknown scheduler name {scheduler!r}")
+    from .engine import Engine, RunSpec
 
-    contexts, transcript = make_contexts(
-        inputs, rng=rng, private_bit_budget=private_bit_budget,
+    spec = RunSpec(
+        protocol=protocol,
+        inputs=inputs,
+        scheduler=scheduler,
+        rounds=rounds,
+        private_bit_budget=private_bit_budget,
         public_coins=public_coins,
     )
-    n = len(contexts)
-    n_rounds = protocol.num_rounds(n) if rounds is None else rounds
-    width = protocol.message_size
-    if width < 1:
-        raise MessageSizeError(f"message size must be >= 1, got {width}")
-    max_payload = 1 << width
-
-    for proc in contexts:
-        protocol.setup(proc)
-
-    turn = 0
-    rounds_run = 0
-    for round_index in range(n_rounds):
-        if rounds is None and protocol.finished(n, transcript, round_index):
-            break
-        if scheduler.sees_current_round:
-            # Sequential turns: append each event immediately so later
-            # speakers in the same round condition on it.
-            for proc_id in scheduler.speaking_order(n, round_index):
-                message = _checked_message(
-                    protocol.broadcast(contexts[proc_id], round_index),
-                    max_payload, proc_id, round_index,
-                )
-                transcript.append(
-                    BroadcastEvent(turn, round_index, proc_id, message, width)
-                )
-                turn += 1
-        else:
-            # Synchronous round: compute all messages against the frozen
-            # transcript of previous rounds, then publish together.
-            pending: list[tuple[int, int]] = []
-            for proc_id in scheduler.speaking_order(n, round_index):
-                message = _checked_message(
-                    protocol.broadcast(contexts[proc_id], round_index),
-                    max_payload, proc_id, round_index,
-                )
-                pending.append((proc_id, message))
-            for proc_id, message in pending:
-                transcript.append(
-                    BroadcastEvent(turn, round_index, proc_id, message, width)
-                )
-                turn += 1
-        round_messages = {
-            e.sender: e.message for e in transcript.messages_in_round(round_index)
-        }
-        for proc in contexts:
-            protocol.receive(proc, round_index, round_messages)
-        rounds_run = round_index + 1
-
-    outputs = [protocol.output(proc) for proc in contexts]
-    for proc, value in zip(contexts, outputs):
-        proc.output = value
-
-    cost = CostReport(
-        n_processors=n,
-        rounds=rounds_run,
-        turns=turn,
-        broadcast_bits=transcript.total_bits,
-        message_size=width,
-        private_bits_per_processor=[proc.coins.bits_used for proc in contexts],
-        public_bits=public_coins.bits_used if public_coins is not None else 0,
-    )
-    return ExecutionResult(
-        outputs=outputs, transcript=transcript, cost=cost, contexts=contexts
-    )
-
-
-def _checked_message(
-    message: Any, max_payload: int, proc_id: int, round_index: int
-) -> int:
-    message = int(message)
-    if not 0 <= message < max_payload:
-        raise MessageSizeError(
-            f"processor {proc_id} broadcast payload {message} in round "
-            f"{round_index}, exceeding the BCAST width ({max_payload - 1} max)"
-        )
-    return message
+    if rng is None:
+        rng = np.random.default_rng()
+    return Engine().run(spec, rng=rng)

@@ -76,9 +76,17 @@ def pinsker_bound(kl_bits: float) -> float:
 
     The paper states divergence in bits with the ``1/2`` factor; this helper
     returns the right-hand side, clamped to the trivial bound 1.
+
+    KL divergence is mathematically non-negative, but the floating-point
+    sum in :func:`kl_divergence` can land a hair below zero for
+    near-identical distributions (e.g. ``-1.6e-16``); such rounding noise
+    is treated as 0 rather than rejected.
     """
     if kl_bits < 0:
-        raise ValueError("KL divergence cannot be negative")
+        if kl_bits > -1e-9:
+            kl_bits = 0.0
+        else:
+            raise ValueError("KL divergence cannot be negative")
     return min(1.0, float(np.sqrt(0.5 * kl_bits)))
 
 

@@ -23,9 +23,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.engine import Engine, Executor, RunSpec, derive_seed
 from ..core.processor import ProcessorContext
 from ..core.protocol import Protocol
-from ..core.simulator import run_protocol
+from ..distributions.uniform import UniformRows
 from ..linalg.bitmatrix import BitMatrix
 
 __all__ = [
@@ -145,15 +146,24 @@ def accuracy_on_uniform(
     n_samples: int,
     rng: np.random.Generator,
     target_fn=None,
+    executor: Executor | str | None = None,
 ) -> float:
     """Fraction of samples on which processor 0's output matches ``F_k``
-    over uniform ``n × n`` input matrices."""
+    over uniform ``n × n`` input matrices.
+
+    Trials run through the execution engine with per-trial inputs
+    recorded; pass ``executor="parallel"`` to spread them over cores.
+    """
     if target_fn is None:
         target_fn = lambda matrix: top_submatrix_full_rank(matrix, k)  # noqa: E731
-    correct = 0
-    for _ in range(n_samples):
-        matrix = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
-        result = run_protocol(protocol, matrix, rng=rng)
-        if int(result.outputs[0]) == int(target_fn(matrix)):
-            correct += 1
+    spec = RunSpec(
+        protocol=protocol,
+        distribution=UniformRows(n, n),
+        seed=derive_seed(rng),
+        record_inputs=True,
+    )
+    batch = Engine(executor).run_batch(spec, n_samples)
+    correct = sum(
+        int(trial.outputs[0]) == int(target_fn(trial.inputs)) for trial in batch
+    )
     return correct / n_samples

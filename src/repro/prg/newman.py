@@ -18,11 +18,20 @@ empirically.
 
 from __future__ import annotations
 
+import copy
 import math
 from typing import Any
 
 import numpy as np
 
+from ..core.engine import (
+    Engine,
+    Executor,
+    RunSpec,
+    TrialResult,
+    derive_seed,
+    resolve_executor,
+)
 from ..core.protocol import Protocol
 from ..core.randomness import PublicCoins
 from ..core.simulator import ExecutionResult, run_protocol
@@ -106,6 +115,62 @@ class NewmanCompiled:
         result.cost.public_bits = public.bits_used
         return result
 
+    def run_batch(
+        self,
+        inputs: np.ndarray,
+        trials: int,
+        seed: int | np.random.SeedSequence | None = None,
+        scheduler: str = "round",
+        executor: Executor | str | None = None,
+    ) -> list[ExecutionResult]:
+        """``trials`` independent compiled executions on ``inputs``.
+
+        Trial ``t`` is driven by child ``t`` of ``SeedSequence(seed)``, so
+        (like :meth:`Engine.run_batch`) the result list is bit-identical
+        across serial and parallel executors.
+        """
+        if isinstance(seed, np.random.SeedSequence):
+            master = seed
+        else:
+            master = np.random.SeedSequence(seed)
+        runner = _CompiledTrialRunner(self, inputs, scheduler)
+        return resolve_executor(executor).map(runner, master.spawn(trials))
+
+
+class _CompiledTrialRunner:
+    """Batch-trial body: ``SeedSequence → ExecutionResult``.
+
+    Carries the shared state (compiled protocol, inputs) on the callable —
+    shipped to pool workers once per chunk, and surfaced by the executor's
+    picklability pre-check so lambda-based protocols fall back to serial
+    instead of crashing mid-map.
+    """
+
+    def __init__(self, compiled: NewmanCompiled, inputs: np.ndarray, scheduler: str):
+        self.compiled = compiled
+        self.inputs = inputs
+        self.scheduler = scheduler
+
+    def __call__(self, seed_seq: np.random.SeedSequence) -> ExecutionResult:
+        # Every trial gets a private protocol copy (like Engine.run_batch's
+        # fresh_protocol): protocols that cache state on ``self`` must not
+        # leak it across trials, or serial and pooled runs diverge.  The
+        # family seed list is shared via the shallow copy.
+        compiled = copy.copy(self.compiled)
+        compiled.protocol = copy.deepcopy(self.compiled.protocol)
+        return compiled.run(
+            self.inputs, np.random.default_rng(seed_seq), scheduler=self.scheduler
+        )
+
+
+def _transcript_key_statistic(result) -> Any:
+    """Default comparison statistic: the transcript key.
+
+    Works on both :class:`ExecutionResult` and the engine's
+    :class:`~repro.core.engine.TrialResult` (with recorded transcripts).
+    """
+    return result.transcript.key()
+
 
 def simulation_error(
     protocol: Protocol,
@@ -115,23 +180,49 @@ def simulation_error(
     rng: np.random.Generator,
     statistic=None,
     scheduler: str = "round",
+    executor: Executor | str | None = None,
 ) -> float:
     """Empirical simulation error on a fixed input.
 
     Compares the distribution of ``statistic(result)`` (default: the
     transcript key) between the original protocol with fresh randomness and
-    the compiled protocol, via plug-in total variation.
+    the compiled protocol, via plug-in total variation.  Both sample sets
+    run through the execution engine; ``executor`` selects the backend.
+    ``statistic`` uniformly receives a
+    :class:`~repro.core.engine.TrialResult` (``outputs``, ``transcript``,
+    ``cost``) for both sample sets.
     """
     if statistic is None:
-        statistic = lambda result: result.transcript.key()  # noqa: E731
+        statistic = _transcript_key_statistic
+    spec = RunSpec(
+        protocol=protocol,
+        inputs=inputs,
+        scheduler=scheduler,
+        seed=derive_seed(rng),
+        record_transcripts=True,
+    )
+    batch_true = Engine(executor).run_batch(spec, n_samples)
     counts_true: dict[Any, int] = {}
-    counts_compiled: dict[Any, int] = {}
-    for _ in range(n_samples):
-        res_true = run_protocol(protocol, inputs, scheduler=scheduler, rng=rng)
-        key = statistic(res_true)
+    for trial in batch_true:
+        key = statistic(trial)
         counts_true[key] = counts_true.get(key, 0) + 1
-        res_comp = compiled.run(inputs, rng, scheduler=scheduler)
-        key = statistic(res_comp)
+    counts_compiled: dict[Any, int] = {}
+    compiled_results = compiled.run_batch(
+        inputs,
+        n_samples,
+        seed=derive_seed(rng),
+        scheduler=scheduler,
+        executor=executor,
+    )
+    for index, result in enumerate(compiled_results):
+        trial = TrialResult(
+            trial_index=index,
+            outputs=result.outputs,
+            transcript_key=result.transcript.key(),
+            cost=result.cost,
+            transcript=result.transcript,
+        )
+        key = statistic(trial)
         counts_compiled[key] = counts_compiled.get(key, 0) + 1
     from ..infotheory.divergence import tv_from_counts
 

@@ -96,6 +96,30 @@ class TestComposedProtocol:
         with pytest.raises(ProtocolViolation):
             ComposedProtocol(wide, narrow)
 
+    def test_nested_composition_runs_every_setup(self, rng):
+        """Regression: the phase-boundary marker used to be one shared
+        memory key, so a ComposedProtocol nested as the second phase saw
+        the outer composition's marker and silently skipped its own second
+        protocol's setup."""
+        composed = ComposedProtocol(
+            OneRoundConstant(1, "a"),
+            ComposedProtocol(OneRoundConstant(0, "b"), OneRoundConstant(1, "c")),
+        )
+        inputs = np.zeros((2, 1), dtype=np.uint8)
+        result = run_protocol(composed, inputs, rng=rng)
+        assert [e.message for e in result.transcript] == [1, 1, 0, 0, 1, 1]
+        assert result.outputs[0] == ["a", "b", "c"]
+
+    def test_nested_composition_first_phase(self, rng):
+        composed = ComposedProtocol(
+            ComposedProtocol(OneRoundConstant(1, "a"), OneRoundConstant(0, "b")),
+            OneRoundConstant(1, "c"),
+        )
+        inputs = np.zeros((2, 1), dtype=np.uint8)
+        result = run_protocol(composed, inputs, rng=rng)
+        assert [e.message for e in result.transcript] == [1, 1, 0, 0, 1, 1]
+        assert result.outputs[0] == ["a", "b", "c"]
+
     def test_zero_round_second_phase_still_sets_up(self, rng):
         composed = ComposedProtocol(
             OneRoundConstant(1, "a"),

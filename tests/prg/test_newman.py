@@ -50,6 +50,30 @@ class TestParameters:
 
 
 class TestCompiled:
+    def test_run_batch_backend_identity_with_stateful_protocol(self):
+        """Regression: run_batch must give every trial a fresh protocol
+        copy.  FingerprintEqualityProtocol caches its probes on ``self``;
+        sharing one instance across serial trials made them reuse trial
+        1's probes while pool workers redrew them, breaking the
+        serial/parallel bit-identity guarantee."""
+        from repro.core import ParallelExecutor
+        from repro.protocols import FingerprintEqualityProtocol
+
+        compiled = NewmanCompiled(
+            FingerprintEqualityProtocol(16, 2), t_family=8, master_seed=3
+        )
+        inputs = np.ones((4, 16), dtype=np.uint8)
+        serial = compiled.run_batch(inputs, 8, seed=3, executor="serial")
+        parallel = compiled.run_batch(
+            inputs, 8, seed=3, executor=ParallelExecutor(max_workers=2)
+        )
+        assert [r.transcript.key() for r in serial] == [
+            r.transcript.key() for r in parallel
+        ]
+        # Every trial redraws its own probes: full public-coin cost each.
+        assert [r.cost.public_bits for r in serial] == [35] * 8
+        assert [r.cost.public_bits for r in parallel] == [35] * 8
+
     def test_public_bit_accounting(self, rng):
         compiled = NewmanCompiled(RandomizedEquality(), t_family=64)
         inputs = np.ones((4, 3), dtype=np.uint8)

@@ -4,11 +4,50 @@ Every bench prints a "paper vs measured" table via :func:`print_table` so
 that ``pytest benchmarks/ --benchmark-only -s`` regenerates the rows
 recorded in EXPERIMENTS.md, and asserts the qualitative *shape* claims so
 the harness is self-verifying.
+
+Benches that track a performance trajectory additionally emit
+machine-readable JSON via :func:`median_ns` + :func:`write_bench_json`
+(e.g. ``BENCH_linalg.json``), which CI uploads as an artifact so kernel
+regressions show up as numbers, not vibes.
 """
 
 from __future__ import annotations
 
-__all__ = ["print_table", "fit_constant"]
+import json
+import time
+from pathlib import Path
+
+__all__ = ["print_table", "fit_constant", "median_ns", "write_bench_json"]
+
+
+def median_ns(fn, *args, repeats: int = 5, number: int = 1) -> float:
+    """Median wall-clock nanoseconds per call of ``fn(*args)``.
+
+    Runs ``repeats`` timed samples of ``number`` back-to-back calls each
+    (use ``number > 1`` for sub-microsecond kernels) and returns the median
+    sample divided by ``number``.
+    """
+    if repeats < 1 or number < 1:
+        raise ValueError("repeats and number must be >= 1")
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        for _ in range(number):
+            fn(*args)
+        samples.append((time.perf_counter_ns() - start) / number)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def write_bench_json(path, records: list[dict]) -> None:
+    """Write benchmark records as a machine-readable JSON artifact.
+
+    ``records`` is a list of flat dicts (kernel name, shape parameters,
+    ``ns_per_op`` medians, speedups…); the envelope carries a schema tag so
+    downstream tooling can evolve without guessing.
+    """
+    payload = {"schema": "repro-bench-v1", "records": records}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def print_table(title: str, header: list[str], rows: list[list]) -> None:

@@ -34,17 +34,34 @@ distribution, scheduler) to be picklable.  Library protocols are;
 :class:`~repro.core.protocol.FunctionProtocol` built from a lambda is not —
 :class:`ParallelExecutor` detects this up front and falls back to serial
 execution with a warning rather than failing.
+
+**Vectorized fast path.**  Protocols that declare
+``supports_batch = True`` (their outputs are a deterministic function of
+the input matrix alone) can skip per-trial simulation entirely: a spec
+with ``vectorized=True`` samples every trial's input with the same
+per-trial seeds as the scalar path — so inputs are bit-identical — and
+evaluates all of them with one ``protocol.batch_decisions`` call backed by
+the batched GF(2) kernels of :mod:`repro.linalg.batch`.  Specs the fast
+path cannot honour (transcript recording, coin budgets, protocols without
+batch support) silently fall back to the scalar path.
+
+**Shared-memory inputs.**  When a batch has a fixed input matrix and runs
+on a :class:`ParallelExecutor`, large inputs are published once through
+``multiprocessing.shared_memory`` instead of being pickled into every
+worker task; workers attach read-only views on first use.
 """
 
 from __future__ import annotations
 
 import copy
+import dataclasses
 import math
 import os
 import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory as _shared_memory
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 import numpy as np
@@ -136,6 +153,16 @@ class RunSpec:
         function of the input).
     record_transcripts:
         Keep each trial's full :class:`Transcript` (not just its key).
+    vectorized:
+        Ask ``run_batch`` to evaluate the whole batch with one
+        ``protocol.batch_decisions`` call when the protocol declares
+        ``supports_batch`` (and the spec needs no transcripts, round
+        overrides, coin budgets or public coins).  Inputs are sampled with
+        the same per-trial seeds as the scalar path and outputs are
+        bit-identical; transcript *keys* are not materialised on the fast
+        path (each ``TrialResult.transcript_key`` is empty), so key-based
+        estimators must keep ``vectorized=False``.  Specs the fast path
+        cannot honour fall back to scalar execution transparently.
     """
 
     protocol: Protocol | Callable[[], Protocol]
@@ -148,6 +175,7 @@ class RunSpec:
     public_coins: CoinSource | Callable[[np.random.Generator], CoinSource] | None = None
     record_inputs: bool = False
     record_transcripts: bool = False
+    vectorized: bool = False
 
     def __post_init__(self):
         if (self.inputs is None) == (self.distribution is None):
@@ -321,23 +349,85 @@ class BatchResult:
 
 
 # ----------------------------------------------------------------------
+# Shared-memory input handles
+# ----------------------------------------------------------------------
+#: Process-local cache of attached shared-memory blocks, keyed by segment
+#: name.  Blocks stay attached for the life of the worker process (pool
+#: workers are recycled per batch); the parent unlinks the segment once the
+#: batch completes, which on POSIX is safe while mappings remain open.
+_SHARED_ATTACHMENTS: dict[str, tuple[Any, np.ndarray]] = {}
+
+
+class _SharedInput:
+    """Pickle-light handle to a fixed input matrix living in shared memory."""
+
+    __slots__ = ("name", "shape", "dtype_str")
+
+    def __init__(self, name: str, shape: tuple[int, ...], dtype: np.dtype):
+        self.name = name
+        self.shape = shape
+        self.dtype_str = np.dtype(dtype).str
+
+    def attach(self) -> np.ndarray:
+        """A read-only array view of the segment (cached per process)."""
+        cached = _SHARED_ATTACHMENTS.get(self.name)
+        if cached is None:
+            # Attaching re-registers the segment with the resource tracker
+            # (bpo-38119), but fork-started pool workers share the parent's
+            # tracker, so the registration is an idempotent set-add and the
+            # parent's unlink() after the batch removes the single entry.
+            block = _shared_memory.SharedMemory(name=self.name)
+            array = np.ndarray(self.shape, dtype=self.dtype_str, buffer=block.buf)
+            array.flags.writeable = False
+            cached = (block, array)
+            _SHARED_ATTACHMENTS[self.name] = cached
+        return cached[1]
+
+
+#: Stand-in satisfying RunSpec validation while the real fixed inputs
+#: travel through shared memory instead of the pickle stream.
+_SHARED_INPUT_PLACEHOLDER = np.empty((0, 0), dtype=np.uint8)
+
+
+# ----------------------------------------------------------------------
 # Trial runner (module level so process pools can pickle it)
 # ----------------------------------------------------------------------
 class _TrialRunner:
     """Callable shipping a spec to workers: ``(index, SeedSequence) → TrialResult``."""
 
-    def __init__(self, spec: RunSpec):
+    def __init__(self, spec: RunSpec, shared_input: _SharedInput | None = None):
         self.spec = spec
+        self.shared_input = shared_input
+
+    def __getstate__(self) -> dict[str, Any]:
+        spec = self.spec
+        if self.shared_input is not None and spec.inputs is not None:
+            spec = dataclasses.replace(spec, inputs=_SHARED_INPUT_PLACEHOLDER)
+        return {"spec": spec, "shared_input": self.shared_input}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.spec = state["spec"]
+        self.shared_input = state["shared_input"]
+
+    def _fixed_inputs(self) -> np.ndarray:
+        if self.shared_input is not None:
+            return self.shared_input.attach()
+        return self.spec.inputs
 
     def __call__(self, task: tuple[int, np.random.SeedSequence]) -> TrialResult:
         index, seed_seq = task
         spec = self.spec
         rng = np.random.default_rng(seed_seq)
         protocol = spec.fresh_protocol()
+        recorded = None
         if spec.distribution is not None:
             inputs = spec.distribution.sample(rng)
+            recorded = inputs
         else:
-            inputs = spec.inputs
+            inputs = self._fixed_inputs()
+            # Recorded inputs must survive the batch; a shared-memory view
+            # dies when the parent unlinks the segment, so copy it out.
+            recorded = np.array(inputs) if self.shared_input is not None else inputs
         public = spec.public_coins
         if public is not None and not isinstance(public, CoinSource):
             public = public(rng)
@@ -355,7 +445,7 @@ class _TrialRunner:
             outputs=result.outputs,
             transcript_key=result.transcript.key(),
             cost=result.cost,
-            inputs=inputs if spec.record_inputs else None,
+            inputs=recorded if spec.record_inputs else None,
             transcript=result.transcript if spec.record_transcripts else None,
         )
 
@@ -403,15 +493,28 @@ class ParallelExecutor(Executor):
     chunksize:
         Items per task shipped to a worker; defaults to
         ``ceil(len(items) / (4 * max_workers))`` to amortize IPC.
+    share_inputs_min_bytes:
+        Fixed input matrices at least this large are published to workers
+        through ``multiprocessing.shared_memory`` (one copy machine-wide)
+        instead of being pickled into every task.  Used by
+        ``Engine.run_batch``; set very large to disable.
     """
 
     name = "parallel"
 
-    def __init__(self, max_workers: int | None = None, chunksize: int | None = None):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        chunksize: int | None = None,
+        share_inputs_min_bytes: int = 1 << 16,
+    ):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if share_inputs_min_bytes < 1:
+            raise ValueError("share_inputs_min_bytes must be >= 1")
         self.max_workers = max_workers or (os.cpu_count() or 1)
         self.chunksize = chunksize
+        self.share_inputs_min_bytes = share_inputs_min_bytes
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
         items = list(items)
@@ -505,7 +608,9 @@ class Engine:
 
         Trial ``t`` is driven entirely by child ``t`` of the spec's master
         :class:`~numpy.random.SeedSequence`, so the result is bit-identical
-        across executor backends.
+        across executor backends — and across the ``vectorized`` fast path,
+        which evaluates all trials with one batched-kernel call when the
+        protocol supports it.
         """
         if trials < 0:
             raise ValueError("trial count must be non-negative")
@@ -514,8 +619,135 @@ class Engine:
                 "run_batch needs per-trial public coins: pass a factory "
                 "(e.g. the PublicCoins class), not a CoinSource instance"
             )
+        if spec.vectorized:
+            batch = self._run_batch_vectorized(spec, trials)
+            if batch is not None:
+                return batch
         seeds = spec.seed_sequence().spawn(trials)
-        results = self.executor.map(_TrialRunner(spec), list(enumerate(seeds)))
+        runner = _TrialRunner(spec)
+        shared = None
+        if self._should_share_inputs(spec, trials):
+            shared = _shared_memory.SharedMemory(
+                create=True, size=spec.inputs.nbytes
+            )
+            view = np.ndarray(
+                spec.inputs.shape, dtype=spec.inputs.dtype, buffer=shared.buf
+            )
+            view[:] = spec.inputs
+            runner.shared_input = _SharedInput(
+                shared.name, spec.inputs.shape, spec.inputs.dtype
+            )
+        try:
+            results = self.executor.map(runner, list(enumerate(seeds)))
+        finally:
+            if shared is not None:
+                # The parent may have attached too (serial fallback for
+                # unpicklable tasks); evict so the per-batch segment's
+                # mapping doesn't outlive the batch.
+                cached = _SHARED_ATTACHMENTS.pop(shared.name, None)
+                if cached is not None:
+                    cached[0].close()
+                shared.close()
+                shared.unlink()
+        return BatchResult(trials=results)
+
+    def _should_share_inputs(self, spec: RunSpec, trials: int) -> bool:
+        return (
+            isinstance(self.executor, ParallelExecutor)
+            and self.executor.max_workers > 1
+            and trials > 1
+            and spec.inputs is not None
+            and spec.inputs.nbytes >= self.executor.share_inputs_min_bytes
+        )
+
+    #: Trials evaluated per batched-kernel call on the vectorized fast
+    #: path: bounds the (chunk, n, m) input stack (plus its packed copy
+    #: inside ``batch_decisions``) without giving up the batching win.
+    VECTORIZED_CHUNK_TRIALS = 4096
+
+    def _run_batch_vectorized(self, spec: RunSpec, trials: int) -> BatchResult | None:
+        """The batched-kernel fast path; ``None`` means "use the scalar path".
+
+        Inputs are sampled per trial from the same spawned seed children as
+        the scalar path (bit-identical), stacked in bounded chunks, and
+        handed to the protocol's ``batch_decisions``; a fixed input matrix
+        is evaluated once and its decision replicated.  Costs are
+        synthesized from the protocol's metadata — exact for
+        input-deterministic protocols, which run their full round count,
+        broadcast every turn and draw no coins.  Transcript keys are not
+        materialised.
+        """
+        protocol = spec.fresh_protocol()
+        if not getattr(protocol, "supports_batch", False):
+            return None
+        if (
+            spec.record_transcripts
+            or spec.rounds is not None
+            or spec.private_bit_budget is not None
+            or spec.public_coins is not None
+        ):
+            return None
+        if trials == 0:
+            return BatchResult()
+
+        def trial_results(start, inputs, per_trial_inputs):
+            decisions = np.asarray(protocol.batch_decisions(inputs))
+            if decisions.shape != (inputs.shape[0],):
+                raise ValueError(
+                    f"batch_decisions must return shape ({inputs.shape[0]},), "
+                    f"got {decisions.shape}"
+                )
+            n = inputs.shape[1]
+            rounds = protocol.num_rounds(n)
+            width = protocol.message_size
+            out = []
+            for offset, decision in enumerate(decisions):
+                cost = CostReport(
+                    n_processors=n,
+                    rounds=rounds,
+                    turns=n * rounds,
+                    broadcast_bits=n * rounds * width,
+                    message_size=width,
+                    private_bits_per_processor=[0] * n,
+                    public_bits=0,
+                )
+                out.append(
+                    TrialResult(
+                        trial_index=start + offset,
+                        outputs=[decision.item()] * n,
+                        transcript_key=(),
+                        cost=cost,
+                        inputs=per_trial_inputs(offset)
+                        if spec.record_inputs
+                        else None,
+                    )
+                )
+            return out
+
+        if spec.distribution is None:
+            # Deterministic protocol + fixed inputs: one evaluation covers
+            # every trial.
+            single = trial_results(0, spec.inputs[None], lambda _: spec.inputs)
+            template = single[0]
+            results = [
+                dataclasses.replace(template, trial_index=index)
+                for index in range(trials)
+            ]
+            return BatchResult(trials=results)
+
+        seeds = spec.seed_sequence().spawn(trials)
+        results = []
+        for start in range(0, trials, self.VECTORIZED_CHUNK_TRIALS):
+            chunk = seeds[start : start + self.VECTORIZED_CHUNK_TRIALS]
+            inputs = np.stack(
+                [
+                    spec.distribution.sample(np.random.default_rng(seed))
+                    for seed in chunk
+                ]
+            )
+            results.extend(
+                trial_results(start, inputs, lambda offset: inputs[offset])
+            )
         return BatchResult(trials=results)
 
 

@@ -42,9 +42,17 @@ class Protocol:
     ----------
     message_size:
         Width ``b`` of each broadcast in bits (the ``BCAST(b)`` parameter).
+    supports_batch:
+        True for protocols whose per-processor outputs are a deterministic
+        function of the input matrix alone (no private or public coins,
+        every processor reaching the same decision).  Such protocols
+        implement :meth:`batch_decisions` and the execution engine's
+        ``vectorized=True`` fast path evaluates whole trial batches with
+        single batched-kernel calls instead of simulating each trial.
     """
 
     message_size: int = 1
+    supports_batch: bool = False
 
     def num_rounds(self, n: int) -> int:
         """Number of rounds the protocol runs for ``n`` processors.
@@ -81,6 +89,18 @@ class Protocol:
         """Called once per processor after the final round; the return value
         is the processor's output."""
         return None
+
+    def batch_decisions(self, inputs) -> "Any":
+        """Outputs for a whole ``(trials, n, m)`` input batch at once.
+
+        Only meaningful when :attr:`supports_batch` is set; must return an
+        array of shape ``(trials,)`` holding the output every processor
+        would produce in each trial, bit-identical to running
+        :meth:`output` through the simulator on the same inputs.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement batched evaluation"
+        )
 
 
 class FunctionProtocol(Protocol):

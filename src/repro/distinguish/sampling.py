@@ -7,8 +7,12 @@ or distinguishing advantage with distribution-free confidence intervals.
 
 All estimators execute their trials through the unified engine
 (:mod:`repro.core.engine`): pass ``executor=ParallelExecutor()`` to fan
-the N trials out over a process pool — results are bit-identical to the
-serial default for the same ``rng`` state, just faster.
+the N trials out over a process pool, or ``vectorized=True`` (on the
+decision-based estimators) to evaluate the whole trial batch with one
+batched GF(2) kernel call when the protocol supports it — results are
+bit-identical to the serial default for the same ``rng`` state, just
+faster.  Transcript-key estimators always take the scalar path, since the
+fast path does not materialise transcripts.
 """
 
 from __future__ import annotations
@@ -88,13 +92,17 @@ def run_distinguisher(
     scheduler: Scheduler | str = "round",
     decision_fn: Callable | None = None,
     executor: Executor | str | None = None,
+    vectorized: bool = False,
 ) -> np.ndarray:
     """Accept decisions of a distinguisher protocol over fresh samples.
 
     The decision is processor 0's output (must be 0/1), or
     ``decision_fn(trial)`` when provided; ``trial`` is a
     :class:`~repro.core.engine.TrialResult` carrying ``outputs``,
-    ``transcript`` and ``cost``.
+    ``transcript`` and ``cost``.  With ``vectorized=True`` and a protocol
+    that supports batching (e.g. the seed-length attack), the batch is
+    decided by one batched-kernel call; a ``decision_fn`` forces the
+    scalar path because it needs per-trial transcripts.
     """
     spec = RunSpec(
         protocol=protocol,
@@ -102,6 +110,7 @@ def run_distinguisher(
         scheduler=scheduler,
         seed=derive_seed(rng),
         record_transcripts=decision_fn is not None,
+        vectorized=vectorized,
     )
     batch = Engine(executor).run_batch(spec, n_samples)
     if decision_fn is None:
@@ -123,17 +132,22 @@ def estimate_protocol_advantage(
     decision_fn: Callable | None = None,
     confidence: float = 0.95,
     executor: Executor | str | None = None,
+    vectorized: bool = False,
 ) -> AdvantageEstimate:
     """Distinguishing advantage of a protocol between two distributions.
 
     Advantage follows footnote 5 of the paper: guessing probability is
     ``1/2 + advantage`` for an optimally-oriented acceptor, i.e.
-    ``|accept_rate_a − accept_rate_b| / 2``.
+    ``|accept_rate_a − accept_rate_b| / 2``.  ``vectorized=True`` batches
+    both sides' trials through the protocol's batched kernels (exact same
+    decisions as the scalar path).
     """
     accepts_a = run_distinguisher(
-        protocol, dist_a, n_samples, rng, scheduler, decision_fn, executor
+        protocol, dist_a, n_samples, rng, scheduler, decision_fn, executor,
+        vectorized,
     )
     accepts_b = run_distinguisher(
-        protocol, dist_b, n_samples, rng, scheduler, decision_fn, executor
+        protocol, dist_b, n_samples, rng, scheduler, decision_fn, executor,
+        vectorized,
     )
     return estimate_advantage(accepts_a, accepts_b, confidence=confidence)

@@ -1,18 +1,25 @@
 """GF(2) linear algebra substrate.
 
-Bit-packed vectors and matrices over the two-element field, rank laws of
-random binary matrices, and samplers for the structured matrices the paper's
-PRG produces.
+Bit-packed vectors and matrices over the two-element field
+(:class:`BitVector` / :class:`BitMatrix`, fully word-level — no Python bit
+loops), batched kernels that evaluate whole Monte-Carlo trial batches in
+single numpy passes (:class:`BitVectorBatch` / :class:`BitMatrixBatch`,
+including lock-step Gaussian-elimination rank), rank laws of random binary
+matrices (exact finite-``n`` pmfs, Kolchin limits, and a batched empirical
+sampler), and samplers for the structured matrices the paper's PRG
+produces.
 """
 
 from .bitvec import BitVector
 from .bitmatrix import BitMatrix
+from .batch import BitMatrixBatch, BitVectorBatch
 from .rank_distribution import (
     Q0,
     count_matrices_of_rank,
     full_rank_probability,
     kolchin_q,
     rank_pmf,
+    sample_rank_pmf,
 )
 from .random_matrices import (
     matrix_with_rank,
@@ -24,11 +31,14 @@ from .random_matrices import (
 __all__ = [
     "BitVector",
     "BitMatrix",
+    "BitVectorBatch",
+    "BitMatrixBatch",
     "Q0",
     "count_matrices_of_rank",
     "full_rank_probability",
     "kolchin_q",
     "rank_pmf",
+    "sample_rank_pmf",
     "matrix_with_rank",
     "prg_matrix",
     "rank_deficient_matrix",

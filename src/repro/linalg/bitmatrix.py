@@ -10,19 +10,91 @@ operations the reproduction needs:
 * row access as :class:`~repro.linalg.bitvec.BitVector`,
 * uniform random sampling.
 
-All heavy loops are vectorised with numpy; ``np.bitwise_count`` provides
-hardware popcount.
+Every kernel is word-level: ``np.bitwise_count`` provides hardware
+popcount, conversions go through the vectorized pack/unpack helpers of
+:mod:`repro.linalg.bitvec`, ``transpose`` runs the classic 64×64
+bit-block swap network directly on the packed words, ``vecmat`` is a
+masked XOR-reduce over the rows selected by the vector's one-bits, and
+``matmul`` blocks its popcount temporary so large products stay
+cache-sized.  For whole batches of matrices (Monte-Carlo trials), see
+:mod:`repro.linalg.batch`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .bitvec import BitVector, _n_words, _tail_mask
+from .bitvec import (
+    BitVector,
+    _n_words,
+    _pack_bits,
+    _splice_words,
+    _tail_mask,
+    _unpack_bits,
+)
 
 __all__ = ["BitMatrix"]
 
 _WORD_BITS = 64
+
+#: Cap on the ``rows × block × words`` popcount temporary used by matmul.
+_MATMUL_BLOCK_BYTES = 1 << 22
+
+#: Bit masks of the 64×64 block-transpose swap network (low halves of each
+#: ``2j``-bit group), one per halving round.
+_TRANSPOSE_MASKS = {
+    32: np.uint64(0x00000000FFFFFFFF),
+    16: np.uint64(0x0000FFFF0000FFFF),
+    8: np.uint64(0x00FF00FF00FF00FF),
+    4: np.uint64(0x0F0F0F0F0F0F0F0F),
+    2: np.uint64(0x3333333333333333),
+    1: np.uint64(0x5555555555555555),
+}
+
+
+def _transpose64_blocks(blocks: np.ndarray) -> np.ndarray:
+    """Bit-transpose 64×64 blocks given as uint64 arrays of shape ``(..., 64)``.
+
+    Bit ``j`` of ``blocks[..., i]`` is block element ``(i, j)``; the result
+    has bit ``j`` of ``[..., i]`` equal to the input's element ``(j, i)``.
+    This is the Hacker's-Delight swap network (mirrored for the
+    LSB-first column convention), vectorized over all leading axes: six
+    rounds of shift/mask/xor, independent of how many blocks there are.
+    """
+    out = np.ascontiguousarray(blocks).copy()
+    lanes = np.arange(64)
+    for j in (32, 16, 8, 4, 2, 1):
+        mask = _TRANSPOSE_MASKS[j]
+        k = np.nonzero((lanes & j) == 0)[0]
+        a = out[..., k]
+        b = out[..., k + j]
+        swap = ((a >> np.uint64(j)) ^ b) & mask
+        out[..., k] = a ^ (swap << np.uint64(j))
+        out[..., k + j] = b ^ swap
+    return out
+
+
+def _transpose_words(words: np.ndarray, rows: int, cols: int) -> np.ndarray:
+    """Word-level transpose of packed rows; broadcasts over leading axes.
+
+    ``words`` has shape ``(..., rows, n_words(cols))``; the result has
+    shape ``(..., cols, n_words(rows))``.  Rows are padded to a multiple
+    of 64, carved into 64×64 bit blocks, and every block is transposed at
+    once by :func:`_transpose64_blocks` — no ``to_array`` round-trip.
+    """
+    lead = words.shape[:-2]
+    row_words = _n_words(rows)
+    if rows == 0 or cols == 0:
+        return np.zeros(lead + (cols, row_words), dtype=np.uint64)
+    col_words = words.shape[-1]
+    padded = np.zeros(lead + (row_words * 64, col_words), dtype=np.uint64)
+    padded[..., :rows, :] = words
+    blocks = padded.reshape(lead + (row_words, 64, col_words))
+    blocks = np.moveaxis(blocks, -2, -1)  # (..., row_words, col_words, 64)
+    transposed = _transpose64_blocks(blocks)
+    out = np.moveaxis(transposed, -3, -1)  # (..., col_words, 64, row_words)
+    out = out.reshape(lead + (col_words * 64, row_words))[..., :cols, :]
+    return np.ascontiguousarray(out)
 
 
 class BitMatrix:
@@ -65,8 +137,11 @@ class BitMatrix:
     @classmethod
     def identity(cls, n: int) -> "BitMatrix":
         mat = cls(n, n)
-        for i in range(n):
-            mat.set(i, i, 1)
+        if n:
+            diag = np.arange(n)
+            mat.words[diag, diag // _WORD_BITS] = np.uint64(1) << (
+                diag % _WORD_BITS
+            ).astype(np.uint64)
         return mat
 
     @classmethod
@@ -77,12 +152,7 @@ class BitMatrix:
             raise ValueError(f"expected a 2-D array, got shape {arr.shape}")
         bits = (arr != 0).astype(np.uint8)
         rows, cols = bits.shape
-        mat = cls(rows, cols)
-        r_idx, c_idx = np.nonzero(bits)
-        word_idx = c_idx // _WORD_BITS
-        bit_idx = (c_idx % _WORD_BITS).astype(np.uint64)
-        np.bitwise_or.at(mat.words, (r_idx, word_idx), np.uint64(1) << bit_idx)
-        return mat
+        return cls(rows, cols, _pack_bits(bits))
 
     @classmethod
     def from_rows(cls, rows: list[BitVector]) -> "BitMatrix":
@@ -133,8 +203,13 @@ class BitMatrix:
 
     def column(self, j: int) -> BitVector:
         """Column ``j`` as a :class:`BitVector` of length ``rows``."""
-        bits = np.array([self.get(i, j) for i in range(self.rows)], dtype=np.uint8)
-        return BitVector.from_array(bits)
+        if not 0 <= j < self.cols:
+            raise IndexError(f"column {j} out of range for {self.cols} columns")
+        bits = (
+            (self.words[:, j // _WORD_BITS] >> np.uint64(j % _WORD_BITS))
+            & np.uint64(1)
+        ).astype(np.uint8)
+        return BitVector(self.rows, _pack_bits(bits))
 
     def _check_index(self, i: int, j: int) -> None:
         if not (0 <= i < self.rows and 0 <= j < self.cols):
@@ -147,23 +222,33 @@ class BitMatrix:
     # ------------------------------------------------------------------
     def to_array(self) -> np.ndarray:
         """Unpack into a ``uint8`` array of shape ``(rows, cols)``."""
-        out = np.zeros((self.rows, self.cols), dtype=np.uint8)
-        for j in range(self.cols):
-            word = self.words[:, j // _WORD_BITS]
-            out[:, j] = (word >> np.uint64(j % _WORD_BITS)).astype(np.uint64) & np.uint64(1)
-        return out
+        return _unpack_bits(self.words, self.cols)
 
     def transpose(self) -> "BitMatrix":
-        return BitMatrix.from_array(self.to_array().T)
+        """Word-level transpose via the 64×64 bit-block swap network."""
+        return BitMatrix(
+            self.cols, self.rows, _transpose_words(self.words, self.rows, self.cols)
+        )
 
     def copy(self) -> "BitMatrix":
         return BitMatrix(self.rows, self.cols, self.words.copy())
 
     def submatrix(self, rows: int, cols: int) -> "BitMatrix":
-        """Leading ``rows × cols`` submatrix (top-left corner)."""
+        """Leading ``rows × cols`` submatrix (slices words, masks the tail)."""
         if rows > self.rows or cols > self.cols:
             raise ValueError("submatrix larger than matrix")
-        return BitMatrix.from_array(self.to_array()[:rows, :cols])
+        words = self.words[:rows, : _n_words(cols)] & _tail_mask(cols)[None, :]
+        return BitMatrix(rows, cols, words)
+
+    def hconcat(self, other: "BitMatrix") -> "BitMatrix":
+        """Horizontal concatenation ``[self | other]`` (word-level splice)."""
+        if self.rows != other.rows:
+            raise ValueError(f"row mismatch: {self.rows} vs {other.rows}")
+        return BitMatrix(
+            self.rows,
+            self.cols + other.cols,
+            _splice_words(self.words, self.cols, other.words, other.cols),
+        )
 
     # ------------------------------------------------------------------
     # GF(2) arithmetic
@@ -192,10 +277,8 @@ class BitMatrix:
         """
         if vec.n != self.rows:
             raise ValueError(f"vector length {vec.n} != {self.rows} rows")
-        acc = np.zeros(self.words.shape[1], dtype=np.uint64)
-        for i in range(self.rows):
-            if vec[i]:
-                acc ^= self.words[i]
+        selected = _unpack_bits(vec.words, self.rows).view(bool)
+        acc = np.bitwise_xor.reduce(self.words[selected], axis=0)
         return BitVector(self.cols, acc)
 
     def matmul(self, other: "BitMatrix") -> "BitMatrix":
@@ -205,10 +288,19 @@ class BitMatrix:
                 f"inner dimension mismatch: {self.cols} vs {other.rows}"
             )
         other_t = other.transpose()
-        # result[i, j] = parity(popcount(self.row_words[i] & other_t.row_words[j]))
-        ands = self.words[:, None, :] & other_t.words[None, :, :]
-        parities = (np.bitwise_count(ands).sum(axis=2) & 1).astype(np.uint8)
-        return BitMatrix.from_array(parities)
+        # result[i, j] = parity(popcount(self.row_words[i] & other_t.row_words[j])).
+        # The popcount temporary is (rows × block × words); blocking the
+        # output columns keeps it cache-sized instead of O(n^3) bytes.
+        n_words = self.words.shape[1]
+        block = max(1, _MATMUL_BLOCK_BYTES // max(1, self.rows * max(1, n_words) * 8))
+        parities = np.empty((self.rows, other.cols), dtype=np.uint8)
+        for start in range(0, other.cols, block):
+            chunk = other_t.words[start : start + block]
+            ands = self.words[:, None, :] & chunk[None, :, :]
+            parities[:, start : start + block] = (
+                np.bitwise_count(ands).sum(axis=2) & 1
+            ).astype(np.uint8)
+        return BitMatrix(self.rows, other.cols, _pack_bits(parities))
 
     # ------------------------------------------------------------------
     # Rank and elimination

@@ -10,6 +10,13 @@ These vectors are the work-horses of the pseudo-random generator of
 Theorem 1.3 (each processor's output is ``(x, x^T M)`` for a shared matrix
 ``M``) and of the GF(2) rank computations behind the average-case lower
 bound of Theorem 1.4.
+
+Every conversion between the packed and unpacked representations goes
+through :func:`_pack_bits` / :func:`_unpack_bits`, which use
+``np.packbits``/``np.unpackbits`` with ``bitorder="little"`` — one numpy
+pass regardless of length, no per-bit Python loops anywhere in this module.
+The same helpers serve the batched kernels in :mod:`repro.linalg.batch`
+(they operate along the last axis and broadcast over any leading ones).
 """
 
 from __future__ import annotations
@@ -26,6 +33,64 @@ _WORD_BITS = 64
 def _n_words(n_bits: int) -> int:
     """Number of 64-bit words needed to hold ``n_bits`` bits."""
     return (n_bits + _WORD_BITS - 1) // _WORD_BITS
+
+
+def _pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack 0/1 values along the last axis into little-endian uint64 words.
+
+    ``bits`` may have any leading batch dimensions; the result replaces the
+    last axis of length ``n`` with one of length ``ceil(n / 64)``.  Nonzero
+    entries are treated as ones (``np.packbits`` semantics).
+    """
+    bits = np.ascontiguousarray(bits)
+    packed = np.packbits(bits, axis=-1, bitorder="little")
+    pad = _n_words(bits.shape[-1]) * 8 - packed.shape[-1]
+    if pad:
+        packed = np.concatenate(
+            [packed, np.zeros(packed.shape[:-1] + (pad,), dtype=np.uint8)],
+            axis=-1,
+        )
+    if packed.shape[-1] == 0:
+        return np.zeros(packed.shape[:-1] + (0,), dtype=np.uint64)
+    return packed.view("<u8").astype(np.uint64, copy=False)
+
+
+def _unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Unpack little-endian uint64 words (last axis) into ``n_bits`` 0/1 values.
+
+    Inverse of :func:`_pack_bits`; broadcasts over leading batch dimensions.
+    """
+    words = np.ascontiguousarray(words)
+    if words.shape[-1] == 0:
+        return np.zeros(words.shape[:-1] + (n_bits,), dtype=np.uint8)
+    as_bytes = words.astype("<u8", copy=False).view(np.uint8)
+    return np.unpackbits(as_bytes, axis=-1, bitorder="little")[..., :n_bits]
+
+
+def _splice_words(
+    left: np.ndarray, n_left: int, right: np.ndarray, n_right: int
+) -> np.ndarray:
+    """Concatenate packed bit rows: ``left`` then ``right`` along the bit axis.
+
+    Operands are word arrays whose last axis packs ``n_left`` / ``n_right``
+    bits (tail bits clear); leading axes broadcast, so this serves both
+    :meth:`BitVector.concat` and :meth:`BitMatrix.hconcat`.  ``right`` is
+    spliced in with one broadcast shift-and-or — never per bit.
+    """
+    out = np.zeros(
+        left.shape[:-1] + (_n_words(n_left + n_right),), dtype=np.uint64
+    )
+    out[..., : left.shape[-1]] = left
+    base, shift = divmod(n_left, _WORD_BITS)
+    n_right_words = right.shape[-1]
+    if shift == 0:
+        out[..., base : base + n_right_words] = right
+    else:
+        out[..., base : base + n_right_words] |= right << np.uint64(shift)
+        high = right >> np.uint64(_WORD_BITS - shift)
+        width = min(n_right_words, out.shape[-1] - (base + 1))
+        out[..., base + 1 : base + 1 + width] |= high[..., :width]
+    return out
 
 
 def _tail_mask(n_bits: int) -> np.ndarray:
@@ -93,13 +158,7 @@ class BitVector:
         if arr.ndim != 1:
             raise ValueError(f"expected a 1-D array, got shape {arr.shape}")
         bits = (arr != 0).astype(np.uint8)
-        n = bits.shape[0]
-        vec = cls(n)
-        idx = np.nonzero(bits)[0]
-        word_idx = idx // _WORD_BITS
-        bit_idx = (idx % _WORD_BITS).astype(np.uint64)
-        np.bitwise_or.at(vec.words, word_idx, np.uint64(1) << bit_idx)
-        return vec
+        return cls(bits.shape[0], _pack_bits(bits))
 
     @classmethod
     def from_int(cls, value: int, n: int) -> "BitVector":
@@ -110,10 +169,9 @@ class BitVector:
             raise ValueError(
                 f"value needs {value.bit_length()} bits but n={n} requested"
             )
-        vec = cls(n)
-        for w in range(_n_words(n)):
-            vec.words[w] = np.uint64((value >> (w * _WORD_BITS)) & 0xFFFFFFFFFFFFFFFF)
-        return vec
+        raw = value.to_bytes(_n_words(n) * 8, "little")
+        words = np.frombuffer(raw, dtype="<u8").astype(np.uint64)
+        return cls(n, words)
 
     @classmethod
     def random(cls, n: int, rng: np.random.Generator) -> "BitVector":
@@ -129,17 +187,11 @@ class BitVector:
     # ------------------------------------------------------------------
     def to_array(self) -> np.ndarray:
         """Unpack into a ``uint8`` array of 0/1 values."""
-        out = np.zeros(self.n, dtype=np.uint8)
-        for i in range(self.n):
-            out[i] = (int(self.words[i // _WORD_BITS]) >> (i % _WORD_BITS)) & 1
-        return out
+        return _unpack_bits(self.words, self.n)
 
     def to_int(self) -> int:
         """Pack into a single Python integer (entry ``i`` → bit ``i``)."""
-        value = 0
-        for w in range(len(self.words) - 1, -1, -1):
-            value = (value << _WORD_BITS) | int(self.words[w])
-        return value
+        return int.from_bytes(self.words.astype("<u8", copy=False).tobytes(), "little")
 
     # ------------------------------------------------------------------
     # Bit access
@@ -192,9 +244,12 @@ class BitVector:
         return not self.words.any()
 
     def concat(self, other: "BitVector") -> "BitVector":
-        """Concatenation ``(self, other)`` of length ``self.n + other.n``."""
-        bits = np.concatenate([self.to_array(), other.to_array()])
-        return BitVector.from_array(bits)
+        """Concatenation ``(self, other)`` of length ``self.n + other.n``
+        (word-level splice, no per-bit work)."""
+        return BitVector(
+            self.n + other.n,
+            _splice_words(self.words, self.n, other.words, other.n),
+        )
 
     def _check_same_length(self, other: "BitVector") -> None:
         if self.n != other.n:

@@ -49,9 +49,7 @@ def prg_matrix(
     secret = BitMatrix.random(k, m - k, rng)
     if m == k:
         return seeds.copy(), seeds, secret
-    tail = seeds.matmul(secret)
-    combined = np.hstack([seeds.to_array(), tail.to_array()])
-    return BitMatrix.from_array(combined), seeds, secret
+    return seeds.hconcat(seeds.matmul(secret)), seeds, secret
 
 
 def rank_deficient_matrix(n: int, rng: np.random.Generator) -> BitMatrix:
@@ -70,7 +68,12 @@ def matrix_with_rank(
     n: int, m: int, r: int, rng: np.random.Generator, max_tries: int = 1000
 ) -> BitMatrix:
     """A random ``n × m`` matrix of rank exactly ``r`` (rejection-sampled
-    product of uniform full-rank-whp factors ``A_{n×r} B_{r×m}``)."""
+    product of uniform full-rank-whp factors ``A_{n×r} B_{r×m}``).
+
+    For whole batches of rank-conditioned matrices use
+    :meth:`~repro.linalg.batch.BitMatrixBatch.random_with_rank`, which
+    vectorizes the same rejection loop.
+    """
     if not 0 <= r <= min(n, m):
         raise ValueError(f"rank {r} impossible for {n}x{m}")
     if r == 0:

@@ -9,7 +9,10 @@ that a uniform ``n × n`` matrix over GF(2) has rank ``n - s`` converges to
 with ``Q_0 ≈ 0.288788…`` — the asymptotic probability of full rank.  This
 module provides exact finite-``n`` rank probability mass functions and the
 ``Q_s`` limits, so the experiment for Theorem 1.4 can compare measured rank
-frequencies with both.
+frequencies with both, plus :func:`sample_rank_pmf` — an empirical rank
+pmf whose trials run through the batched lock-step elimination of
+:class:`~repro.linalg.batch.BitMatrixBatch` instead of one scalar rank per
+sample.
 """
 
 from __future__ import annotations
@@ -18,11 +21,14 @@ from functools import lru_cache
 
 import numpy as np
 
+from .batch import BitMatrixBatch
+
 __all__ = [
     "count_matrices_of_rank",
     "rank_pmf",
     "full_rank_probability",
     "kolchin_q",
+    "sample_rank_pmf",
     "Q0",
 ]
 
@@ -78,6 +84,39 @@ def full_rank_probability(n: int, m: int | None = None) -> float:
         m = n
     r = min(n, m)
     return count_matrices_of_rank(n, m, r) / 2 ** (n * m)
+
+
+def sample_rank_pmf(
+    n: int,
+    trials: int,
+    rng: np.random.Generator,
+    m: int | None = None,
+    batch_size: int = 512,
+) -> np.ndarray:
+    """Empirical rank pmf of uniform ``n × m`` GF(2) matrices.
+
+    The Monte-Carlo counterpart of :func:`rank_pmf` for sizes where the
+    exact formula's ``2^{nm}`` denominators are unusable.  Trials are drawn
+    and eliminated in whole batches (one lock-step Gaussian elimination per
+    ``batch_size`` matrices) rather than one scalar ``rank()`` per sample.
+
+    Returns an array of length ``min(n, m) + 1`` whose entry ``r`` is the
+    fraction of sampled matrices with rank ``r``.
+    """
+    if m is None:
+        m = n
+    if trials <= 0:
+        raise ValueError("trial count must be positive")
+    if batch_size <= 0:
+        raise ValueError("batch size must be positive")
+    counts = np.zeros(min(n, m) + 1, dtype=np.int64)
+    remaining = trials
+    while remaining:
+        size = min(batch_size, remaining)
+        ranks = BitMatrixBatch.random(size, n, m, rng).rank()
+        counts += np.bincount(ranks, minlength=counts.shape[0])
+        remaining -= size
+    return counts / trials
 
 
 def kolchin_q(s: int) -> float:

@@ -27,6 +27,7 @@ from ..core.engine import Engine, Executor, RunSpec, derive_seed
 from ..core.processor import ProcessorContext
 from ..core.protocol import Protocol
 from ..distributions.uniform import UniformRows
+from ..linalg.batch import BitMatrixBatch
 from ..linalg.bitmatrix import BitMatrix
 
 __all__ = [
@@ -65,7 +66,14 @@ class TopSubmatrixRankProtocol(Protocol):
     columns are already dependent (certainty), else the majority of the
     conditional full-rank probability — which stays below 1/2 for every
     ``j < k``, so the truncated protocol answers 0.
+
+    Outputs are a deterministic function of the input matrix, so the
+    protocol supports the engine's vectorized fast path: a whole batch of
+    trials is decided by one lock-step rank elimination over the revealed
+    blocks.
     """
+
+    supports_batch = True
 
     def __init__(self, k: int, rounds_budget: int | None = None):
         if k < 1:
@@ -105,6 +113,24 @@ class TopSubmatrixRankProtocol(Protocol):
             return 0  # dependent columns already — certainly not full rank
         posterior = conditional_full_rank_probability(self.k, j)
         return int(posterior > 0.5)
+
+    def batch_decisions(self, inputs: np.ndarray) -> np.ndarray:
+        """Decisions for a ``(trials, n, n)`` batch via one batched rank."""
+        inputs = np.asarray(inputs)
+        trials = inputs.shape[0]
+        j = min(self.rounds_budget, self.k)
+        if inputs.ndim != 3 or inputs.shape[1] < self.k or inputs.shape[2] < j:
+            raise ValueError(
+                f"inputs must expose a {self.k} x {j} revealed block, got "
+                f"shape {inputs.shape}"
+            )
+        if j == 0:
+            return np.zeros(trials, dtype=np.uint8)
+        ranks = BitMatrixBatch.from_arrays(inputs[:, : self.k, :j]).rank()
+        if j >= self.k:
+            return (ranks == self.k).astype(np.uint8)
+        full_guess = int(conditional_full_rank_probability(self.k, j) > 0.5)
+        return np.where(ranks < j, 0, full_guess).astype(np.uint8)
 
 
 def conditional_full_rank_probability(k: int, j: int) -> float:
@@ -147,23 +173,39 @@ def accuracy_on_uniform(
     rng: np.random.Generator,
     target_fn=None,
     executor: Executor | str | None = None,
+    vectorized: bool = False,
 ) -> float:
     """Fraction of samples on which processor 0's output matches ``F_k``
     over uniform ``n × n`` input matrices.
 
     Trials run through the execution engine with per-trial inputs
-    recorded; pass ``executor="parallel"`` to spread them over cores.
+    recorded; pass ``executor="parallel"`` to spread them over cores, or
+    ``vectorized=True`` to evaluate the whole batch (both the protocol's
+    decisions and the default ``F_k`` target) with batched GF(2) kernels —
+    same seeds, bit-identical accuracy, no per-trial simulation.
     """
-    if target_fn is None:
-        target_fn = lambda matrix: top_submatrix_full_rank(matrix, k)  # noqa: E731
+    if k > n:
+        raise ValueError(f"block size {k} exceeds matrix size {n}")
     spec = RunSpec(
         protocol=protocol,
         distribution=UniformRows(n, n),
         seed=derive_seed(rng),
         record_inputs=True,
+        vectorized=vectorized,
     )
     batch = Engine(executor).run_batch(spec, n_samples)
-    correct = sum(
-        int(trial.outputs[0]) == int(target_fn(trial.inputs)) for trial in batch
+    decisions = np.fromiter(
+        (int(trial.outputs[0]) for trial in batch), dtype=np.int64, count=len(batch)
     )
-    return correct / n_samples
+    if target_fn is None and len(batch):
+        blocks = np.stack([trial.inputs[:k, :k] for trial in batch])
+        targets = (BitMatrixBatch.from_arrays(blocks).rank() == k).astype(np.int64)
+    else:
+        if target_fn is None:
+            target_fn = lambda matrix: top_submatrix_full_rank(matrix, k)  # noqa: E731
+        targets = np.fromiter(
+            (int(target_fn(trial.inputs)) for trial in batch),
+            dtype=np.int64,
+            count=len(batch),
+        )
+    return int((decisions == targets).sum()) / n_samples

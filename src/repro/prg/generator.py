@@ -87,9 +87,9 @@ class MatrixPRGProtocol(Protocol):
 
     def output(self, proc: ProcessorContext) -> np.ndarray:
         seed: BitVector = proc.memory["prg_seed"]
-        head = seed.to_array()
         if self.m == self.k:
-            return head
+            return seed.to_array()
         secret = self.shared_matrix(proc)
-        tail = secret.vecmat(seed).to_array()
-        return np.concatenate([head, tail])
+        # x^T M is a masked XOR-reduce over the packed secret rows; the
+        # (x, x^T M) assembly stays word-level until the final unpack.
+        return seed.concat(secret.vecmat(seed)).to_array()

@@ -1,0 +1,212 @@
+"""Property tests: batched GF(2) kernels are bit-identical to the scalar
+``BitMatrix``/``BitVector`` paths, including ragged tail-word widths
+(``n % 64 != 0``) and empty/degenerate shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import BitMatrix, BitMatrixBatch, BitVector, BitVectorBatch
+
+
+def random_bits(rng, *shape):
+    return rng.integers(0, 2, size=shape, dtype=np.uint8)
+
+
+#: Shapes chosen to cross word boundaries in every direction, plus the
+#: empty/degenerate corners.
+BATCH_SHAPES = [
+    (4, 5, 5),
+    (8, 7, 70),
+    (3, 64, 64),
+    (2, 65, 127),
+    (1, 1, 1),
+    (0, 5, 5),
+    (5, 0, 7),
+    (5, 7, 0),
+    (6, 3, 200),
+    (2, 130, 30),
+]
+
+
+class TestBitVectorBatch:
+    @pytest.mark.parametrize("batch,n", [(4, 70), (1, 64), (3, 1), (0, 5), (2, 0)])
+    def test_roundtrip(self, rng, batch, n):
+        arr = random_bits(rng, batch, n)
+        assert np.array_equal(BitVectorBatch.from_arrays(arr).to_arrays(), arr)
+
+    def test_getitem_matches_scalar(self, rng):
+        arr = random_bits(rng, 5, 90)
+        vb = BitVectorBatch.from_arrays(arr)
+        for i in range(5):
+            assert vb[i] == BitVector.from_array(arr[i])
+
+    def test_from_vectors(self, rng):
+        vecs = [BitVector.random(70, rng) for _ in range(4)]
+        vb = BitVectorBatch.from_vectors(vecs)
+        assert list(vb) == vecs
+
+    def test_from_vectors_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BitVectorBatch.from_vectors([BitVector.zeros(2), BitVector.zeros(3)])
+
+    def test_xor_dots_weights(self, rng):
+        a = random_bits(rng, 6, 77)
+        b = random_bits(rng, 6, 77)
+        va, vb = BitVectorBatch.from_arrays(a), BitVectorBatch.from_arrays(b)
+        assert np.array_equal((va ^ vb).to_arrays(), a ^ b)
+        assert np.array_equal(va.dots(vb), (a.astype(int) * b).sum(axis=1) % 2)
+        assert np.array_equal(va.weights(), a.sum(axis=1))
+
+    def test_random_tail_clear(self, rng):
+        vb = BitVectorBatch.random(8, 70, rng)
+        assert (vb.to_arrays().shape) == (8, 70)
+        # repacking the unpacked bits must reproduce the words exactly
+        assert np.array_equal(
+            BitVectorBatch.from_arrays(vb.to_arrays()).words, vb.words
+        )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BitVectorBatch.zeros(2, 5).dots(BitVectorBatch.zeros(2, 6))
+
+
+class TestBitMatrixBatchKernels:
+    @pytest.mark.parametrize("batch,rows,cols", BATCH_SHAPES)
+    def test_roundtrip_and_getitem(self, rng, batch, rows, cols):
+        arr = random_bits(rng, batch, rows, cols)
+        mb = BitMatrixBatch.from_arrays(arr)
+        assert np.array_equal(mb.to_arrays(), arr)
+        for i in range(batch):
+            assert mb[i] == BitMatrix.from_array(arr[i])
+
+    @pytest.mark.parametrize("batch,rows,cols", BATCH_SHAPES)
+    def test_rank_matches_scalar(self, rng, batch, rows, cols):
+        arr = random_bits(rng, batch, rows, cols)
+        mb = BitMatrixBatch.from_arrays(arr)
+        expected = [BitMatrix.from_array(a).rank() for a in arr]
+        assert np.array_equal(mb.rank(), expected)
+
+    @pytest.mark.parametrize("batch,rows,cols", BATCH_SHAPES)
+    def test_transpose_matches_scalar(self, rng, batch, rows, cols):
+        arr = random_bits(rng, batch, rows, cols)
+        mb = BitMatrixBatch.from_arrays(arr)
+        assert np.array_equal(mb.transpose().to_arrays(), arr.transpose(0, 2, 1))
+
+    @pytest.mark.parametrize("batch,rows,cols", BATCH_SHAPES)
+    def test_matvec_vecmat_match_scalar(self, rng, batch, rows, cols):
+        arr = random_bits(rng, batch, rows, cols)
+        mb = BitMatrixBatch.from_arrays(arr)
+        xs = random_bits(rng, batch, cols)
+        got = mb.matvec(BitVectorBatch.from_arrays(xs)).to_arrays()
+        for i in range(batch):
+            scalar = BitMatrix.from_array(arr[i]).matvec(BitVector.from_array(xs[i]))
+            assert np.array_equal(got[i], scalar.to_array())
+        ys = random_bits(rng, batch, rows)
+        got = mb.vecmat(BitVectorBatch.from_arrays(ys)).to_arrays()
+        for i in range(batch):
+            scalar = BitMatrix.from_array(arr[i]).vecmat(BitVector.from_array(ys[i]))
+            assert np.array_equal(got[i], scalar.to_array())
+
+    @pytest.mark.parametrize("batch,rows,cols", BATCH_SHAPES)
+    def test_matmul_matches_scalar(self, rng, batch, rows, cols):
+        arr = random_bits(rng, batch, rows, cols)
+        other = random_bits(rng, batch, cols, 9)
+        got = (
+            BitMatrixBatch.from_arrays(arr)
+            .matmul(BitMatrixBatch.from_arrays(other))
+            .to_arrays()
+        )
+        for i in range(batch):
+            scalar = BitMatrix.from_array(arr[i]).matmul(BitMatrix.from_array(other[i]))
+            assert np.array_equal(got[i], scalar.to_array())
+
+    def test_rank_structured_batches(self, rng):
+        # duplicate rows, zero matrices and low-rank products in one batch
+        arr = random_bits(rng, 30, 20, 20)
+        arr[:10] = 0
+        arr[10:20, 10:] = arr[10:20, :10]
+        mb = BitMatrixBatch.from_arrays(arr)
+        assert np.array_equal(
+            mb.rank(), [BitMatrix.from_array(a).rank() for a in arr]
+        )
+
+    def test_xor(self, rng):
+        a = random_bits(rng, 3, 5, 70)
+        b = random_bits(rng, 3, 5, 70)
+        got = BitMatrixBatch.from_arrays(a) ^ BitMatrixBatch.from_arrays(b)
+        assert np.array_equal(got.to_arrays(), a ^ b)
+
+    def test_from_matrices(self, rng):
+        mats = [BitMatrix.random(6, 70, rng) for _ in range(5)]
+        mb = BitMatrixBatch.from_matrices(mats)
+        assert list(mb) == mats
+        assert BitMatrixBatch.from_matrices([]).batch == 0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BitMatrixBatch.from_arrays(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            BitMatrixBatch.zeros(2, 3, 4).matmul(BitMatrixBatch.zeros(2, 5, 4))
+        with pytest.raises(ValueError):
+            BitMatrixBatch.zeros(2, 3, 4).matmul(BitMatrixBatch.zeros(3, 4, 4))
+        with pytest.raises(ValueError):
+            BitMatrixBatch.zeros(2, 3, 4).matvec(BitVectorBatch.zeros(2, 3))
+        with pytest.raises(ValueError):
+            BitMatrixBatch.zeros(2, 3, 4).vecmat(BitVectorBatch.zeros(2, 4))
+
+
+class TestBatchedSampling:
+    def test_random_matches_from_arrays_packing(self, rng):
+        mb = BitMatrixBatch.random(4, 7, 70, rng)
+        assert np.array_equal(
+            BitMatrixBatch.from_arrays(mb.to_arrays()).words, mb.words
+        )
+
+    @pytest.mark.parametrize("r", [0, 1, 3, 6])
+    def test_random_with_rank(self, rng, r):
+        sample = BitMatrixBatch.random_with_rank(20, 6, 9, r, rng)
+        assert sample.batch == 20
+        assert np.array_equal(sample.rank(), np.full(20, r))
+
+    def test_random_with_rank_impossible(self, rng):
+        with pytest.raises(ValueError):
+            BitMatrixBatch.random_with_rank(4, 3, 3, 5, rng)
+
+    def test_is_full_rank(self, rng):
+        mb = BitMatrixBatch.random_with_rank(10, 5, 8, 5, rng)
+        assert mb.is_full_rank().all()
+        assert not BitMatrixBatch.zeros(3, 4, 4).is_full_rank().any()
+
+
+@given(
+    batch=st.integers(1, 6),
+    rows=st.integers(1, 20),
+    cols=st.integers(1, 150),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_rank_property(batch, rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    arr = rng.integers(0, 2, size=(batch, rows, cols), dtype=np.uint8)
+    mb = BitMatrixBatch.from_arrays(arr)
+    assert np.array_equal(mb.rank(), [BitMatrix.from_array(a).rank() for a in arr])
+
+
+@given(
+    batch=st.integers(1, 5),
+    rows=st.integers(1, 20),
+    cols=st.integers(1, 130),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_transpose_vecmat_property(batch, rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    arr = rng.integers(0, 2, size=(batch, rows, cols), dtype=np.uint8)
+    mb = BitMatrixBatch.from_arrays(arr)
+    assert np.array_equal(mb.transpose().to_arrays(), arr.transpose(0, 2, 1))
+    ys = rng.integers(0, 2, size=(batch, rows), dtype=np.uint8)
+    got = mb.vecmat(BitVectorBatch.from_arrays(ys)).to_arrays()
+    want = np.stack([(y.astype(int) @ a) % 2 for y, a in zip(ys, arr)])
+    assert np.array_equal(got, want.astype(np.uint8))

@@ -171,3 +171,35 @@ def test_dot_matches_numpy(bits_a, data):
 def test_int_roundtrip_property(value):
     v = BitVector.from_int(value, 100)
     assert v.to_int() == value
+
+
+@given(
+    n_left=st.integers(0, 200),
+    n_right=st.integers(0, 200),
+    seed=st.integers(0, 2**31),
+)
+@settings(max_examples=50, deadline=None)
+def test_concat_word_level_property(n_left, n_right, seed):
+    """Word-level concat agrees with array concatenation across every
+    tail-word alignment, including empty operands."""
+    rng = np.random.default_rng(seed)
+    a = BitVector.random(n_left, rng)
+    b = BitVector.random(n_right, rng)
+    combined = a.concat(b)
+    assert np.array_equal(
+        combined.to_array(), np.concatenate([a.to_array(), b.to_array()])
+    )
+    # the packed tail must be clean: repacking the bits reproduces the words
+    assert BitVector.from_array(combined.to_array()) == combined
+
+
+@given(n=st.integers(0, 300), seed=st.integers(0, 2**31))
+@settings(max_examples=50, deadline=None)
+def test_int_roundtrip_from_random_vectors(n, seed):
+    """Complements test_int_roundtrip_property above: starts from packed
+    random vectors (multi-word, ragged tails) instead of integers."""
+    rng = np.random.default_rng(seed)
+    vec = BitVector.random(n, rng)
+    value = vec.to_int()
+    assert BitVector.from_int(value, n) == vec
+    assert value == sum(bit << i for i, bit in enumerate(vec.to_array().tolist()))

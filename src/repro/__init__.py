@@ -18,7 +18,10 @@ A faithful, executable reproduction of Chen & Grossman (PODC 2019):
 * :mod:`repro.lowerbounds` — bound calculators, the Section 3 progress
   framework, and the rank/time-hierarchy protocols;
 * :mod:`repro.distinguish` — exact transcript distributions and
-  Monte-Carlo advantage estimation with concrete distinguishers.
+  Monte-Carlo advantage estimation with concrete distinguishers;
+* :mod:`repro.exec` — asynchronous job scheduling over the engine:
+  batch futures, warm worker pools, the distributed executor, and
+  resumable adaptive sweep driving.
 
 Quickstart — describe an execution with :class:`~repro.core.RunSpec` and
 run it through the :class:`~repro.core.Engine`::
@@ -52,6 +55,7 @@ over the engine for single executions.
 __version__ = "1.0.0"
 
 from . import analysis, cliques, core, distinguish, distributions, infotheory, linalg
+from . import exec  # noqa: A004 - the subsystem is named after what it does
 from . import lowerbounds, prg, protocols
 
 __all__ = [
@@ -60,6 +64,7 @@ __all__ = [
     "core",
     "distinguish",
     "distributions",
+    "exec",
     "infotheory",
     "linalg",
     "lowerbounds",

@@ -48,7 +48,18 @@ batch support) silently fall back to the scalar path.
 **Shared-memory inputs.**  When a batch has a fixed input matrix and runs
 on a :class:`ParallelExecutor`, large inputs are published once through
 ``multiprocessing.shared_memory`` instead of being pickled into every
-worker task; workers attach read-only views on first use.
+worker task; workers attach read-only views on first use.  The lifecycle
+is owned by the executor (:meth:`Executor.publish_inputs` /
+:meth:`Executor.release_inputs`): the per-batch pool unlinks the segment
+when the batch ends, while :class:`repro.exec.WorkerPool` keeps segments
+(and the workers attached to them) alive across successive batches.
+
+**Asynchronous batches.**  :meth:`Engine.submit_batch` schedules a batch
+on a background submission thread and returns a
+:class:`repro.exec.BatchFuture` immediately, so callers can overlap many
+in-flight batches (``repro.exec.as_completed`` consumes them as they
+finish).  Results are bit-identical to :meth:`Engine.run_batch` on the
+same spec — seeding never depends on scheduling.
 """
 
 from __future__ import annotations
@@ -58,8 +69,10 @@ import dataclasses
 import math
 import os
 import pickle
+import threading
 import warnings
 from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
+from concurrent.futures import ThreadPoolExecutor as _ThreadPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory as _shared_memory
 from typing import TYPE_CHECKING, Any, Callable, Iterable
@@ -75,6 +88,7 @@ from .transcript import Transcript
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..distributions.base import InputDistribution
+    from ..exec.futures import BatchFuture
     from .simulator import ExecutionResult
 
 __all__ = [
@@ -389,6 +403,28 @@ class _SharedInput:
 _SHARED_INPUT_PLACEHOLDER = np.empty((0, 0), dtype=np.uint8)
 
 
+def _create_shared_segment(
+    inputs: np.ndarray,
+) -> tuple[_shared_memory.SharedMemory, _SharedInput]:
+    """Copy ``inputs`` into a fresh shared-memory segment; return block + handle."""
+    block = _shared_memory.SharedMemory(create=True, size=inputs.nbytes)
+    view = np.ndarray(inputs.shape, dtype=inputs.dtype, buffer=block.buf)
+    view[:] = inputs
+    return block, _SharedInput(block.name, inputs.shape, inputs.dtype)
+
+
+def _evict_shared_attachment(name: str) -> None:
+    """Drop the calling process's cached attachment of segment ``name``.
+
+    The parent may have attached its own view of a segment it published
+    (serial fallback for unpicklable tasks); the mapping must be closed
+    before the segment is unlinked so it does not outlive its batch/pool.
+    """
+    cached = _SHARED_ATTACHMENTS.pop(name, None)
+    if cached is not None:
+        cached[0].close()
+
+
 # ----------------------------------------------------------------------
 # Trial runner (module level so process pools can pickle it)
 # ----------------------------------------------------------------------
@@ -466,6 +502,58 @@ class Executor:
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
         raise NotImplementedError
 
+    # -- shared fallback machinery --------------------------------------
+    # Every out-of-process backend needs the same three pieces; they live
+    # here so the backends cannot drift apart.
+
+    @staticmethod
+    def _pickle_probe(fn: Callable[[Any], Any], items: list[Any]) -> Exception | None:
+        """The exception that makes ``(fn, items[0])`` unshippable, if any."""
+        try:
+            pickle.dumps((fn, items[0]))
+            return None
+        except Exception as exc:  # noqa: BLE001 - reported to the caller
+            return exc
+
+    def _unpicklable_fallback(
+        self,
+        fn: Callable[[Any], Any],
+        items: list[Any],
+        exc: Exception,
+        action: str = "running serially",
+    ) -> list[Any]:
+        """Run in-process with a warning naming the backend and cause."""
+        warnings.warn(
+            f"{type(self).__name__} task is not picklable "
+            f"({type(exc).__name__}: {exc}); {action}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return [fn(item) for item in items]
+
+    @staticmethod
+    def _default_chunksize(n_items: int, lanes: int) -> int:
+        """~4 chunks per worker lane, amortizing IPC without starving anyone."""
+        return max(1, math.ceil(n_items / (4 * lanes)))
+
+    # -- shared-memory input protocol -----------------------------------
+    # Executors own the lifecycle of shared fixed-input segments because
+    # only they know how long workers live: a per-batch pool must unlink
+    # the segment when the batch ends, while a warm pool keeps workers
+    # (and their attachments) alive across batches and releases segments
+    # only when the pool closes.
+
+    def wants_shared_inputs(self, inputs: np.ndarray) -> bool:
+        """Whether a fixed input matrix should travel via shared memory."""
+        return False
+
+    def publish_inputs(self, inputs: np.ndarray) -> _SharedInput | None:
+        """Publish ``inputs`` to workers; ``None`` means "pickle per task"."""
+        return None
+
+    def release_inputs(self, handle: _SharedInput) -> None:
+        """Called by the engine once the batch using ``handle`` completed."""
+
 
 class SerialExecutor(Executor):
     """Run every item in the calling process, in order."""
@@ -515,36 +603,47 @@ class ParallelExecutor(Executor):
         self.max_workers = max_workers or (os.cpu_count() or 1)
         self.chunksize = chunksize
         self.share_inputs_min_bytes = share_inputs_min_bytes
+        # Segments published for in-flight batches, keyed by name; needed
+        # to close+unlink in release_inputs.
+        self._live_segments: dict[str, _shared_memory.SharedMemory] = {}
+
+    def wants_shared_inputs(self, inputs: np.ndarray) -> bool:
+        return (
+            self.max_workers > 1
+            and inputs.nbytes >= self.share_inputs_min_bytes
+        )
+
+    def publish_inputs(self, inputs: np.ndarray) -> _SharedInput | None:
+        if not self.wants_shared_inputs(inputs):
+            return None
+        block, handle = _create_shared_segment(inputs)
+        self._live_segments[handle.name] = block
+        return handle
+
+    def release_inputs(self, handle: _SharedInput) -> None:
+        block = self._live_segments.pop(handle.name, None)
+        if block is None:
+            return
+        _evict_shared_attachment(handle.name)
+        block.close()
+        block.unlink()
 
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
         items = list(items)
         if len(items) <= 1 or self.max_workers == 1:
             return [fn(item) for item in items]
-        try:
-            pickle.dumps((fn, items[0]))
-        except Exception as exc:
-            return self._serial_fallback(fn, items, exc)
+        probe_exc = self._pickle_probe(fn, items)
+        if probe_exc is not None:
+            return self._unpicklable_fallback(fn, items, probe_exc)
         workers = min(self.max_workers, len(items))
-        chunksize = self.chunksize or max(1, math.ceil(len(items) / (4 * workers)))
+        chunksize = self.chunksize or self._default_chunksize(len(items), workers)
         try:
             with _PoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(fn, items, chunksize=chunksize))
         except pickle.PicklingError as exc:
             # A later item slipped past the sample pre-check.  Trials are
             # pure, so rerunning from scratch in-process is safe.
-            return self._serial_fallback(fn, items, exc)
-
-    @staticmethod
-    def _serial_fallback(
-        fn: Callable[[Any], Any], items: list[Any], exc: Exception
-    ) -> list[Any]:
-        warnings.warn(
-            "ParallelExecutor task is not picklable "
-            f"({type(exc).__name__}: {exc}); running serially",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        return [fn(item) for item in items]
+            return self._unpicklable_fallback(fn, items, exc)
 
 
 def resolve_executor(executor: Executor | str | None) -> Executor:
@@ -563,11 +662,91 @@ def resolve_executor(executor: Executor | str | None) -> Executor:
 # ----------------------------------------------------------------------
 # Engine
 # ----------------------------------------------------------------------
-class Engine:
-    """Executes :class:`RunSpec` objects on a pluggable backend."""
+def _validate_batch_args(spec: RunSpec, trials: int) -> None:
+    """Batch preconditions, shared by ``run_batch`` and ``submit_batch``."""
+    if trials < 0:
+        raise ValueError("trial count must be non-negative")
+    if isinstance(spec.public_coins, CoinSource):
+        raise ValueError(
+            "run_batch needs per-trial public coins: pass a factory "
+            "(e.g. the PublicCoins class), not a CoinSource instance"
+        )
 
-    def __init__(self, executor: Executor | str | None = None):
+
+class Engine:
+    """Executes :class:`RunSpec` objects on a pluggable backend.
+
+    Parameters
+    ----------
+    executor:
+        Backend trials run on (``None`` / ``"serial"`` / ``"parallel"`` /
+        an :class:`Executor` instance, e.g. a warm
+        :class:`repro.exec.WorkerPool`).
+    max_inflight:
+        Submission threads backing :meth:`submit_batch` — the number of
+        batches that can be *dispatching* concurrently (each in-flight
+        batch occupies one thread until its trials finish).  Defaults to
+        ``max(4, cpu_count)``.  Queued batches beyond this start in
+        submission order, which is what makes ``BatchFuture.cancel()``
+        effective on not-yet-started work.
+    """
+
+    def __init__(
+        self,
+        executor: Executor | str | None = None,
+        max_inflight: int | None = None,
+    ):
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
         self.executor = resolve_executor(executor)
+        self.max_inflight = max_inflight or max(4, os.cpu_count() or 1)
+        self._submitter: _ThreadPoolExecutor | None = None
+        self._submitter_lock = threading.Lock()
+
+    # -- asynchronous batches -------------------------------------------
+    def submit_batch(self, spec: RunSpec, trials: int) -> "BatchFuture":
+        """Schedule ``run_batch(spec, trials)``; return a future immediately.
+
+        The batch runs on one of the engine's submission threads (created
+        lazily, up to ``max_inflight``); the returned
+        :class:`repro.exec.BatchFuture` resolves to the same
+        :class:`BatchResult` — bit-identical — that a blocking
+        :meth:`run_batch` call would produce, because per-trial seeds are
+        a pure function of the spec, never of scheduling.  Futures for
+        batches that have not started yet can still be cancelled.
+        """
+        from ..exec.futures import BatchFuture
+
+        # Validate eagerly so mistakes surface at the call site, not
+        # later inside a submission thread.
+        _validate_batch_args(spec, trials)
+        with self._submitter_lock:
+            if self._submitter is None:
+                self._submitter = _ThreadPoolExecutor(
+                    max_workers=self.max_inflight,
+                    thread_name_prefix="repro-engine-submit",
+                )
+            inner = self._submitter.submit(self.run_batch, spec, trials)
+        return BatchFuture(inner, spec=spec, trials=trials)
+
+    def close(self, cancel_pending: bool = False) -> None:
+        """Wait for in-flight batches and release the submission threads.
+
+        ``cancel_pending=True`` additionally cancels batches that were
+        submitted but have not started.  Idempotent; the engine can keep
+        executing blocking :meth:`run` / :meth:`run_batch` calls after
+        closing, and a later :meth:`submit_batch` re-opens the submitter.
+        """
+        with self._submitter_lock:
+            submitter, self._submitter = self._submitter, None
+        if submitter is not None:
+            submitter.shutdown(wait=True, cancel_futures=cancel_pending)
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(
         self, spec: RunSpec, rng: np.random.Generator | None = None
@@ -612,52 +791,29 @@ class Engine:
         which evaluates all trials with one batched-kernel call when the
         protocol supports it.
         """
-        if trials < 0:
-            raise ValueError("trial count must be non-negative")
-        if isinstance(spec.public_coins, CoinSource):
-            raise ValueError(
-                "run_batch needs per-trial public coins: pass a factory "
-                "(e.g. the PublicCoins class), not a CoinSource instance"
-            )
+        _validate_batch_args(spec, trials)
         if spec.vectorized:
             batch = self._run_batch_vectorized(spec, trials)
             if batch is not None:
                 return batch
         seeds = spec.seed_sequence().spawn(trials)
         runner = _TrialRunner(spec)
-        shared = None
+        handle = None
         if self._should_share_inputs(spec, trials):
-            shared = _shared_memory.SharedMemory(
-                create=True, size=spec.inputs.nbytes
-            )
-            view = np.ndarray(
-                spec.inputs.shape, dtype=spec.inputs.dtype, buffer=shared.buf
-            )
-            view[:] = spec.inputs
-            runner.shared_input = _SharedInput(
-                shared.name, spec.inputs.shape, spec.inputs.dtype
-            )
+            handle = self.executor.publish_inputs(spec.inputs)
+            runner.shared_input = handle
         try:
             results = self.executor.map(runner, list(enumerate(seeds)))
         finally:
-            if shared is not None:
-                # The parent may have attached too (serial fallback for
-                # unpicklable tasks); evict so the per-batch segment's
-                # mapping doesn't outlive the batch.
-                cached = _SHARED_ATTACHMENTS.pop(shared.name, None)
-                if cached is not None:
-                    cached[0].close()
-                shared.close()
-                shared.unlink()
+            if handle is not None:
+                self.executor.release_inputs(handle)
         return BatchResult(trials=results)
 
     def _should_share_inputs(self, spec: RunSpec, trials: int) -> bool:
         return (
-            isinstance(self.executor, ParallelExecutor)
-            and self.executor.max_workers > 1
-            and trials > 1
+            trials > 1
             and spec.inputs is not None
-            and spec.inputs.nbytes >= self.executor.share_inputs_min_bytes
+            and self.executor.wants_shared_inputs(spec.inputs)
         )
 
     #: Trials evaluated per batched-kernel call on the vectorized fast

@@ -32,6 +32,7 @@ from .sampling import (
     estimate_transcript_distance,
     run_distinguisher,
     sample_transcript_keys,
+    submit_distinguisher,
 )
 
 __all__ = [
@@ -56,4 +57,5 @@ __all__ = [
     "estimate_transcript_distance",
     "run_distinguisher",
     "sample_transcript_keys",
+    "submit_distinguisher",
 ]

@@ -13,6 +13,11 @@ batched GF(2) kernel call when the protocol supports it — results are
 bit-identical to the serial default for the same ``rng`` state, just
 faster.  Transcript-key estimators always take the scalar path, since the
 fast path does not materialise transcripts.
+
+Batches can also run asynchronously: :func:`submit_distinguisher` returns
+a future over the decision vector, and
+``estimate_protocol_advantage(..., overlap=True)`` runs both sides'
+batches concurrently — same seeds, bit-identical estimates.
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ __all__ = [
     "sample_transcript_keys",
     "estimate_transcript_distance",
     "run_distinguisher",
+    "submit_distinguisher",
     "estimate_protocol_advantage",
 ]
 
@@ -104,7 +110,17 @@ def run_distinguisher(
     decided by one batched-kernel call; a ``decision_fn`` forces the
     scalar path because it needs per-trial transcripts.
     """
-    spec = RunSpec(
+    spec = _distinguisher_spec(
+        protocol, dist, rng, scheduler, decision_fn, vectorized
+    )
+    batch = Engine(executor).run_batch(spec, n_samples)
+    return _batch_decisions(batch, decision_fn)
+
+
+def _distinguisher_spec(
+    protocol, dist, rng, scheduler, decision_fn, vectorized
+) -> RunSpec:
+    return RunSpec(
         protocol=protocol,
         distribution=dist,
         scheduler=scheduler,
@@ -112,7 +128,9 @@ def run_distinguisher(
         record_transcripts=decision_fn is not None,
         vectorized=vectorized,
     )
-    batch = Engine(executor).run_batch(spec, n_samples)
+
+
+def _batch_decisions(batch, decision_fn) -> np.ndarray:
     if decision_fn is None:
         return batch.decisions(proc_id=0)
     return np.fromiter(
@@ -120,6 +138,32 @@ def run_distinguisher(
         dtype=np.uint8,
         count=len(batch),
     )
+
+
+def submit_distinguisher(
+    engine: Engine,
+    protocol: Protocol,
+    dist: InputDistribution,
+    n_samples: int,
+    rng: np.random.Generator,
+    scheduler: Scheduler | str = "round",
+    decision_fn: Callable | None = None,
+    vectorized: bool = False,
+):
+    """Asynchronous :func:`run_distinguisher`: submit now, decide later.
+
+    Returns a :class:`~repro.exec.futures.BatchFuture` resolving to the
+    same 0/1 decision vector :func:`run_distinguisher` would return for
+    the same ``rng`` state — the batch seed is drawn from ``rng`` *here*,
+    at submission, so interleaving many submissions stays deterministic.
+    The engine's executor (e.g. a warm
+    :class:`~repro.exec.pool.WorkerPool`) carries the trials.
+    """
+    spec = _distinguisher_spec(
+        protocol, dist, rng, scheduler, decision_fn, vectorized
+    )
+    future = engine.submit_batch(spec, n_samples)
+    return future.then(lambda batch: _batch_decisions(batch, decision_fn))
 
 
 def estimate_protocol_advantage(
@@ -133,6 +177,7 @@ def estimate_protocol_advantage(
     confidence: float = 0.95,
     executor: Executor | str | None = None,
     vectorized: bool = False,
+    overlap: bool = False,
 ) -> AdvantageEstimate:
     """Distinguishing advantage of a protocol between two distributions.
 
@@ -140,14 +185,29 @@ def estimate_protocol_advantage(
     ``1/2 + advantage`` for an optimally-oriented acceptor, i.e.
     ``|accept_rate_a − accept_rate_b| / 2``.  ``vectorized=True`` batches
     both sides' trials through the protocol's batched kernels (exact same
-    decisions as the scalar path).
+    decisions as the scalar path).  ``overlap=True`` submits both sides'
+    batches asynchronously so they run concurrently on the executor —
+    both seeds are drawn from ``rng`` in the same order as the sequential
+    path before anything runs, so the estimate is bit-identical.
     """
-    accepts_a = run_distinguisher(
-        protocol, dist_a, n_samples, rng, scheduler, decision_fn, executor,
-        vectorized,
-    )
-    accepts_b = run_distinguisher(
-        protocol, dist_b, n_samples, rng, scheduler, decision_fn, executor,
-        vectorized,
-    )
+    if overlap:
+        with Engine(executor) as engine:
+            future_a = submit_distinguisher(
+                engine, protocol, dist_a, n_samples, rng, scheduler,
+                decision_fn, vectorized,
+            )
+            future_b = submit_distinguisher(
+                engine, protocol, dist_b, n_samples, rng, scheduler,
+                decision_fn, vectorized,
+            )
+            accepts_a, accepts_b = future_a.result(), future_b.result()
+    else:
+        accepts_a = run_distinguisher(
+            protocol, dist_a, n_samples, rng, scheduler, decision_fn, executor,
+            vectorized,
+        )
+        accepts_b = run_distinguisher(
+            protocol, dist_b, n_samples, rng, scheduler, decision_fn, executor,
+            vectorized,
+        )
     return estimate_advantage(accepts_a, accepts_b, confidence=confidence)

@@ -1,0 +1,46 @@
+"""repro.exec — asynchronous job scheduling over the execution engine.
+
+PR 1's engine made the N-trial batch a first-class object; this package
+makes *many in-flight batches* first-class.  Four layers, each speaking
+the same :class:`~repro.core.engine.Executor` contract so they compose
+with every estimator, sweep, and benchmark that already takes
+``executor=``:
+
+* :mod:`repro.exec.futures` — :class:`BatchFuture` /
+  :func:`as_completed` over ``Engine.submit_batch``, so callers overlap
+  batches instead of blocking on each;
+* :mod:`repro.exec.pool` — :class:`WorkerPool`, a warm process pool
+  (plus its shared-memory input segments) reused across batches, with
+  idle-timeout reaping;
+* :mod:`repro.exec.distributed` — :class:`DistributedExecutor` /
+  :class:`LoopbackWorker` and the :mod:`repro.exec.worker` serve loop:
+  the ``Executor.map`` contract over sockets, bit-identical to serial
+  execution thanks to per-trial ``SeedSequence.spawn`` seeding;
+* :mod:`repro.exec.sweep` — :class:`SweepDriver`, resumable (JSONL
+  checkpoint journal) adaptive (confidence-interval-targeted) grid
+  sweeps over asynchronous batches.
+"""
+
+from .distributed import DistributedExecutor, LoopbackWorker
+from .futures import BatchFuture, as_completed
+from .pool import WorkerPool
+from .sweep import (
+    SweepDriver,
+    append_journal,
+    default_trial_values,
+    load_journal,
+    params_key,
+)
+
+__all__ = [
+    "BatchFuture",
+    "as_completed",
+    "WorkerPool",
+    "DistributedExecutor",
+    "LoopbackWorker",
+    "SweepDriver",
+    "append_journal",
+    "default_trial_values",
+    "load_journal",
+    "params_key",
+]

@@ -1,0 +1,366 @@
+"""``DistributedExecutor`` — the ``Executor.map`` contract over sockets.
+
+The third rung of the executor ladder: :class:`~repro.core.engine
+.SerialExecutor` (one core), :class:`~repro.exec.pool.WorkerPool` (one
+machine, warm), and this — many machines, each running a
+:mod:`repro.exec.worker` serve loop.  Because the engine seeds batch
+trial ``t`` purely from ``SeedSequence(seed).spawn(trials)[t]``, moving a
+trial to another host changes *nothing* about its randomness: results
+are bit-identical to the serial backend no matter how tasks land on
+workers.
+
+Dispatch splits the item list into contiguous chunks and round-robins
+them over the connected workers, one feeder thread per connection so
+slow and fast hosts overlap; a worker that disconnects mid-batch has its
+unfinished chunks redistributed to the surviving workers, and when every
+worker is gone the remainder runs locally (with a warning) — a batch
+never fails because the fleet shrank.  Task exceptions, by contrast, are
+shipped back and re-raised exactly like a local executor would.
+
+Workers for tests (or single-machine smoke runs) can live in-process:
+:class:`LoopbackWorker` hosts the same serve loop on a background thread
+bound to ``127.0.0.1``.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import warnings
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from ..core.engine import Executor
+from .worker import recv_frame, send_frame, serve
+
+__all__ = ["DistributedExecutor", "LoopbackWorker"]
+
+
+def _parse_address(address: "str | tuple[str, int]") -> tuple[str, int]:
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    host, sep, port = address.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(
+            f"worker address must be 'host:port' or (host, port), got {address!r}"
+        )
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]  # "[::1]:9123" bracket form
+    elif ":" in host:
+        raise ValueError(
+            f"IPv6 worker addresses need brackets ('[::1]:9123'), got {address!r}"
+        )
+    return host, int(port)
+
+
+class _WorkerLink:
+    """One client connection, lazily (re)connected per map call."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        connect_timeout: float,
+        task_timeout: float | None = None,
+    ):
+        self.address = address
+        self.connect_timeout = connect_timeout
+        self.task_timeout = task_timeout
+        self.sock: socket.socket | None = None
+
+    def ensure_connected(self) -> bool:
+        if self.sock is not None:
+            return True
+        try:
+            sock = socket.create_connection(
+                self.address, timeout=self.connect_timeout
+            )
+            # No task_timeout means frames block until completion; TCP
+            # keepalive still surfaces a silently-partitioned peer
+            # eventually instead of hanging the batch forever.
+            sock.settimeout(self.task_timeout)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+            self.sock = sock
+            return True
+        except OSError:
+            return False
+
+    def request(self, payload: Any) -> Any:
+        """One round-trip; raises ``ConnectionError`` on transport failure."""
+        assert self.sock is not None
+        try:
+            send_frame(self.sock, payload)
+            return recv_frame(self.sock)
+        except (OSError, EOFError) as exc:
+            raise ConnectionError(str(exc)) from exc
+
+    def drop(self) -> None:
+        sock, self.sock = self.sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class DistributedExecutor(Executor):
+    """Round-robin tasks over remote ``repro.exec.worker`` serve loops.
+
+    Parameters
+    ----------
+    addresses:
+        Worker endpoints, as ``"host:port"`` strings or ``(host, port)``
+        tuples.  Each map call opens its own connections (so overlapping
+        ``submit_batch`` batches run concurrently against the fleet —
+        workers serve one handler thread per connection) and a worker
+        that was unreachable or failed mid-call is simply retried by the
+        next call.
+    chunksize:
+        Items per task frame; defaults to
+        ``ceil(len(items) / (4 * n_workers))`` so each worker sees ~4
+        chunks and stragglers rebalance.
+    connect_timeout:
+        Seconds to wait when (re)establishing a worker connection.
+    task_timeout:
+        Seconds a worker may take to answer one chunk before the link is
+        treated as failed and the chunk redistributed.  ``None`` (the
+        default) waits indefinitely — protocols have unbounded runtimes —
+        relying on TCP keepalive to surface silent partitions; set it
+        when chunk runtimes are predictable and hung workers must not
+        stall a batch.
+    local_fallback:
+        Run chunks locally when no worker can take them (all
+        disconnected / unreachable).  ``False`` raises instead — for
+        deployments where silent local execution would hide a fleet
+        outage.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        addresses: Iterable["str | tuple[str, int]"],
+        chunksize: int | None = None,
+        connect_timeout: float = 5.0,
+        task_timeout: float | None = None,
+        local_fallback: bool = True,
+    ):
+        parsed = [_parse_address(address) for address in addresses]
+        if not parsed:
+            raise ValueError("DistributedExecutor needs at least one worker address")
+        if chunksize is not None and chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive")
+        self._addresses = parsed
+        self.connect_timeout = connect_timeout
+        self.task_timeout = task_timeout
+        self.chunksize = chunksize
+        self.local_fallback = local_fallback
+
+    @property
+    def addresses(self) -> list[tuple[str, int]]:
+        return list(self._addresses)
+
+    def _fresh_links(self) -> list[_WorkerLink]:
+        """Private connections for one conversation.
+
+        Each map (or ping) uses its own sockets, so concurrent calls —
+        overlapping ``submit_batch`` batches — never interleave frames;
+        workers accept one handler thread per connection.
+        """
+        return [
+            _WorkerLink(address, self.connect_timeout, self.task_timeout)
+            for address in self._addresses
+        ]
+
+    # -- liveness -------------------------------------------------------
+    def ping(self) -> list[bool]:
+        """Probe every worker; True per worker that answered."""
+        alive = []
+        for link in self._fresh_links():
+            ok = False
+            if link.ensure_connected():
+                try:
+                    ok = link.request(("ping",))[0] == "pong"
+                except ConnectionError:
+                    pass
+                finally:
+                    link.drop()
+            alive.append(ok)
+        return alive
+
+    # -- Executor contract ----------------------------------------------
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        items = list(items)
+        if not items:
+            return []
+        probe_exc = self._pickle_probe(fn, items)
+        if probe_exc is not None:
+            return self._unpicklable_fallback(
+                fn, items, probe_exc, action="running locally"
+            )
+        links = self._fresh_links()
+        try:
+            return self._map_over_links(fn, items, links)
+        finally:
+            for link in links:
+                link.drop()
+
+    def _map_over_links(
+        self, fn: Callable[[Any], Any], items: list[Any], links: list[_WorkerLink]
+    ) -> list[Any]:
+        chunksize = self.chunksize or self._default_chunksize(
+            len(items), len(links)
+        )
+        pending: deque[tuple[int, list[Any]]] = deque(
+            (start, items[start : start + chunksize])
+            for start in range(0, len(items), chunksize)
+        )
+        results: list[Any] = [None] * len(items)
+        lock = threading.Lock()
+        task_error: list[BaseException] = []
+        dead: set[int] = set()
+
+        def feed(index: int, link: _WorkerLink) -> None:
+            """Pull chunks and ship them to one worker until it fails."""
+            while True:
+                with lock:
+                    if task_error or not pending:
+                        return
+                    start, chunk = pending.popleft()
+                try:
+                    reply = link.request(("map", fn, chunk))
+                    kind = reply[0]
+                    if kind == "err":
+                        with lock:
+                            task_error.append(reply[1])
+                        return
+                    if kind != "ok":
+                        raise ConnectionError(f"unknown reply kind {kind!r}")
+                    payload = list(reply[1])
+                    if len(payload) != len(chunk):
+                        raise ConnectionError(
+                            f"short reply: {len(payload)} results for "
+                            f"{len(chunk)} tasks"
+                        )
+                except Exception:  # noqa: BLE001 - any transport/protocol
+                    # failure (dropped socket, corrupt pickle, malformed
+                    # reply): the chunk's fate is unknown, but tasks are
+                    # pure, so rerunning it elsewhere is safe.  The link
+                    # sits out the rest of this map call (it may reconnect
+                    # on the next one).
+                    link.drop()
+                    with lock:
+                        dead.add(index)
+                        pending.appendleft((start, chunk))
+                    return
+                with lock:
+                    results[start : start + len(chunk)] = payload
+
+        # Dispatch rounds.  Feeder threads exit when the queue looks
+        # empty, so a chunk re-queued by a worker dying *after* the
+        # survivors already left would strand without the outer loop:
+        # each round re-dispatches leftovers over the still-live links.
+        # Every round either completes a chunk or kills a link, so the
+        # loop terminates.
+        while pending and not task_error:
+            threads = []
+            for index, link in enumerate(links):
+                if index not in dead and link.ensure_connected():
+                    thread = threading.Thread(
+                        target=feed, args=(index, link), daemon=True
+                    )
+                    thread.start()
+                    threads.append(thread)
+            if not threads:
+                break  # nobody reachable: leftovers go to the fallback
+            for thread in threads:
+                thread.join()
+
+        if task_error:
+            raise task_error[0]
+        if pending:
+            # Every worker is gone (or none were reachable to begin with).
+            if not self.local_fallback:
+                raise ConnectionError(
+                    f"{len(pending)} task chunks undelivered and no "
+                    "distributed worker is reachable"
+                )
+            warnings.warn(
+                f"no distributed worker reachable; running {len(pending)} "
+                "remaining chunks locally",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            while pending:
+                start, chunk = pending.popleft()
+                results[start : start + len(chunk)] = [fn(item) for item in chunk]
+        return results
+
+    def close(self) -> None:
+        """Nothing to release: connections are per-call and already closed.
+
+        Kept so the executor can be used as a context manager uniformly
+        with :class:`~repro.exec.pool.WorkerPool`.
+        """
+
+    def __enter__(self) -> "DistributedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class LoopbackWorker:
+    """An in-process worker thread serving the distributed protocol.
+
+    Hosts :func:`repro.exec.worker.serve` on a daemon thread bound to an
+    OS-assigned loopback port — the distributed stack end-to-end (frames,
+    sockets, redistribution) with no extra processes, which is what the
+    test-suite and single-machine smoke runs want.
+
+    ``max_requests_per_connection`` makes the worker hang up after that
+    many map frames on each connection — deterministic fault injection
+    for the client's mid-batch failover path.
+    """
+
+    def __init__(self, max_requests_per_connection: int | None = None):
+        self._stop = threading.Event()
+        ready = threading.Event()
+        address: list[tuple[str, int]] = []
+
+        def on_ready(bound: tuple[str, int]) -> None:
+            address.append(bound)
+            ready.set()
+
+        self._thread = threading.Thread(
+            target=serve,
+            kwargs=dict(
+                host="127.0.0.1",
+                port=0,
+                stop_event=self._stop,
+                ready_callback=on_ready,
+                max_requests_per_connection=max_requests_per_connection,
+            ),
+            daemon=True,
+        )
+        self._thread.start()
+        if not ready.wait(timeout=5.0):  # pragma: no cover - startup failure
+            raise RuntimeError("loopback worker failed to start")
+        self.address: tuple[str, int] = address[0]
+
+    @property
+    def endpoint(self) -> str:
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "LoopbackWorker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

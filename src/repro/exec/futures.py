@@ -1,0 +1,183 @@
+"""Futures over in-flight batches: ``BatchFuture`` and ``as_completed``.
+
+:meth:`repro.core.engine.Engine.submit_batch` returns a
+:class:`BatchFuture` — a thin, typed wrapper over
+:class:`concurrent.futures.Future` that resolves to the batch's
+:class:`~repro.core.engine.BatchResult`.  The wrapper exists so batch
+consumers get a stable surface (``result`` / ``done`` / ``cancel`` /
+``then``) independent of which thread or process pool actually carries
+the work, and so derived values (an accuracy, a decision vector) can be
+futures too without re-submitting anything: :meth:`BatchFuture.then`
+returns a new future sharing the same underlying computation, applying a
+transform lazily on first ``result()``.
+
+Determinism note: a future never influences seeding.  Whether a batch is
+awaited immediately, last, or via :func:`as_completed`, its trials are
+seeded purely from its spec, so asynchronous results are bit-identical
+to their blocking counterparts.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from typing import Any, Callable, Iterable, Iterator, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import RunSpec
+
+__all__ = ["BatchFuture", "as_completed"]
+
+_UNSET = object()
+
+
+class BatchFuture:
+    """Handle to a batch scheduled with ``Engine.submit_batch``.
+
+    Parameters
+    ----------
+    inner:
+        The :class:`concurrent.futures.Future` carrying the computation.
+    spec, trials:
+        The submitted spec and trial count, kept for introspection.
+    transform:
+        Optional function applied to the source result (used by
+        :meth:`then`); evaluated lazily in the waiting thread and cached.
+    source:
+        The parent :class:`BatchFuture` a derived future reads its input
+        from — via the parent's own ``result()``, so a chain evaluates
+        (and caches) each link exactly once.  ``None`` reads the inner
+        future directly.
+    """
+
+    def __init__(
+        self,
+        inner: concurrent.futures.Future,
+        spec: "RunSpec | None" = None,
+        trials: int | None = None,
+        transform: Callable[[Any], Any] | None = None,
+        source: "BatchFuture | None" = None,
+    ):
+        self._inner = inner
+        self.spec = spec
+        self.trials = trials
+        self._transform = transform
+        self._source = source
+        self._transformed: Any = _UNSET
+        self._transform_error: BaseException | None = None
+        self._lock = threading.Lock()
+
+    # -- state ----------------------------------------------------------
+    def done(self) -> bool:
+        """True once the batch finished, raised, or was cancelled."""
+        return self._inner.done()
+
+    def running(self) -> bool:
+        return self._inner.running()
+
+    def cancelled(self) -> bool:
+        return self._inner.cancelled()
+
+    def cancel(self) -> bool:
+        """Cancel the batch if it has not started; True on success.
+
+        A batch already executing cannot be interrupted (trials run to
+        completion); queued batches — beyond the engine's ``max_inflight``
+        dispatch threads — are removed before any work happens.
+        """
+        return self._inner.cancel()
+
+    # -- results --------------------------------------------------------
+    def result(self, timeout: float | None = None) -> Any:
+        """Block until the batch completes; return its (transformed) result.
+
+        Re-raises the batch's exception if it failed and
+        :class:`concurrent.futures.CancelledError` if it was cancelled.
+        """
+        if self._source is not None:
+            value = self._source.result(timeout)
+        else:
+            value = self._inner.result(timeout)
+        if self._transform is None:
+            return value
+        with self._lock:
+            if self._transform_error is not None:
+                raise self._transform_error
+            if self._transformed is _UNSET:
+                try:
+                    self._transformed = self._transform(value)
+                except BaseException as exc:
+                    self._transform_error = exc
+                    raise
+            return self._transformed
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The exception the batch — or any then-transform — raised.
+
+        ``None`` means :meth:`result` will succeed; mirrors
+        :meth:`concurrent.futures.Future.exception` (cancellation and
+        wait timeouts still raise).  Checking a derived future evaluates
+        its transform chain, since that is what decides its outcome.
+        """
+        if self._transform is None and self._source is None:
+            return self._inner.exception(timeout)
+        try:
+            self.result(timeout)
+            return None
+        except concurrent.futures.CancelledError:
+            raise
+        except concurrent.futures.TimeoutError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - reported, not raised
+            return exc
+
+    def add_done_callback(self, fn: Callable[["BatchFuture"], None]) -> None:
+        """Call ``fn(self)`` when the batch completes (or immediately if done)."""
+        self._inner.add_done_callback(lambda _inner: fn(self))
+
+    # -- composition ----------------------------------------------------
+    def then(self, fn: Callable[[Any], Any]) -> "BatchFuture":
+        """A future for ``fn(result)`` sharing this future's computation.
+
+        Nothing is re-submitted: the derived future completes when this
+        one does, and ``fn`` runs lazily (once, cached) in whichever
+        thread first asks for the derived ``result()``.  The derived
+        future reads this one's cached result, so a chain evaluates each
+        link's transform exactly once no matter how many descendants (or
+        repeat ``result()`` calls) consume it.  Cancelling either future
+        cancels the shared underlying batch.
+        """
+        return BatchFuture(
+            self._inner,
+            spec=self.spec,
+            trials=self.trials,
+            transform=fn,
+            source=self,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "cancelled" if self.cancelled()
+            else "done" if self.done()
+            else "running" if self.running()
+            else "pending"
+        )
+        return f"BatchFuture({state}, trials={self.trials})"
+
+
+def as_completed(
+    futures: Iterable[BatchFuture], timeout: float | None = None
+) -> Iterator[BatchFuture]:
+    """Yield futures as their batches finish, soonest first.
+
+    The asynchronous analogue of iterating a sweep grid in order: submit
+    everything, then consume results in completion order.  Futures derived
+    with :meth:`BatchFuture.then` share their parent's computation and are
+    yielded at the same moment the parent would be.
+    """
+    futures = list(futures)
+    by_inner: dict[concurrent.futures.Future, list[BatchFuture]] = {}
+    for future in futures:
+        by_inner.setdefault(future._inner, []).append(future)
+    for inner in concurrent.futures.as_completed(list(by_inner), timeout=timeout):
+        yield from by_inner[inner]

@@ -1,0 +1,322 @@
+"""Resumable, adaptive, asynchronous parameter sweeps: ``SweepDriver``.
+
+:func:`repro.analysis.sweep.run_sweep` maps a measure function over a
+grid and blocks until the last point returns.  ``SweepDriver`` is its
+production-scale sibling built on the engine's asynchronous batches:
+
+* **async** — the whole grid is submitted up front via
+  :meth:`~repro.core.engine.Engine.submit_batch`, so many points'
+  batches are in flight at once (on a warm
+  :class:`~repro.exec.pool.WorkerPool` or a
+  :class:`~repro.exec.distributed.DistributedExecutor` fleet);
+* **resumable** — every *completed* point is appended to a JSONL
+  checkpoint journal; re-running the same sweep against the same journal
+  submits only the missing points (zero recomputation), so an
+  interrupted overnight sweep continues where it stopped;
+* **adaptive** — instead of a fixed trial count, give a target
+  confidence-interval width: points keep receiving top-up batches until
+  the interval around their statistic is tight enough (or ``max_trials``
+  is hit), so easy points finish cheap and hard points get the budget.
+
+Determinism: batch ``b`` of grid point ``i`` is seeded with
+``SeedSequence(seed, spawn_key=(i, b))`` — a pure function of the driver
+seed and grid position.  Interrupting, resuming, reordering completions,
+or changing the executor never changes any point's trials.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+from concurrent.futures import FIRST_COMPLETED
+from concurrent.futures import wait as _wait_futures
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from ..analysis.sweep import SweepPoint, SweepResult
+from ..core.engine import BatchResult, Engine, Executor, RunSpec
+from ..infotheory.estimation import _normal_quantile, wilson_interval
+from .futures import BatchFuture
+
+__all__ = [
+    "SweepDriver",
+    "params_key",
+    "load_journal",
+    "append_journal",
+    "default_trial_values",
+]
+
+
+# ----------------------------------------------------------------------
+# Checkpoint journal
+# ----------------------------------------------------------------------
+def _jsonable(obj: Any) -> Any:
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"{type(obj).__name__} is not JSON-serializable")
+
+
+def params_key(params: Mapping[str, Any]) -> str:
+    """Canonical identity of a grid point: sorted-key JSON of its params."""
+    return json.dumps(dict(params), sort_keys=True, default=_jsonable)
+
+
+def load_journal(path: "str | Path") -> dict[str, dict[str, float]]:
+    """Completed points of a previous run: ``params_key → values``.
+
+    Tolerates a truncated final line (the run was killed mid-write);
+    everything before it is kept.  A missing file is an empty journal.
+    """
+    journal: dict[str, dict[str, float]] = {}
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail write from an interrupted run
+                journal[params_key(record["params"])] = record["values"]
+    except FileNotFoundError:
+        pass
+    return journal
+
+
+def append_journal(
+    path: "str | Path", params: Mapping[str, Any], values: Mapping[str, float]
+) -> None:
+    """Durably append one completed point to the checkpoint journal."""
+    line = json.dumps(
+        {"params": dict(params), "values": dict(values)},
+        sort_keys=True,
+        default=_jsonable,
+    )
+    with open(path, "a", encoding="utf-8") as stream:
+        stream.write(line + "\n")
+        stream.flush()
+        os.fsync(stream.fileno())
+
+
+# ----------------------------------------------------------------------
+# Adaptive accounting
+# ----------------------------------------------------------------------
+def default_trial_values(batch: BatchResult) -> np.ndarray:
+    """Per-trial statistic a sweep aggregates: processor 0's 0/1 decision."""
+    return batch.decisions(0).astype(np.float64)
+
+
+@dataclass
+class _PointState:
+    """Accumulated trials of one in-flight grid point."""
+
+    index: int
+    params: Mapping[str, Any]
+    values: list[np.ndarray] = field(default_factory=list)
+    batches: int = 0
+
+    @property
+    def trials(self) -> int:
+        return sum(len(v) for v in self.values)
+
+    def stacked(self) -> np.ndarray:
+        return np.concatenate(self.values) if self.values else np.empty(0)
+
+
+class SweepDriver:
+    """Drive a grid of batched experiments to completion, asynchronously.
+
+    Parameters
+    ----------
+    spec_fn:
+        ``spec_fn(**params) → RunSpec`` describing one grid point's
+        batch.  The spec's ``seed`` is overridden by the driver (see
+        ``seed``) so that resume and top-up batches are deterministic.
+    executor / engine:
+        Backend batches run on: pass ``executor`` (e.g. a warm
+        :class:`~repro.exec.pool.WorkerPool`) to let the driver own an
+        :class:`~repro.core.engine.Engine`, or a pre-built ``engine`` to
+        share one across drivers (the caller then owns its lifecycle).
+    trials:
+        Trials in the initial batch of every point — and in each top-up
+        batch when the sweep is adaptive.
+    ci_width:
+        Adaptive target: keep topping up a point until the two-sided
+        confidence interval of its mean statistic — Wilson score when the
+        statistic is 0/1 (honest at accuracies near 0 or 1), normal
+        approximation otherwise — is at most this wide.  ``None``
+        disables adaptivity (one batch per point).
+    max_trials:
+        Hard per-point budget for the adaptive loop (default
+        ``32 * trials``).
+    confidence:
+        Confidence level of the adaptive interval (default 0.95).
+    trial_values:
+        ``BatchResult → (trials,) float array`` extracting the per-trial
+        statistic; defaults to processor 0's 0/1 decisions, making
+        ``mean`` an accept rate / accuracy.
+    checkpoint:
+        JSONL journal path.  Completed points are appended as they
+        finish; points already present are returned from the journal
+        without resubmitting anything.
+    seed:
+        Master seed.  Batch ``b`` of point ``i`` runs under
+        ``SeedSequence(seed, spawn_key=(i, b))``.
+    """
+
+    def __init__(
+        self,
+        spec_fn: Callable[..., RunSpec],
+        *,
+        executor: "Executor | str | None" = None,
+        engine: Engine | None = None,
+        trials: int = 64,
+        ci_width: float | None = None,
+        max_trials: int | None = None,
+        confidence: float = 0.95,
+        trial_values: Callable[[BatchResult], np.ndarray] | None = None,
+        checkpoint: "str | Path | None" = None,
+        seed: int = 0,
+    ):
+        if trials < 1:
+            raise ValueError("trials per batch must be >= 1")
+        if ci_width is not None and ci_width <= 0:
+            raise ValueError("ci_width must be positive")
+        if max_trials is not None and max_trials < trials:
+            raise ValueError("max_trials must be >= the initial batch size")
+        if not 0 < confidence < 1:
+            raise ValueError("confidence must lie in (0, 1)")
+        if engine is not None and executor is not None:
+            raise ValueError("pass either executor or engine, not both")
+        self.spec_fn = spec_fn
+        self._engine = engine
+        self._executor = executor
+        self.trials = trials
+        self.ci_width = ci_width
+        self.max_trials = max_trials if max_trials is not None else 32 * trials
+        self.confidence = confidence
+        self.trial_values = trial_values or default_trial_values
+        self.checkpoint = checkpoint
+        self.seed = seed
+
+    # -- seeding --------------------------------------------------------
+    def _batch_spec(self, params: Mapping[str, Any], index: int, batch: int) -> RunSpec:
+        spec = self.spec_fn(**params)
+        if not isinstance(spec, RunSpec):
+            raise TypeError(
+                f"spec_fn must return a RunSpec, got {type(spec).__name__}"
+            )
+        seed = np.random.SeedSequence(self.seed, spawn_key=(index, batch))
+        return dataclasses.replace(spec, seed=seed)
+
+    # -- adaptive accounting --------------------------------------------
+    def _point_values(self, state: _PointState) -> dict[str, float]:
+        values = state.stacked()
+        n = len(values)
+        mean = float(values.mean()) if n else math.nan
+        if n and np.isin(values, (0.0, 1.0)).all():
+            # Bernoulli statistic (the default decision/accuracy case):
+            # Wilson scores stay honest at the extremes — an all-1s batch
+            # gets a CI like [0.89, 1.0], not the degenerate [1.0, 1.0]
+            # of the sample-std formula, so adaptive stopping cannot
+            # declare victory on a lucky uniform batch.
+            interval = wilson_interval(
+                int(values.sum()), n, confidence=self.confidence
+            )
+            lower, upper = interval.lower, interval.upper
+        elif n > 1:
+            half = (
+                _normal_quantile(0.5 + self.confidence / 2.0)
+                * float(values.std(ddof=1))
+                / math.sqrt(n)
+            )
+            lower, upper = mean - half, mean + half
+        else:
+            half = math.inf if self.ci_width is not None else 0.0
+            lower, upper = mean - half, mean + half
+        return {
+            "mean": mean,
+            "ci_lower": lower,
+            "ci_upper": upper,
+            "trials": float(n),
+            "batches": float(state.batches),
+        }
+
+    def _is_converged(self, values: dict[str, float]) -> bool:
+        if self.ci_width is None:
+            return True
+        if values["trials"] >= self.max_trials:
+            return True
+        return (values["ci_upper"] - values["ci_lower"]) <= self.ci_width
+
+    # -- the drive loop -------------------------------------------------
+    def run(self, grid: Iterable[Mapping[str, Any]]) -> SweepResult:
+        """Submit every missing grid point; block until all converge.
+
+        Returns a :class:`~repro.analysis.sweep.SweepResult` in grid
+        order, mixing journal-loaded and freshly measured points.  Point
+        values: ``mean``, ``ci_lower`` / ``ci_upper``, ``trials``,
+        ``batches``.
+        """
+        grid = [dict(params) for params in grid]
+        journal = (
+            load_journal(self.checkpoint) if self.checkpoint is not None else {}
+        )
+        finished: dict[int, dict[str, float]] = {}
+        engine = self._engine if self._engine is not None else Engine(self._executor)
+        pending: dict[BatchFuture, _PointState] = {}
+
+        def submit(state: _PointState) -> None:
+            spec = self._batch_spec(grid[state.index], state.index, state.batches)
+            future = engine.submit_batch(spec, self.trials)
+            pending[future] = state
+
+        try:
+            for index, params in enumerate(grid):
+                key = params_key(params)
+                if key in journal:
+                    finished[index] = dict(journal[key])
+                    continue
+                submit(_PointState(index=index, params=params))
+            while pending:
+                # One wait over the in-flight set, then drain everything
+                # that finished — top-up submissions join the next wait.
+                by_inner = {future._inner: future for future in pending}
+                done, _ = _wait_futures(
+                    list(by_inner), return_when=FIRST_COMPLETED
+                )
+                for inner in done:
+                    future = by_inner[inner]
+                    state = pending.pop(future)
+                    state.values.append(
+                        np.asarray(self.trial_values(future.result()))
+                    )
+                    state.batches += 1
+                    values = self._point_values(state)
+                    if self._is_converged(values):
+                        finished[state.index] = values
+                        if self.checkpoint is not None:
+                            append_journal(self.checkpoint, state.params, values)
+                    else:
+                        submit(state)
+        finally:
+            if self._engine is None:
+                engine.close(cancel_pending=True)
+        return SweepResult(
+            points=[
+                SweepPoint(params=dict(params), values=finished[index])
+                for index, params in enumerate(grid)
+            ]
+        )

@@ -1,0 +1,188 @@
+"""The distributed worker: a serve loop speaking the task-frame protocol.
+
+One worker process serves one or more client connections; each connection
+carries a sequence of length-prefixed pickle frames:
+
+* ``("ping",)`` → ``("pong",)`` — liveness probe;
+* ``("map", fn, items)`` → ``("ok", [fn(x) for x in items])`` on success
+  or ``("err", exception, traceback_text)`` if a task raised — the
+  client re-raises task errors, exactly like a local executor would;
+* closing the connection ends the session.
+
+Frames are ``8-byte big-endian length || pickle``.  The payload is an
+arbitrary pickled callable, which the worker *executes* — run workers
+only on trusted networks for trusted clients, exactly like
+``multiprocessing`` workers (this is a compute-fabric protocol, not a
+public service).
+
+Run a worker from the command line::
+
+    python -m repro.exec.worker --host 0.0.0.0 --port 9123 --processes 4
+
+``--processes k`` executes tasks through one local process pool of ``k``
+workers shared by every connection, so one remote host contributes up to
+``k`` cores in total; the default runs tasks inline in each connection's
+serving thread.
+:func:`serve` is also importable directly, which is how the in-process
+:class:`~repro.exec.distributed.LoopbackWorker` used by the test-suite
+hosts the same loop on a background thread.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import socket
+import struct
+import threading
+import traceback
+from typing import Any, Callable
+
+__all__ = ["send_frame", "recv_frame", "serve", "main"]
+
+_LENGTH = struct.Struct(">Q")
+
+#: Refuse frames beyond this size (a corrupt length prefix would
+#: otherwise ask us to allocate petabytes).
+MAX_FRAME_BYTES = 1 << 32
+
+
+def send_frame(sock: socket.socket, obj: Any) -> None:
+    """Pickle ``obj`` and write it as one length-prefixed frame."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
+    chunks = []
+    remaining = n_bytes
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Read one length-prefixed frame; raise ``ConnectionError`` on EOF."""
+    header = sock.recv(_LENGTH.size)
+    if not header:
+        raise ConnectionError("peer closed the connection")
+    if len(header) < _LENGTH.size:
+        header += _recv_exact(sock, _LENGTH.size - len(header))
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionError(f"frame of {length} bytes exceeds protocol limit")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _run_chunk(fn: Callable[[Any], Any], items: list[Any], pool) -> list[Any]:
+    if pool is None:
+        return [fn(item) for item in items]
+    return list(pool.map(fn, items))
+
+
+def _handle_connection(
+    conn: socket.socket, pool, max_requests: int | None
+) -> None:
+    """Serve one client until it disconnects (or ``max_requests`` frames).
+
+    ``max_requests`` exists for fault-injection in tests: a worker that
+    hangs up after N map frames exercises the client's mid-batch
+    redistribution path deterministically.
+    """
+    served = 0
+    try:
+        while max_requests is None or served < max_requests:
+            try:
+                message = recv_frame(conn)
+            except ConnectionError:
+                return
+            kind = message[0]
+            if kind == "ping":
+                send_frame(conn, ("pong",))
+                continue
+            if kind != "map":
+                send_frame(
+                    conn, ("err", ValueError(f"unknown frame kind {kind!r}"), "")
+                )
+                continue
+            _, fn, items = message
+            try:
+                send_frame(conn, ("ok", _run_chunk(fn, items, pool)))
+            except Exception as exc:  # noqa: BLE001 - shipped to the client
+                send_frame(conn, ("err", exc, traceback.format_exc()))
+            served += 1
+    finally:
+        conn.close()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    processes: int = 0,
+    stop_event: threading.Event | None = None,
+    ready_callback: Callable[[tuple[str, int]], None] | None = None,
+    max_requests_per_connection: int | None = None,
+) -> None:
+    """Accept connections and execute task frames until ``stop_event`` is set.
+
+    ``port=0`` binds an OS-assigned port; ``ready_callback`` receives the
+    actual ``(host, port)`` once listening — how in-process loopback
+    workers discover their address.  ``processes > 0`` fans each chunk
+    out over a local process pool.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    pool = ProcessPoolExecutor(max_workers=processes) if processes > 0 else None
+    server = socket.create_server((host, port))
+    server.settimeout(0.1)
+    threads: list[threading.Thread] = []
+    try:
+        if ready_callback is not None:
+            ready_callback(server.getsockname()[:2])
+        while stop_event is None or not stop_event.is_set():
+            # A long-lived worker sees many short connections; drop the
+            # handles of finished handlers so the list stays bounded.
+            threads = [thread for thread in threads if thread.is_alive()]
+            try:
+                conn, _addr = server.accept()
+            except socket.timeout:
+                continue
+            thread = threading.Thread(
+                target=_handle_connection,
+                args=(conn, pool, max_requests_per_connection),
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+    finally:
+        server.close()
+        for thread in threads:
+            thread.join(timeout=1.0)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        description="Serve repro.exec tasks to DistributedExecutor clients."
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=9123)
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=0,
+        help="size of the local process pool shared by all connections "
+        "(0 = run tasks inline in each connection's thread)",
+    )
+    args = parser.parse_args(argv)
+    print(f"repro.exec worker listening on {args.host}:{args.port}")
+    serve(args.host, args.port, processes=args.processes)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    main()

@@ -26,6 +26,7 @@ from .framework import (
 from .hierarchy import (
     TopSubmatrixRankProtocol,
     accuracy_on_uniform,
+    submit_accuracy_on_uniform,
     conditional_full_rank_probability,
     full_rank_indicator,
     optimal_accuracy_with_columns,
@@ -53,6 +54,7 @@ __all__ = [
     "real_distance_curve",
     "TopSubmatrixRankProtocol",
     "accuracy_on_uniform",
+    "submit_accuracy_on_uniform",
     "conditional_full_rank_probability",
     "full_rank_indicator",
     "optimal_accuracy_with_columns",

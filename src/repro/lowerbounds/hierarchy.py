@@ -37,6 +37,7 @@ __all__ = [
     "conditional_full_rank_probability",
     "optimal_accuracy_with_columns",
     "accuracy_on_uniform",
+    "submit_accuracy_on_uniform",
 ]
 
 
@@ -186,14 +187,22 @@ def accuracy_on_uniform(
     """
     if k > n:
         raise ValueError(f"block size {k} exceeds matrix size {n}")
-    spec = RunSpec(
+    spec = _accuracy_spec(protocol, n, rng, vectorized)
+    batch = Engine(executor).run_batch(spec, n_samples)
+    return _accuracy_from_batch(batch, k, target_fn, n_samples)
+
+
+def _accuracy_spec(protocol, n, rng, vectorized) -> RunSpec:
+    return RunSpec(
         protocol=protocol,
         distribution=UniformRows(n, n),
         seed=derive_seed(rng),
         record_inputs=True,
         vectorized=vectorized,
     )
-    batch = Engine(executor).run_batch(spec, n_samples)
+
+
+def _accuracy_from_batch(batch, k, target_fn, n_samples) -> float:
     decisions = np.fromiter(
         (int(trial.outputs[0]) for trial in batch), dtype=np.int64, count=len(batch)
     )
@@ -209,3 +218,31 @@ def accuracy_on_uniform(
             count=len(batch),
         )
     return int((decisions == targets).sum()) / n_samples
+
+
+def submit_accuracy_on_uniform(
+    engine: Engine,
+    protocol: Protocol,
+    n: int,
+    k: int,
+    n_samples: int,
+    rng: np.random.Generator,
+    target_fn=None,
+    vectorized: bool = False,
+):
+    """Asynchronous :func:`accuracy_on_uniform`: submit now, score later.
+
+    Returns a :class:`~repro.exec.futures.BatchFuture` whose ``result()``
+    is the accuracy — bit-identical to the blocking call for the same
+    ``rng`` state, since the batch seed is drawn here at submission.
+    Budget sweeps submit one batch per truncation budget and consume them
+    with :func:`repro.exec.as_completed`, overlapping all budgets on a
+    warm pool or distributed fleet.
+    """
+    if k > n:
+        raise ValueError(f"block size {k} exceeds matrix size {n}")
+    spec = _accuracy_spec(protocol, n, rng, vectorized)
+    future = engine.submit_batch(spec, n_samples)
+    return future.then(
+        lambda batch: _accuracy_from_batch(batch, k, target_fn, n_samples)
+    )

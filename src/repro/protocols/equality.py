@@ -43,7 +43,15 @@ def fingerprint_error_bound(t_probes: int) -> float:
 
 
 class DeterministicEqualityProtocol(Protocol):
-    """ALL-EQUAL by full revelation: ``m`` rounds, zero error, no coins."""
+    """ALL-EQUAL by full revelation: ``m`` rounds, zero error, no coins.
+
+    Deterministic in the input matrix, so it supports the engine's
+    ``vectorized=True`` fast path: a batch of trials is decided by one
+    all-rows-equal comparison (the randomized fingerprint protocol, by
+    contrast, draws public coins and must be simulated).
+    """
+
+    supports_batch = True
 
     def __init__(self, m: int):
         if m <= 0:
@@ -62,6 +70,23 @@ class DeterministicEqualityProtocol(Protocol):
             if len(bits) > 1:
                 return 0
         return 1
+
+    def batch_decisions(self, inputs: np.ndarray) -> np.ndarray:
+        """ALL-EQUAL over a ``(trials, n, m)`` batch in one comparison."""
+        inputs = np.asarray(inputs)
+        if inputs.ndim != 3 or inputs.shape[2] < self.m:
+            raise ValueError(
+                f"inputs must be a (trials, n, >={self.m}) stack, got "
+                f"shape {inputs.shape}"
+            )
+        revealed = inputs[:, :, : self.m]
+        if revealed.size and (revealed.min() < 0 or revealed.max() > 1):
+            # The scalar path broadcasts these values raw and the 1-bit
+            # message check rejects them; diverging silently here would
+            # break the fast path's bit-identical guarantee.
+            raise ValueError("equality inputs must be 0/1 bits")
+        equal = (revealed == revealed[:, :1, :]).all(axis=(1, 2))
+        return equal.astype(np.uint8)
 
 
 class FingerprintEqualityProtocol(Protocol):

@@ -9,6 +9,8 @@ accounting.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..core.processor import ProcessorContext
 from ..core.protocol import Protocol
 
@@ -16,7 +18,14 @@ __all__ = ["GlobalParityProtocol"]
 
 
 class GlobalParityProtocol(Protocol):
-    """Compute the parity of all input bits in one ``BCAST(1)`` round."""
+    """Compute the parity of all input bits in one ``BCAST(1)`` round.
+
+    The output is a deterministic function of the input matrix alone, so
+    the protocol rides the engine's ``vectorized=True`` fast path: a
+    whole trial batch is decided by one XOR reduction.
+    """
+
+    supports_batch = True
 
     def num_rounds(self, n: int) -> int:
         return 1
@@ -26,3 +35,13 @@ class GlobalParityProtocol(Protocol):
 
     def output(self, proc: ProcessorContext) -> int:
         return sum(e.message for e in proc.transcript) % 2
+
+    def batch_decisions(self, inputs: np.ndarray) -> np.ndarray:
+        """Whole-matrix parity for a ``(trials, n, m)`` batch at once."""
+        inputs = np.asarray(inputs, dtype=np.uint8)
+        if inputs.ndim != 3:
+            raise ValueError(
+                f"inputs must be a (trials, n, m) stack, got shape {inputs.shape}"
+            )
+        flat = inputs.reshape(inputs.shape[0], -1)
+        return np.bitwise_xor.reduce(flat & 1, axis=1).astype(np.uint8)

@@ -21,6 +21,12 @@ from repro.prg.attacks import SupportMembershipAttack
 from repro.protocols.parity import GlobalParityProtocol
 
 
+class UnbatchedParityProtocol(GlobalParityProtocol):
+    """Parity without batch support (GlobalParityProtocol gained it)."""
+
+    supports_batch = False
+
+
 def scalar_and_vectorized(protocol, dist, trials, seed):
     scalar = Engine().run_batch(
         RunSpec(protocol=protocol, distribution=dist, seed=seed, record_inputs=True),
@@ -81,13 +87,13 @@ class TestVectorizedFastPath:
 
     def test_unsupported_protocol_falls_back_with_transcripts(self):
         spec = RunSpec(
-            protocol=GlobalParityProtocol(),
+            protocol=UnbatchedParityProtocol(),
             distribution=UniformRows(6, 4),
             seed=11,
             vectorized=True,
         )
         scalar = RunSpec(
-            protocol=GlobalParityProtocol(), distribution=UniformRows(6, 4), seed=11
+            protocol=UnbatchedParityProtocol(), distribution=UniformRows(6, 4), seed=11
         )
         fast = Engine().run_batch(spec, 8)
         want = Engine().run_batch(scalar, 8)

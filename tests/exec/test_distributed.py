@@ -1,0 +1,211 @@
+"""Tests for the distributed executor, worker serve loop, and loopback rig."""
+
+import socket
+
+import pytest
+
+from repro.core import Engine, RunSpec, SerialExecutor
+from repro.distributions import UniformRows
+from repro.exec import DistributedExecutor, LoopbackWorker
+from repro.exec.worker import recv_frame, send_frame
+from repro.lowerbounds import TopSubmatrixRankProtocol
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"remote task {x} failed")
+
+
+def rank_spec(seed=7):
+    return RunSpec(
+        protocol=TopSubmatrixRankProtocol(5),
+        distribution=UniformRows(8, 8),
+        seed=seed,
+    )
+
+
+class TestFrameProtocol:
+    def test_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, ("map", _square, [1, 2, 3]))
+            kind, fn, items = recv_frame(right)
+            assert kind == "map" and fn(4) == 16 and items == [1, 2, 3]
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_raises_connection_error(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            with pytest.raises(ConnectionError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_ping(self):
+        with LoopbackWorker() as worker:
+            executor = DistributedExecutor([worker.endpoint])
+            assert executor.ping() == [True]
+            executor.close()
+
+
+class TestDistributedMap:
+    def test_map_preserves_order(self):
+        with LoopbackWorker() as w1, LoopbackWorker() as w2:
+            with DistributedExecutor([w1.endpoint, w2.endpoint], chunksize=3) as ex:
+                assert ex.map(_square, range(20)) == [x * x for x in range(20)]
+
+    def test_run_batch_bit_identical_to_serial(self):
+        golden = Engine(SerialExecutor()).run_batch(rank_spec(), 24)
+        with LoopbackWorker() as w1, LoopbackWorker() as w2:
+            with DistributedExecutor([w1.endpoint, w2.endpoint]) as executor:
+                batch = Engine(executor).run_batch(rank_spec(), 24)
+        assert batch.outputs == golden.outputs
+        assert batch.transcript_keys == golden.transcript_keys
+        assert batch.cost_totals() == golden.cost_totals()
+
+    def test_concurrent_maps_do_not_interleave(self):
+        """Per-call connections: overlapping maps stay isolated."""
+        import concurrent.futures as cf
+
+        with LoopbackWorker() as w1, LoopbackWorker() as w2:
+            with DistributedExecutor([w1.endpoint, w2.endpoint], chunksize=2) as ex:
+                with cf.ThreadPoolExecutor(max_workers=4) as threads:
+                    futures = [
+                        threads.submit(ex.map, _square, range(base, base + 12))
+                        for base in (0, 100, 200, 300)
+                    ]
+                    for base, future in zip((0, 100, 200, 300), futures):
+                        assert future.result(timeout=30) == [
+                            x * x for x in range(base, base + 12)
+                        ]
+
+    def test_overlapping_batches_through_engine(self):
+        """submit_batch overlap on a distributed fleet is bit-identical."""
+        goldens = [Engine(SerialExecutor()).run_batch(rank_spec(seed), 12)
+                   for seed in range(3)]
+        with LoopbackWorker() as w1, LoopbackWorker() as w2:
+            with DistributedExecutor([w1.endpoint, w2.endpoint]) as executor:
+                with Engine(executor) as engine:
+                    futures = [
+                        engine.submit_batch(rank_spec(seed), 12)
+                        for seed in range(3)
+                    ]
+                    batches = [future.result(timeout=60) for future in futures]
+        for golden, batch in zip(goldens, batches):
+            assert batch.outputs == golden.outputs
+
+    def test_task_error_reraised(self):
+        with LoopbackWorker() as worker:
+            with DistributedExecutor([worker.endpoint]) as executor:
+                with pytest.raises(ValueError, match="remote task"):
+                    executor.map(_boom, range(4))
+
+    def test_unpicklable_runs_locally(self):
+        with LoopbackWorker() as worker:
+            with DistributedExecutor([worker.endpoint]) as executor:
+                with pytest.warns(RuntimeWarning, match="not picklable"):
+                    assert executor.map(lambda x: x + 1, [1, 2]) == [2, 3]
+
+    def test_empty_and_validation(self):
+        with pytest.raises(ValueError):
+            DistributedExecutor([])
+        with pytest.raises(ValueError):
+            DistributedExecutor(["host:1"], chunksize=0)
+        with pytest.raises(ValueError):
+            DistributedExecutor(["no-port-here"])
+        with pytest.raises(ValueError):
+            DistributedExecutor(["::1"])  # bare IPv6 without a port
+        assert DistributedExecutor(["[::1]:9123"]).addresses == [("::1", 9123)]
+        assert DistributedExecutor([("10.0.0.5", 80)]).addresses == [
+            ("10.0.0.5", 80)
+        ]
+        with LoopbackWorker() as worker:
+            with DistributedExecutor([worker.endpoint]) as executor:
+                assert executor.map(_square, []) == []
+
+
+class TestFailover:
+    def test_disconnect_mid_batch_redistributes(self):
+        """A worker hanging up mid-batch must not lose or reorder results."""
+        flaky = LoopbackWorker(max_requests_per_connection=1)
+        steady = LoopbackWorker()
+        try:
+            with DistributedExecutor(
+                [flaky.endpoint, steady.endpoint], chunksize=2
+            ) as executor:
+                assert executor.map(_square, range(16)) == [
+                    x * x for x in range(16)
+                ]
+        finally:
+            flaky.stop()
+            steady.stop()
+
+    def test_requeued_tail_chunk_reaches_surviving_worker(self):
+        """A chunk re-queued after the survivors' feeders exited must be
+        re-dispatched to the live fleet, not spuriously declared
+        undeliverable (local_fallback=False would then raise)."""
+        flaky = LoopbackWorker(max_requests_per_connection=1)
+        steady = LoopbackWorker()
+        try:
+            with DistributedExecutor(
+                [flaky.endpoint, steady.endpoint],
+                chunksize=1,
+                local_fallback=False,
+            ) as executor:
+                for _ in range(3):  # repeated maps re-roll the race
+                    assert executor.map(_square, range(12)) == [
+                        x * x for x in range(12)
+                    ]
+        finally:
+            flaky.stop()
+            steady.stop()
+
+    def test_all_workers_gone_falls_back_locally(self):
+        flaky = LoopbackWorker(max_requests_per_connection=1)
+        try:
+            with DistributedExecutor([flaky.endpoint], chunksize=2) as executor:
+                with pytest.warns(RuntimeWarning, match="running .* locally|locally"):
+                    assert executor.map(_square, range(10)) == [
+                        x * x for x in range(10)
+                    ]
+        finally:
+            flaky.stop()
+
+    def test_unreachable_worker_falls_back_locally(self):
+        # A port from the ephemeral range with nothing listening.
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_endpoint = "127.0.0.1:%d" % probe.getsockname()[1]
+        with DistributedExecutor([dead_endpoint], connect_timeout=0.5) as executor:
+            with pytest.warns(RuntimeWarning):
+                assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_no_fallback_raises(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_endpoint = "127.0.0.1:%d" % probe.getsockname()[1]
+        with DistributedExecutor(
+            [dead_endpoint], connect_timeout=0.5, local_fallback=False
+        ) as executor:
+            with pytest.raises(ConnectionError):
+                executor.map(_square, [1, 2, 3])
+
+    def test_engine_batch_survives_flaky_worker(self):
+        golden = Engine(SerialExecutor()).run_batch(rank_spec(), 20)
+        flaky = LoopbackWorker(max_requests_per_connection=1)
+        steady = LoopbackWorker()
+        try:
+            with DistributedExecutor(
+                [flaky.endpoint, steady.endpoint], chunksize=2
+            ) as executor:
+                batch = Engine(executor).run_batch(rank_spec(), 20)
+        finally:
+            flaky.stop()
+            steady.stop()
+        assert batch.outputs == golden.outputs

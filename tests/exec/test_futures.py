@@ -1,0 +1,201 @@
+"""Tests for Engine.submit_batch, BatchFuture, and as_completed."""
+
+import time
+from concurrent.futures import CancelledError
+
+import numpy as np
+import pytest
+
+from repro.core import Engine, PublicCoins, RunSpec, SerialExecutor
+from repro.distributions import UniformRows
+from repro.exec import as_completed
+from repro.lowerbounds import TopSubmatrixRankProtocol
+from repro.protocols import GlobalParityProtocol
+
+
+class SleepyParityProtocol(GlobalParityProtocol):
+    """Parity with an artificial per-broadcast delay (cancellation window)."""
+
+    supports_batch = False  # force the scalar (slow) path
+
+    def __init__(self, delay: float = 0.01):
+        self.delay = delay
+
+    def broadcast(self, proc, round_index):
+        time.sleep(self.delay)
+        return super().broadcast(proc, round_index)
+
+
+def rank_spec(seed=7, vectorized=False):
+    return RunSpec(
+        protocol=TopSubmatrixRankProtocol(5),
+        distribution=UniformRows(8, 8),
+        seed=seed,
+        vectorized=vectorized,
+    )
+
+
+class TestSubmitBatch:
+    def test_bit_identical_to_run_batch(self):
+        golden = Engine().run_batch(rank_spec(), 32)
+        with Engine(SerialExecutor()) as engine:
+            future = engine.submit_batch(rank_spec(), 32)
+            batch = future.result(timeout=60)
+        assert batch.outputs == golden.outputs
+        assert batch.transcript_keys == golden.transcript_keys
+        assert batch.cost_totals() == golden.cost_totals()
+
+    def test_many_inflight_batches_independent(self):
+        goldens = [Engine().run_batch(rank_spec(seed), 16) for seed in range(5)]
+        with Engine() as engine:
+            futures = [engine.submit_batch(rank_spec(seed), 16) for seed in range(5)]
+            batches = [future.result(timeout=60) for future in futures]
+        for golden, batch in zip(goldens, batches):
+            assert batch.outputs == golden.outputs
+
+    def test_submission_order_never_changes_seeding(self):
+        """Completion order is scheduling; trial seeds are spec-only."""
+        golden = Engine().run_batch(rank_spec(3), 16)
+        with Engine() as engine:
+            futures = [engine.submit_batch(rank_spec(3), 16) for _ in range(4)]
+            seen = [future.result(timeout=60).outputs for future in as_completed(futures)]
+        assert all(outputs == golden.outputs for outputs in seen)
+
+    def test_vectorized_spec_through_future(self):
+        golden = Engine().run_batch(rank_spec(vectorized=True), 40)
+        with Engine() as engine:
+            batch = engine.submit_batch(rank_spec(vectorized=True), 40).result(60)
+        assert batch.outputs == golden.outputs
+
+    def test_validates_eagerly(self):
+        with Engine() as engine:
+            with pytest.raises(ValueError):
+                engine.submit_batch(rank_spec(), -1)
+            spec = RunSpec(
+                protocol=GlobalParityProtocol(),
+                inputs=np.zeros((3, 3), dtype=np.uint8),
+                public_coins=PublicCoins(np.random.default_rng(0)),
+            )
+            with pytest.raises(ValueError):
+                engine.submit_batch(spec, 4)
+
+    def test_engine_reusable_after_close(self):
+        engine = Engine()
+        assert engine.submit_batch(rank_spec(), 4).result(60)
+        engine.close()
+        assert engine.submit_batch(rank_spec(), 4).result(60)
+        engine.close()
+        engine.close()  # idempotent
+
+    def test_exception_propagates(self):
+        spec = RunSpec(
+            protocol=TopSubmatrixRankProtocol(9),  # k exceeds the 4x4 inputs
+            distribution=UniformRows(4, 4),
+            seed=0,
+        )
+        with Engine() as engine:
+            future = engine.submit_batch(spec, 4)
+            assert future.exception(timeout=60) is not None
+            with pytest.raises(Exception):
+                future.result(timeout=60)
+
+
+class TestCancel:
+    def test_cancel_before_start(self):
+        """A queued batch (beyond max_inflight) cancels cleanly."""
+        spec = RunSpec(
+            protocol=SleepyParityProtocol(0.02),
+            distribution=UniformRows(3, 4),
+            seed=1,
+        )
+        with Engine(SerialExecutor(), max_inflight=1) as engine:
+            running = engine.submit_batch(spec, 10)  # occupies the only thread
+            queued = engine.submit_batch(rank_spec(), 4)
+            assert queued.cancel()
+            assert queued.cancelled()
+            assert queued.done()
+            with pytest.raises(CancelledError):
+                queued.result(timeout=5)
+            # The running batch is unaffected.
+            assert len(running.result(timeout=60)) == 10
+
+    def test_cancel_after_completion_fails(self):
+        with Engine() as engine:
+            future = engine.submit_batch(rank_spec(), 4)
+            future.result(timeout=60)
+            assert not future.cancel()
+            assert future.done()
+
+
+class TestBatchFutureSurface:
+    def test_then_transforms_lazily(self):
+        golden = Engine().run_batch(rank_spec(), 32)
+        with Engine() as engine:
+            future = engine.submit_batch(rank_spec(), 32)
+            accept_rate = future.then(lambda batch: batch.decisions(0).mean())
+            assert accept_rate.result(timeout=60) == golden.decisions(0).mean()
+            # The parent future still yields the raw batch.
+            assert future.result(timeout=60).outputs == golden.outputs
+
+    def test_then_chains(self):
+        with Engine() as engine:
+            future = engine.submit_batch(rank_spec(), 16)
+            doubled = future.then(lambda batch: len(batch)).then(lambda n: 2 * n)
+            assert doubled.result(timeout=60) == 32
+
+    def test_then_caches_single_application(self):
+        calls = []
+        with Engine() as engine:
+            future = engine.submit_batch(rank_spec(), 8)
+            counted = future.then(lambda batch: calls.append(1) or len(batch))
+            assert counted.result(timeout=60) == 8
+            assert counted.result(timeout=60) == 8
+        assert len(calls) == 1
+
+    def test_then_chain_reuses_parent_cache(self):
+        """Each link of a then-chain evaluates once, however it's consumed."""
+        parent_calls, child_calls = [], []
+        with Engine() as engine:
+            future = engine.submit_batch(rank_spec(), 8)
+            parent = future.then(lambda batch: parent_calls.append(1) or len(batch))
+            child_a = parent.then(lambda n: child_calls.append(1) or n + 1)
+            child_b = parent.then(lambda n: child_calls.append(1) or n + 2)
+            assert parent.result(timeout=60) == 8
+            assert child_a.result(timeout=60) == 9
+            assert child_b.result(timeout=60) == 10
+        assert len(parent_calls) == 1  # not re-run per descendant
+        assert len(child_calls) == 2
+
+    def test_exception_covers_transform_chain(self):
+        with Engine() as engine:
+            future = engine.submit_batch(rank_spec(), 4)
+            broken = future.then(lambda batch: 1 / 0)
+            exc = broken.exception(timeout=60)
+            assert isinstance(exc, ZeroDivisionError)
+            # The parent itself succeeded.
+            assert future.exception(timeout=60) is None
+            healthy = future.then(len)
+            assert healthy.exception(timeout=60) is None
+            assert healthy.result(timeout=60) == 4
+
+    def test_add_done_callback_receives_wrapper(self):
+        seen = []
+        with Engine() as engine:
+            future = engine.submit_batch(rank_spec(), 4)
+            future.add_done_callback(lambda f: seen.append(f.done()))
+            future.result(timeout=60)
+        assert seen == [True]
+
+    def test_as_completed_yields_every_future(self):
+        with Engine() as engine:
+            futures = [engine.submit_batch(rank_spec(seed), 8) for seed in range(4)]
+            finished = list(as_completed(futures, timeout=60))
+        assert sorted(id(f) for f in finished) == sorted(id(f) for f in futures)
+
+    def test_spec_and_trials_introspection(self):
+        with Engine() as engine:
+            spec = rank_spec()
+            future = engine.submit_batch(spec, 12)
+            assert future.trials == 12
+            assert future.spec is spec
+            future.result(timeout=60)

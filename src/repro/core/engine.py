@@ -403,6 +403,58 @@ class _SharedInput:
 _SHARED_INPUT_PLACEHOLDER = np.empty((0, 0), dtype=np.uint8)
 
 
+def _content_digest(inputs: np.ndarray) -> str:
+    """Content identity of a fixed input matrix: shape, dtype, and bytes.
+
+    The key under which executors cache published inputs — two arrays
+    with the same digest are interchangeable, so repeated batches over
+    the same matrix (the common sweep shape) publish it exactly once per
+    pool / per remote worker.
+    """
+    import hashlib
+
+    return hashlib.sha256(
+        repr((inputs.shape, np.dtype(inputs.dtype).str)).encode()
+        + np.ascontiguousarray(inputs).tobytes()
+    ).hexdigest()
+
+
+class _DigestCache:
+    """``id()``-keyed memo of content digests, bounded FIFO.
+
+    Hashing a large matrix on every batch would erase much of the win of
+    publishing it once; sweeps reuse the *same array object* across
+    batches, so memoizing by ``id`` (with the array reference pinning the
+    id against reuse) makes repeat publications O(1).  The bound keeps a
+    long-lived executor sweeping over many *distinct* matrices from
+    pinning every one of them forever — an evicted entry merely re-hashes
+    on next use.
+    """
+
+    def __init__(self, max_entries: int = 64) -> None:
+        self.max_entries = max_entries
+        self._entries: dict[int, tuple[np.ndarray, str]] = {}
+        # Callers publish from concurrent submission threads; the memo
+        # (and especially its eviction loop) must not race itself.
+        self._lock = threading.Lock()
+
+    def digest(self, inputs: np.ndarray) -> str:
+        with self._lock:
+            known = self._entries.get(id(inputs))
+            if known is not None and known[0] is inputs:
+                return known[1]
+        digest = _content_digest(inputs)  # hash outside the lock
+        with self._lock:
+            while len(self._entries) >= self.max_entries:
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[id(inputs)] = (inputs, digest)
+        return digest
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
 def _create_shared_segment(
     inputs: np.ndarray,
 ) -> tuple[_shared_memory.SharedMemory, _SharedInput]:

@@ -1,7 +1,7 @@
 """repro.exec — asynchronous job scheduling over the execution engine.
 
 PR 1's engine made the N-trial batch a first-class object; this package
-makes *many in-flight batches* first-class.  Four layers, each speaking
+makes *many in-flight batches* first-class.  Five layers, each speaking
 the same :class:`~repro.core.engine.Executor` contract so they compose
 with every estimator, sweep, and benchmark that already takes
 ``executor=``:
@@ -9,21 +9,35 @@ with every estimator, sweep, and benchmark that already takes
 * :mod:`repro.exec.futures` — :class:`BatchFuture` /
   :func:`as_completed` over ``Engine.submit_batch``, so callers overlap
   batches instead of blocking on each;
+* :mod:`repro.exec.stealing` — :class:`ChunkScheduler`, the shared
+  work-stealing chunk scheduler: per-lane deques with
+  steal-from-the-richest rebalancing, used by both executors below so a
+  slow worker delays a batch by at most one chunk, not its whole dealt
+  share;
 * :mod:`repro.exec.pool` — :class:`WorkerPool`, a warm process pool
   (plus its shared-memory input segments) reused across batches, with
   idle-timeout reaping;
 * :mod:`repro.exec.distributed` — :class:`DistributedExecutor` /
   :class:`LoopbackWorker` and the :mod:`repro.exec.worker` serve loop:
-  the ``Executor.map`` contract over sockets, bit-identical to serial
-  execution thanks to per-trial ``SeedSequence.spawn`` seeding;
+  the ``Executor.map`` contract over sockets, with content-digest-keyed
+  ``publish_inputs`` frames so fixed input matrices ship **once per
+  worker** instead of once per batch (:class:`PublishedInput` is the
+  wire handle), bit-identical to serial execution thanks to per-trial
+  ``SeedSequence.spawn`` seeding;
 * :mod:`repro.exec.sweep` — :class:`SweepDriver`, resumable (JSONL
   checkpoint journal) adaptive (confidence-interval-targeted) grid
-  sweeps over asynchronous batches.
+  sweeps over asynchronous batches, with priority-queued scheduling and
+  cooperative preemption of adaptive top-up batches.
+
+See ``docs/architecture.md`` for the engine contract this builds on and
+``docs/scaling.md`` for the scheduling, wire-protocol, and journal
+internals.
 """
 
 from .distributed import DistributedExecutor, LoopbackWorker
 from .futures import BatchFuture, as_completed
 from .pool import WorkerPool
+from .stealing import Chunk, ChunkScheduler
 from .sweep import (
     SweepDriver,
     append_journal,
@@ -31,13 +45,17 @@ from .sweep import (
     load_journal,
     params_key,
 )
+from .worker import PublishedInput
 
 __all__ = [
     "BatchFuture",
     "as_completed",
+    "Chunk",
+    "ChunkScheduler",
     "WorkerPool",
     "DistributedExecutor",
     "LoopbackWorker",
+    "PublishedInput",
     "SweepDriver",
     "append_journal",
     "default_trial_values",

@@ -9,13 +9,25 @@ trial to another host changes *nothing* about its randomness: results
 are bit-identical to the serial backend no matter how tasks land on
 workers.
 
-Dispatch splits the item list into contiguous chunks and round-robins
-them over the connected workers, one feeder thread per connection so
-slow and fast hosts overlap; a worker that disconnects mid-batch has its
-unfinished chunks redistributed to the surviving workers, and when every
-worker is gone the remainder runs locally (with a warning) — a batch
-never fails because the fleet shrank.  Task exceptions, by contrast, are
-shipped back and re-raised exactly like a local executor would.
+Dispatch splits the item list into contiguous chunks and deals them over
+the connected workers through the shared work-stealing
+:class:`~repro.exec.stealing.ChunkScheduler` — one feeder thread per
+connection, each keeping one chunk in flight and stealing queued chunks
+from slower hosts once its own share is done, so a heterogeneous fleet
+finishes when the work runs out rather than when the slowest host does
+(``scheduling="static"`` restores the pure round-robin plan).  A worker
+that disconnects mid-batch has its unfinished chunks redistributed to
+the surviving workers, and when every worker is gone the remainder runs
+locally (with a warning) — a batch never fails because the fleet shrank.
+Task exceptions, by contrast, are shipped back and re-raised exactly
+like a local executor would.
+
+Large **fixed input matrices** are not re-pickled into every map frame:
+the executor publishes them once per worker (``publish_inputs`` frames,
+keyed by content digest) and workers cache them across connections and
+batches — consecutive batches over the same inputs transmit the matrix
+exactly once per worker.  A worker that restarted (and lost its cache)
+answers ``("need", digest)`` and is transparently refilled.
 
 Workers for tests (or single-machine smoke runs) can live in-process:
 :class:`LoopbackWorker` hosts the same serve loop on a background thread
@@ -27,11 +39,13 @@ from __future__ import annotations
 import socket
 import threading
 import warnings
-from collections import deque
 from typing import Any, Callable, Iterable
 
-from ..core.engine import Executor
-from .worker import recv_frame, send_frame, serve
+import numpy as np
+
+from ..core.engine import Executor, _DigestCache
+from .stealing import ChunkScheduler
+from .worker import PublishedInput, recv_frame, send_frame, serve
 
 __all__ = ["DistributedExecutor", "LoopbackWorker"]
 
@@ -104,7 +118,7 @@ class _WorkerLink:
 
 
 class DistributedExecutor(Executor):
-    """Round-robin tasks over remote ``repro.exec.worker`` serve loops.
+    """The ``Executor.map`` contract over remote worker serve loops.
 
     Parameters
     ----------
@@ -133,6 +147,38 @@ class DistributedExecutor(Executor):
         disconnected / unreachable).  ``False`` raises instead — for
         deployments where silent local execution would hide a fleet
         outage.
+    scheduling:
+        ``"steal"`` (the default) lets a worker that finished its dealt
+        share steal queued chunks from slower hosts — wall-clock is then
+        bounded by the total work, not by the slowest host's share.
+        ``"static"`` pins every chunk to the worker it was dealt to
+        (pure round-robin; the baseline ``bench_exec_steal.py`` measures
+        against).  Either way results are written back by chunk offset
+        and trials are seeded per-spec, so outputs are bit-identical to
+        :class:`~repro.core.engine.SerialExecutor`.
+    share_inputs_min_bytes:
+        Fixed input matrices at least this large are published to each
+        worker once (content-digest keyed ``publish_inputs`` frame) and
+        referenced by handle in every subsequent map frame, instead of
+        being pickled into each chunk.  Workers cache published inputs
+        across batches until :meth:`close` releases them.
+    max_cached_inputs:
+        LRU bound on *distinct* matrices the executor keeps pinned for
+        publication — a long sweep whose grid varies the fixed inputs
+        must not accumulate every matrix it ever published.  Evicting a
+        digest also forgets its worker acks, so re-using evicted inputs
+        later simply republishes them (workers bound their own caches
+        the same way and answer ``("need", digest)`` after evicting —
+        the protocol is self-healing in both directions).
+
+    The executor plugs into the engine like any other backend — here
+    against an in-process loopback worker:
+
+    >>> from repro.exec import DistributedExecutor, LoopbackWorker
+    >>> with LoopbackWorker() as worker:
+    ...     with DistributedExecutor([worker.endpoint]) as executor:
+    ...         executor.map(str.upper, ["steal", "publish"])
+    ['STEAL', 'PUBLISH']
     """
 
     name = "distributed"
@@ -144,6 +190,9 @@ class DistributedExecutor(Executor):
         connect_timeout: float = 5.0,
         task_timeout: float | None = None,
         local_fallback: bool = True,
+        scheduling: str = "steal",
+        share_inputs_min_bytes: int = 1 << 16,
+        max_cached_inputs: int = 32,
     ):
         parsed = [_parse_address(address) for address in addresses]
         if not parsed:
@@ -152,11 +201,40 @@ class DistributedExecutor(Executor):
             raise ValueError("chunksize must be >= 1")
         if task_timeout is not None and task_timeout <= 0:
             raise ValueError("task_timeout must be positive")
+        if scheduling not in ("steal", "static"):
+            raise ValueError("scheduling must be 'steal' or 'static'")
+        if share_inputs_min_bytes < 1:
+            raise ValueError("share_inputs_min_bytes must be >= 1")
+        if max_cached_inputs < 1:
+            raise ValueError("max_cached_inputs must be >= 1")
         self._addresses = parsed
         self.connect_timeout = connect_timeout
         self.task_timeout = task_timeout
         self.chunksize = chunksize
         self.local_fallback = local_fallback
+        self.scheduling = scheduling
+        self.share_inputs_min_bytes = share_inputs_min_bytes
+        self.max_cached_inputs = max_cached_inputs
+        #: Published-input bookkeeping: the matrices themselves (digest →
+        #: array, LRU-bounded by ``max_cached_inputs``, for lazy
+        #: per-worker publication and local fallback), and which workers
+        #: acked which digests (address → digests).
+        self._digest_cache = _DigestCache()
+        self._inputs_by_digest: dict[str, np.ndarray] = {}
+        self._acked: dict[tuple[str, int], set[str]] = {}
+        #: digest → number of in-flight batches using it; pinned digests
+        #: are exempt from LRU eviction (evicting a matrix a running map
+        #: still references would fail that map on every lane).
+        self._pinned: dict[str, int] = {}
+        self._publish_lock = threading.Lock()
+        #: One send-lock per worker address: concurrent map calls must
+        #: not each ship the same matrix to the same worker (the second
+        #: sender waits, then sees the ack and skips).
+        self._publish_send_locks: dict[tuple[str, int], threading.Lock] = {}
+        #: Telemetry: ``publish_inputs`` frames actually sent, and chunks
+        #: acquired by stealing in the most recent map call.
+        self.publish_frames_sent = 0
+        self.last_map_steals = 0
 
     @property
     def addresses(self) -> list[tuple[str, int]]:
@@ -190,13 +268,132 @@ class DistributedExecutor(Executor):
             alive.append(ok)
         return alive
 
+    # -- shared fixed-input publication ---------------------------------
+    def wants_shared_inputs(self, inputs: np.ndarray) -> bool:
+        return inputs.nbytes >= self.share_inputs_min_bytes
+
+    def publish_inputs(self, inputs: np.ndarray) -> "PublishedInput | None":
+        """Register ``inputs`` for digest-keyed publication to workers.
+
+        No network traffic happens here: the actual ``publish_inputs``
+        frame goes out lazily, once per worker, the first time a feeder
+        is about to send that worker a map frame referencing the digest
+        — and never again while the worker keeps its cache (the whole
+        point: consecutive batches over the same fixed inputs transmit
+        the matrix exactly once per worker).
+        """
+        if not self.wants_shared_inputs(inputs):
+            return None
+        digest = self._digest_cache.digest(inputs)
+        with self._publish_lock:
+            # Refresh the LRU position and pin the digest for the
+            # duration of its batch, then evict beyond the bound —
+            # oldest *unpinned* digest first, dropping its worker acks
+            # too, so later reuse republishes instead of referencing a
+            # forgotten matrix.  Pinned digests are never evicted (the
+            # bound may be exceeded transiently while more than
+            # ``max_cached_inputs`` distinct-input batches are in
+            # flight).
+            self._inputs_by_digest.pop(digest, None)
+            self._inputs_by_digest[digest] = inputs
+            self._pinned[digest] = self._pinned.get(digest, 0) + 1
+            while len(self._inputs_by_digest) > self.max_cached_inputs:
+                evictable = next(
+                    (
+                        d
+                        for d in self._inputs_by_digest
+                        if not self._pinned.get(d)
+                    ),
+                    None,
+                )
+                if evictable is None:
+                    break
+                del self._inputs_by_digest[evictable]
+                for digests in self._acked.values():
+                    digests.discard(evictable)
+        return PublishedInput(digest, tuple(inputs.shape), np.dtype(inputs.dtype).str)
+
+    def release_inputs(self, handle: "PublishedInput") -> None:
+        """Unpin a completed batch's digest; the matrix stays cached.
+
+        Cross-batch reuse is the point of publication, so nothing is
+        released over the wire here — the digest merely becomes eligible
+        for LRU eviction once no in-flight batch references it.
+        """
+        with self._publish_lock:
+            count = self._pinned.get(handle.digest, 0) - 1
+            if count > 0:
+                self._pinned[handle.digest] = count
+            else:
+                self._pinned.pop(handle.digest, None)
+
+    def _ensure_published(self, link: _WorkerLink, handle: "PublishedInput") -> None:
+        """Ship the handle's matrix to this link's worker unless acked.
+
+        Serialized per address: concurrent map calls racing to publish
+        the same digest to the same worker take the address's send lock,
+        so the loser of the race finds the ack and sends nothing —
+        exactly one ``publish_inputs`` frame per (worker, digest).
+
+        Raises :class:`ConnectionError` on transport failure or a
+        non-``ok`` reply; the caller treats that like any other link
+        failure (the link sits out the map call).
+        """
+        address = link.address
+        with self._publish_lock:
+            if handle.digest in self._acked.setdefault(address, set()):
+                return
+            send_lock = self._publish_send_locks.setdefault(
+                address, threading.Lock()
+            )
+        with send_lock:
+            with self._publish_lock:
+                if handle.digest in self._acked.setdefault(address, set()):
+                    return  # another map call published while we waited
+                inputs = self._inputs_by_digest.get(handle.digest)
+            if inputs is None:  # pragma: no cover - engine publishes first
+                raise ConnectionError(
+                    f"unknown input digest {handle.digest[:12]}…"
+                )
+            reply = link.request(
+                (
+                    "publish_inputs",
+                    handle.digest,
+                    handle.shape,
+                    handle.dtype_str,
+                    np.ascontiguousarray(inputs).tobytes(),
+                )
+            )
+            if reply[0] != "ok":
+                raise ConnectionError(f"publish_inputs rejected: {reply[0]!r}")
+            with self._publish_lock:
+                self._acked.setdefault(address, set()).add(handle.digest)
+                self.publish_frames_sent += 1
+
+    def _bind_local(self, fn: Callable[[Any], Any]) -> None:
+        """Give a locally-run task its published inputs back.
+
+        The local-fallback path executes the same pickled-shape callable
+        the workers would have: if it references a published digest, the
+        matrix must be rebound from the executor's own store before
+        ``fn`` can run in this process.
+        """
+        handle = getattr(fn, "shared_input", None)
+        if isinstance(handle, PublishedInput) and not handle.bound:
+            with self._publish_lock:
+                inputs = self._inputs_by_digest.get(handle.digest)
+            if inputs is not None:
+                handle.bind(inputs)
+
     # -- Executor contract ----------------------------------------------
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        """Run ``fn`` over ``items`` on the worker fleet, in order."""
         items = list(items)
         if not items:
             return []
         probe_exc = self._pickle_probe(fn, items)
         if probe_exc is not None:
+            self._bind_local(fn)
             return self._unpicklable_fallback(
                 fn, items, probe_exc, action="running locally"
             )
@@ -213,24 +410,63 @@ class DistributedExecutor(Executor):
         chunksize = self.chunksize or self._default_chunksize(
             len(items), len(links)
         )
-        pending: deque[tuple[int, list[Any]]] = deque(
-            (start, items[start : start + chunksize])
-            for start in range(0, len(items), chunksize)
+        scheduler = ChunkScheduler(
+            items, chunksize, lanes=len(links), stealing=self.scheduling == "steal"
         )
         results: list[Any] = [None] * len(items)
         lock = threading.Lock()
         task_error: list[BaseException] = []
         dead: set[int] = set()
+        shared = getattr(fn, "shared_input", None)
+        handle = shared if isinstance(shared, PublishedInput) else None
+
+        def kill_lane(index: int) -> None:
+            """Mark a lane dead and move its queued chunks to survivors.
+
+            The retire happens under the map lock so concurrent lane
+            deaths serialize: a later kill sees every chunk an earlier
+            one parked, and nothing is ever dealt onto a lane that is
+            already dead (which static mode would strand).
+            """
+            with lock:
+                dead.add(index)
+                survivors = [i for i in range(len(links)) if i not in dead]
+                scheduler.retire_lane(index, survivors)
 
         def feed(index: int, link: _WorkerLink) -> None:
-            """Pull chunks and ship them to one worker until it fails."""
+            """Pull chunks for one worker — own deque first, then steals."""
             while True:
                 with lock:
-                    if task_error or not pending:
+                    if task_error:
                         return
-                    start, chunk = pending.popleft()
+                chunk = scheduler.next_chunk(index)
+                if chunk is None:
+                    return
                 try:
-                    reply = link.request(("map", fn, chunk))
+                    # Publish lazily, only when this worker is actually
+                    # about to receive a frame referencing the digest —
+                    # a lane that never claims a chunk never gets the
+                    # matrix.  O(1) after the first chunk (ack table).
+                    if handle is not None:
+                        self._ensure_published(link, handle)
+                    reply = link.request(("map", fn, chunk.items))
+                    for _ in range(3):
+                        if reply[0] != "need":
+                            break
+                        # The worker lost the digest (it restarted, or
+                        # its own bounded cache evicted it under
+                        # concurrent-batch thrash): forget the stale
+                        # ack, republish, retry — a bounded number of
+                        # times, so a hot eviction loop degrades to a
+                        # lane failure rather than spinning.
+                        with self._publish_lock:
+                            self._acked.get(link.address, set()).discard(reply[1])
+                        if handle is None or reply[1] != handle.digest:
+                            raise ConnectionError(
+                                f"worker demanded unknown inputs {reply[1]!r}"
+                            )
+                        self._ensure_published(link, handle)
+                        reply = link.request(("map", fn, chunk.items))
                     kind = reply[0]
                     if kind == "err":
                         with lock:
@@ -249,61 +485,94 @@ class DistributedExecutor(Executor):
                     # reply): the chunk's fate is unknown, but tasks are
                     # pure, so rerunning it elsewhere is safe.  The link
                     # sits out the rest of this map call (it may reconnect
-                    # on the next one).
+                    # on the next one); its queued chunks move to the
+                    # survivors.
                     link.drop()
-                    with lock:
-                        dead.add(index)
-                        pending.appendleft((start, chunk))
+                    scheduler.requeue(chunk, index)
+                    kill_lane(index)
                     return
                 with lock:
-                    results[start : start + len(chunk)] = payload
+                    results[chunk.start : chunk.start + len(chunk)] = payload
+                scheduler.mark_done(chunk)
 
-        # Dispatch rounds.  Feeder threads exit when the queue looks
-        # empty, so a chunk re-queued by a worker dying *after* the
-        # survivors already left would strand without the outer loop:
-        # each round re-dispatches leftovers over the still-live links.
-        # Every round either completes a chunk or kills a link, so the
-        # loop terminates.
-        while pending and not task_error:
+        # Dispatch rounds.  Feeder threads exit when no chunk is
+        # available to them, so a chunk re-queued by a worker dying
+        # *after* the survivors already left would strand without the
+        # outer loop: each round re-dispatches leftovers over the
+        # still-live links.  A lane that fails to (re)connect is killed
+        # like any other link failure — critically, its dealt chunks
+        # move to the survivors, or static mode would spin forever on
+        # chunks pinned to a lane that never runs.  Every round either
+        # completes a chunk or kills a link, so the loop terminates.
+        while scheduler.pending and not task_error:
             threads = []
             for index, link in enumerate(links):
-                if index not in dead and link.ensure_connected():
-                    thread = threading.Thread(
-                        target=feed, args=(index, link), daemon=True
-                    )
-                    thread.start()
-                    threads.append(thread)
+                if index in dead:
+                    continue
+                if not link.ensure_connected():
+                    kill_lane(index)
+                    continue
+                thread = threading.Thread(
+                    target=feed, args=(index, link), daemon=True
+                )
+                thread.start()
+                threads.append(thread)
             if not threads:
                 break  # nobody reachable: leftovers go to the fallback
             for thread in threads:
                 thread.join()
+        self.last_map_steals = scheduler.total_steals()
 
         if task_error:
             raise task_error[0]
-        if pending:
+        leftovers = scheduler.drain()
+        if leftovers:
             # Every worker is gone (or none were reachable to begin with).
             if not self.local_fallback:
                 raise ConnectionError(
-                    f"{len(pending)} task chunks undelivered and no "
+                    f"{len(leftovers)} task chunks undelivered and no "
                     "distributed worker is reachable"
                 )
             warnings.warn(
-                f"no distributed worker reachable; running {len(pending)} "
+                f"no distributed worker reachable; running {len(leftovers)} "
                 "remaining chunks locally",
                 RuntimeWarning,
                 stacklevel=2,
             )
-            while pending:
-                start, chunk = pending.popleft()
-                results[start : start + len(chunk)] = [fn(item) for item in chunk]
+            self._bind_local(fn)
+            for chunk in leftovers:
+                results[chunk.start : chunk.start + len(chunk)] = [
+                    fn(item) for item in chunk.items
+                ]
         return results
 
     def close(self) -> None:
-        """Nothing to release: connections are per-call and already closed.
+        """Release published inputs on every worker that cached them.
 
-        Kept so the executor can be used as a context manager uniformly
-        with :class:`~repro.exec.pool.WorkerPool`.
+        Connections are per-call and already closed; what outlives a map
+        call is the workers' digest-keyed input caches.  Best-effort: a
+        worker that is unreachable right now loses nothing durable — its
+        cache dies with its process anyway.
         """
+        with self._publish_lock:
+            acked = {addr: set(digests) for addr, digests in self._acked.items()}
+            self._acked.clear()
+            self._inputs_by_digest.clear()
+            self._pinned.clear()
+            self._digest_cache.clear()
+        for address, digests in acked.items():
+            if not digests:
+                continue
+            link = _WorkerLink(address, self.connect_timeout, self.task_timeout)
+            if not link.ensure_connected():
+                continue
+            try:
+                for digest in digests:
+                    link.request(("release_inputs", digest))
+            except ConnectionError:
+                pass
+            finally:
+                link.drop()
 
     def __enter__(self) -> "DistributedExecutor":
         return self
@@ -322,10 +591,18 @@ class LoopbackWorker:
 
     ``max_requests_per_connection`` makes the worker hang up after that
     many map frames on each connection — deterministic fault injection
-    for the client's mid-batch failover path.
+    for the client's mid-batch failover path.  ``request_delay`` sleeps
+    that long before each map frame — latency injection turning this
+    worker into the slow host of a synthetic heterogeneous fleet (how
+    ``benchmarks/bench_exec_steal.py`` builds its straggler).
     """
 
-    def __init__(self, max_requests_per_connection: int | None = None):
+    def __init__(
+        self,
+        max_requests_per_connection: int | None = None,
+        request_delay: float = 0.0,
+        max_cached_inputs: int = 32,
+    ):
         self._stop = threading.Event()
         ready = threading.Event()
         address: list[tuple[str, int]] = []
@@ -342,6 +619,8 @@ class LoopbackWorker:
                 stop_event=self._stop,
                 ready_callback=on_ready,
                 max_requests_per_connection=max_requests_per_connection,
+                request_delay=request_delay,
+                max_cached_inputs=max_cached_inputs,
             ),
             daemon=True,
         )
@@ -356,6 +635,7 @@ class LoopbackWorker:
         return f"{host}:{port}"
 
     def stop(self) -> None:
+        """Shut the serve loop down and join its thread."""
         self._stop.set()
         self._thread.join(timeout=5.0)
 

@@ -15,6 +15,20 @@ Determinism note: a future never influences seeding.  Whether a batch is
 awaited immediately, last, or via :func:`as_completed`, its trials are
 seeded purely from its spec, so asynchronous results are bit-identical
 to their blocking counterparts.
+
+>>> import numpy as np
+>>> from repro.core import Engine, RunSpec
+>>> from repro.protocols import GlobalParityProtocol
+>>> spec = RunSpec(
+...     protocol=GlobalParityProtocol(),
+...     inputs=np.eye(2, dtype=np.uint8),  # two 1-bits: parity 0
+...     seed=0,
+... )
+>>> with Engine() as engine:
+...     future = engine.submit_batch(spec, trials=4)
+...     rate = future.then(lambda batch: float(batch.decisions(0).mean()))
+...     rate.result(timeout=30)
+0.0
 """
 
 from __future__ import annotations
@@ -73,9 +87,11 @@ class BatchFuture:
         return self._inner.done()
 
     def running(self) -> bool:
+        """True while the batch is executing on a submission thread."""
         return self._inner.running()
 
     def cancelled(self) -> bool:
+        """True if the batch was cancelled before it started."""
         return self._inner.cancelled()
 
     def cancel(self) -> bool:
@@ -174,6 +190,25 @@ def as_completed(
     everything, then consume results in completion order.  Futures derived
     with :meth:`BatchFuture.then` share their parent's computation and are
     yielded at the same moment the parent would be.
+
+    ``timeout`` bounds the **total** wait, exactly like
+    :func:`concurrent.futures.as_completed`: every future that finishes
+    in time is yielded, then :class:`concurrent.futures.TimeoutError`
+    is raised if any remain — the in-flight batches themselves keep
+    running and can still be awaited afterwards.
+
+    >>> import numpy as np
+    >>> from repro.core import Engine, RunSpec
+    >>> from repro.protocols import GlobalParityProtocol
+    >>> spec = RunSpec(
+    ...     protocol=GlobalParityProtocol(),
+    ...     inputs=np.eye(2, dtype=np.uint8),
+    ...     seed=0,
+    ... )
+    >>> with Engine() as engine:
+    ...     futures = [engine.submit_batch(spec, trials=2) for _ in range(3)]
+    ...     sorted(len(f.result()) for f in as_completed(futures, timeout=30))
+    [2, 2, 2]
     """
     futures = list(futures)
     by_inner: dict[concurrent.futures.Future, list[BatchFuture]] = {}

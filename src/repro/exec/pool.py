@@ -32,11 +32,19 @@ and unlinks the published shared-memory segments along with them, so an
 idle pool pins no resources; the next map transparently rebuilds the
 workers and republishes whatever inputs it needs.  :meth:`close` (or the
 context-manager exit) does the same, permanently.
+
+Scheduling: by default each map call runs through the shared
+work-stealing :class:`~repro.exec.stealing.ChunkScheduler` — one feeder
+thread per worker lane, one chunk in flight per lane, idle lanes
+stealing queued chunks from stragglers — so a slow worker (or an
+unlucky, expensive chunk) delays the batch by at most one chunk instead
+of its whole pre-assigned share.  ``scheduling="static"`` restores the
+pre-chunked ``ProcessPoolExecutor.map`` plan.
 """
 
 from __future__ import annotations
 
-import hashlib
+import math
 import os
 import threading
 import warnings
@@ -49,12 +57,19 @@ import numpy as np
 
 from ..core.engine import (
     Executor,
+    _DigestCache,
     _SharedInput,
     _create_shared_segment,
     _evict_shared_attachment,
 )
+from .stealing import ChunkScheduler
 
 __all__ = ["WorkerPool"]
+
+
+def _run_chunk(fn: Callable[[Any], Any], items: list[Any]) -> list[Any]:
+    """One scheduler chunk, executed inside a pool worker process."""
+    return [fn(item) for item in items]
 
 
 class WorkerPool(Executor):
@@ -74,14 +89,36 @@ class WorkerPool(Executor):
         Fixed input matrices at least this large are published once into
         ``multiprocessing.shared_memory`` and kept mapped until the pool
         idles out (``idle_timeout``) or closes.
+    scheduling:
+        ``"steal"`` (the default) drives each map call through the
+        shared :class:`~repro.exec.stealing.ChunkScheduler`: one feeder
+        thread per worker lane keeps at most one chunk in flight at a
+        time, so chunks are claimed just-in-time and an idle lane steals
+        queued chunks from a straggler instead of waiting out a
+        pre-assigned share.  ``"static"`` restores the pre-chunked
+        ``ProcessPoolExecutor.map`` plan (the round-robin baseline that
+        ``benchmarks/bench_exec_steal.py`` measures against).
 
     Use as a context manager (or call :meth:`close`) to release workers
-    and shared segments deterministically::
+    and shared segments deterministically:
 
-        with WorkerPool(max_workers=4) as pool:
-            engine = Engine(pool)
-            for spec in specs:
-                engine.run_batch(spec, 64)   # workers warm after the 1st
+    >>> import numpy as np
+    >>> from repro.core import Engine, RunSpec
+    >>> from repro.exec import WorkerPool
+    >>> from repro.protocols import GlobalParityProtocol
+    >>> spec = RunSpec(
+    ...     protocol=GlobalParityProtocol(),
+    ...     inputs=np.eye(3, dtype=np.uint8),
+    ...     seed=0,
+    ... )
+    >>> with WorkerPool(max_workers=2) as pool:
+    ...     engine = Engine(pool)
+    ...     first = engine.run_batch(spec, 8)    # builds the workers
+    ...     second = engine.run_batch(spec, 8)   # reuses them, warm
+    >>> first.outputs == second.outputs          # parity of eye(3) is 1
+    True
+    >>> int(first.decisions(0).sum())
+    8
     """
 
     name = "pool"
@@ -92,6 +129,7 @@ class WorkerPool(Executor):
         chunksize: int | None = None,
         idle_timeout: float | None = None,
         share_inputs_min_bytes: int = 1 << 16,
+        scheduling: str = "steal",
     ):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -99,10 +137,13 @@ class WorkerPool(Executor):
             raise ValueError("idle_timeout must be positive")
         if share_inputs_min_bytes < 1:
             raise ValueError("share_inputs_min_bytes must be >= 1")
+        if scheduling not in ("steal", "static"):
+            raise ValueError("scheduling must be 'steal' or 'static'")
         self.max_workers = max_workers or (os.cpu_count() or 1)
         self.chunksize = chunksize
         self.idle_timeout = idle_timeout
         self.share_inputs_min_bytes = share_inputs_min_bytes
+        self.scheduling = scheduling
         self._pool: ProcessPoolExecutor | None = None
         self._lock = threading.RLock()
         self._active_maps = 0
@@ -114,9 +155,8 @@ class WorkerPool(Executor):
         self._closed = False
         #: digest -> (segment block, handle), alive until close/idle-reap
         self._segments: dict[str, tuple[_shared_memory.SharedMemory, _SharedInput]] = {}
-        #: id(array) -> (array, digest): skips rehashing the same fixed
-        #: input on every batch (the array ref pins the id).
-        self._digest_cache: dict[int, tuple[np.ndarray, str]] = {}
+        #: Memoizes content digests of fixed inputs across batches.
+        self._digest_cache = _DigestCache()
 
     # -- pool lifecycle -------------------------------------------------
     @property
@@ -184,6 +224,7 @@ class WorkerPool(Executor):
 
     # -- Executor contract ----------------------------------------------
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> list[Any]:
+        """Run ``fn`` over ``items`` on the warm workers, in order."""
         items = list(items)
         if not items:
             return []
@@ -201,7 +242,7 @@ class WorkerPool(Executor):
         try:
             for attempt in (0, 1):
                 try:
-                    return list(pool.map(fn, items, chunksize=chunksize))
+                    return self._map_once(pool, fn, items, chunksize)
                 except BrokenProcessPool as exc:
                     # A worker died mid-batch.  Trials are pure, so retry
                     # the whole batch once on a rebuilt pool, then give up
@@ -225,6 +266,59 @@ class WorkerPool(Executor):
                 if self._active_maps == 0:
                     self._schedule_reap()
 
+    def _map_once(
+        self,
+        pool: ProcessPoolExecutor,
+        fn: Callable[[Any], Any],
+        items: list[Any],
+        chunksize: int,
+    ) -> list[Any]:
+        """One attempt at a batch on the current pool.
+
+        ``scheduling="static"`` is the pre-chunked ``pool.map`` plan.
+        ``scheduling="steal"`` runs one feeder thread per worker lane
+        over the shared :class:`ChunkScheduler`: each lane keeps exactly
+        one chunk in flight, so the pool's task queue never holds more
+        than ``lanes`` chunks and a lane that finishes early steals
+        queued chunks from a straggler instead of idling.  Task
+        exceptions and :class:`BrokenProcessPool` both propagate to
+        :meth:`map`, which owns the retry/fallback policy.
+        """
+        if self.scheduling == "static":
+            return list(pool.map(fn, items, chunksize=chunksize))
+        lanes = max(1, min(self.max_workers, math.ceil(len(items) / chunksize)))
+        scheduler = ChunkScheduler(items, chunksize, lanes, stealing=True)
+        results: list[Any] = [None] * len(items)
+        errors: list[BaseException] = []
+
+        def feed(lane: int) -> None:
+            while not errors:
+                chunk = scheduler.next_chunk(lane)
+                if chunk is None:
+                    return
+                try:
+                    payload = pool.submit(_run_chunk, fn, chunk.items).result()
+                except BaseException as exc:  # noqa: BLE001 - re-raised below
+                    errors.append(exc)
+                    return
+                results[chunk.start : chunk.start + len(chunk)] = payload
+                scheduler.mark_done(chunk)
+
+        if lanes == 1:
+            feed(0)
+        else:
+            threads = [
+                threading.Thread(target=feed, args=(lane,), daemon=True)
+                for lane in range(lanes)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if errors:
+            raise errors[0]
+        return results
+
     # -- shared-memory input protocol -----------------------------------
     def wants_shared_inputs(self, inputs: np.ndarray) -> bool:
         return (
@@ -245,15 +339,7 @@ class WorkerPool(Executor):
         with self._lock:
             if self._closed:
                 raise RuntimeError("WorkerPool is closed")
-            known = self._digest_cache.get(id(inputs))
-            if known is not None and known[0] is inputs:
-                digest = known[1]
-            else:
-                digest = hashlib.sha256(
-                    repr((inputs.shape, inputs.dtype.str)).encode()
-                    + inputs.tobytes()
-                ).hexdigest()
-                self._digest_cache[id(inputs)] = (inputs, digest)
+            digest = self._digest_cache.digest(inputs)
             cached = self._segments.get(digest)
             if cached is None:
                 cached = _create_shared_segment(inputs)

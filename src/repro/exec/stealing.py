@@ -1,0 +1,210 @@
+"""Work-stealing chunk scheduling, shared by every multi-lane executor.
+
+Both :class:`~repro.exec.pool.WorkerPool` and
+:class:`~repro.exec.distributed.DistributedExecutor` face the same
+problem: a batch is split into contiguous chunks, the chunks must be
+spread over ``k`` lanes (pool feeder threads, remote worker
+connections), and the lanes are not equally fast — a loaded host, a
+5×-slower machine in a heterogeneous fleet, or plain OS jitter.  A
+*static* assignment (deal chunks round-robin up front, each lane runs
+only its own share) finishes when the **slowest** lane finishes its
+share; the fast lanes idle.
+
+:class:`ChunkScheduler` implements the classic fix: every lane owns a
+local deque of chunks (dealt round-robin at construction, preserving
+the static plan's locality), pops from its **head** while work remains,
+and — once its own deque is empty — **steals from the tail** of the
+richest victim.  A lane therefore never idles while any lane still has
+queued work, and the batch finishes when the *work* runs out, not when
+the unluckiest lane does.  ``stealing=False`` degrades to the static
+plan, which is what the ``benchmarks/bench_exec_steal.py`` baseline
+measures against.
+
+Order never matters for correctness: every chunk carries its ``start``
+offset, so results are written back into their original positions, and
+engine trials are seeded per-spec (``SeedSequence.spawn``), so *which*
+lane runs a chunk changes nothing about its output.
+
+>>> sched = ChunkScheduler(list(range(10)), chunksize=2, lanes=2)
+>>> chunk = sched.next_chunk(lane=0)
+>>> chunk.start, chunk.items
+(0, [0, 1])
+>>> sched.mark_done(chunk)
+>>> sched.pending      # 4 chunks still queued or running
+4
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["Chunk", "ChunkScheduler"]
+
+
+@dataclass
+class Chunk:
+    """A contiguous slice of a batch: ``items`` starting at ``start``.
+
+    ``start`` is the slice's offset in the original item list, so a
+    result list can be filled in place no matter which lane (or which
+    retry) ultimately ran the chunk.
+    """
+
+    start: int
+    items: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class ChunkScheduler:
+    """Deal chunks to per-lane deques; idle lanes steal from the richest.
+
+    Parameters
+    ----------
+    items:
+        The batch, in order.  Split into ``ceil(len(items)/chunksize)``
+        contiguous :class:`Chunk` objects.
+    chunksize:
+        Items per chunk (the work-stealing *grain*: smaller chunks
+        rebalance better but pay more per-chunk overhead).
+    lanes:
+        Number of consumers.  Chunks are dealt round-robin over lanes at
+        construction, so with ``stealing=False`` the schedule is exactly
+        the static round-robin plan.
+    stealing:
+        When True (the default), a lane whose own deque is empty steals
+        a chunk from the *tail* of the lane with the most queued chunks.
+        When False, :meth:`next_chunk` returns ``None`` as soon as the
+        lane's own deque is empty — the static baseline.
+
+    Thread-safety: all methods take an internal lock; lanes are expected
+    to call :meth:`next_chunk` / :meth:`mark_done` / :meth:`requeue`
+    concurrently from their own threads.
+    """
+
+    def __init__(
+        self,
+        items: Sequence[Any],
+        chunksize: int,
+        lanes: int,
+        stealing: bool = True,
+    ):
+        if chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        items = list(items)
+        self.lanes = lanes
+        self.stealing = stealing
+        chunks = [
+            Chunk(start, items[start : start + chunksize])
+            for start in range(0, len(items), chunksize)
+        ]
+        self._local: list[deque[Chunk]] = [deque() for _ in range(lanes)]
+        for index, chunk in enumerate(chunks):
+            self._local[index % lanes].append(chunk)
+        self._lock = threading.Lock()
+        self._outstanding = len(chunks)  # queued + running
+        #: Telemetry: how many chunks each lane acquired by stealing.
+        self.steals: list[int] = [0] * lanes
+
+    # -- consumption ----------------------------------------------------
+    def next_chunk(self, lane: int) -> Chunk | None:
+        """The next chunk for ``lane``; ``None`` when it should stop.
+
+        Pops the lane's own deque first (head: preserves the dealt
+        order); when that is empty and ``stealing`` is on, steals from
+        the tail of the victim with the most queued chunks.  ``None``
+        means no queued chunk is available *to this lane* — with
+        stealing on, that means every queue is empty (though chunks may
+        still be in flight on other lanes, and a failed lane may yet
+        :meth:`requeue` one).
+        """
+        with self._lock:
+            own = self._local[lane]
+            if own:
+                return own.popleft()
+            if self.stealing:
+                victim = max(range(self.lanes), key=lambda i: len(self._local[i]))
+                if not self._local[victim]:
+                    return None
+                self.steals[lane] += 1
+                return self._local[victim].pop()
+            return None
+
+    def mark_done(self, chunk: Chunk) -> None:
+        """Record that ``chunk`` completed (its results are written)."""
+        with self._lock:
+            self._outstanding -= 1
+
+    def requeue(self, chunk: Chunk, lane: int) -> None:
+        """Return a chunk whose fate is unknown (its lane failed).
+
+        The chunk goes back to the *head* of the failing lane's deque —
+        with stealing on, any other lane will pick it up; the caller's
+        outer dispatch loop handles the static / all-lanes-dead cases.
+        """
+        with self._lock:
+            self._local[lane].appendleft(chunk)
+
+    def retire_lane(self, lane: int, survivors: "Sequence[int] | None" = None) -> None:
+        """Spread a dead lane's queued chunks over the surviving lanes.
+
+        Needed in static mode (nobody would ever look at the dead
+        lane's deque) and harmless with stealing (it merely moves the
+        chunks to where they would have been stolen from).  Pass
+        ``survivors`` — the lanes still alive — whenever other lanes may
+        already be dead: redistributing onto a dead lane would strand
+        the chunks in static mode.  With no (other) survivor the chunks
+        stay on this lane's deque, where :meth:`drain` finds them.
+        """
+        with self._lock:
+            targets = [
+                i
+                for i in (survivors if survivors is not None else range(self.lanes))
+                if i != lane
+            ]
+            if not targets:
+                return  # leave the chunks in place for drain()
+            orphans = list(self._local[lane])
+            self._local[lane].clear()
+            for index, chunk in enumerate(orphans):
+                self._local[targets[index % len(targets)]].append(chunk)
+
+    # -- accounting -----------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Chunks not yet completed (queued on any lane or in flight)."""
+        with self._lock:
+            return self._outstanding
+
+    @property
+    def queued(self) -> int:
+        """Chunks sitting in some lane's deque (excludes in-flight)."""
+        with self._lock:
+            return sum(len(q) for q in self._local)
+
+    def drain(self) -> list[Chunk]:
+        """Remove and return every queued chunk (the fallback path).
+
+        In-flight chunks are untouched; the caller owns anything it
+        drained (each drained chunk is counted completed once the caller
+        runs it — call :meth:`mark_done` per chunk, or account for them
+        directly).
+        """
+        with self._lock:
+            drained: list[Chunk] = []
+            for queue in self._local:
+                drained.extend(queue)
+                queue.clear()
+            drained.sort(key=lambda chunk: chunk.start)
+            return drained
+
+    def total_steals(self) -> int:
+        """Chunks acquired by stealing, summed over lanes."""
+        with self._lock:
+            return sum(self.steals)

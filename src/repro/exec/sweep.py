@@ -16,17 +16,27 @@ production-scale sibling built on the engine's asynchronous batches:
 * **adaptive** — instead of a fixed trial count, give a target
   confidence-interval width: points keep receiving top-up batches until
   the interval around their statistic is tight enough (or ``max_trials``
-  is hit), so easy points finish cheap and hard points get the budget.
+  is hit), so easy points finish cheap and hard points get the budget;
+* **prioritised** — pending work is ordered by a priority queue:
+  ``priority=`` ranks grid points (lower runs first), ``max_inflight``
+  bounds how many batches are in flight, and adaptive **top-up batches
+  cooperatively yield** to initial batches of not-yet-started points of
+  the same priority — short points overtake long adaptive tails instead
+  of queueing behind them, and a resumed sweep reorders its remaining
+  points the same way.
 
 Determinism: batch ``b`` of grid point ``i`` is seeded with
 ``SeedSequence(seed, spawn_key=(i, b))`` — a pure function of the driver
 seed and grid position.  Interrupting, resuming, reordering completions,
-or changing the executor never changes any point's trials.
+reprioritising, or changing the executor never changes any point's
+trials.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import heapq
+import itertools
 import json
 import math
 import os
@@ -98,14 +108,27 @@ def load_journal(path: "str | Path") -> dict[str, dict[str, float]]:
 def append_journal(
     path: "str | Path", params: Mapping[str, Any], values: Mapping[str, float]
 ) -> None:
-    """Durably append one completed point to the checkpoint journal."""
+    """Durably append one completed point to the checkpoint journal.
+
+    If an interrupted run left a torn, newline-less tail, the new record
+    starts on a fresh line instead of being glued to the garbage — the
+    torn line stays unparseable (and its point is recomputed), but the
+    record written here must survive the next :func:`load_journal`.
+    """
     line = json.dumps(
         {"params": dict(params), "values": dict(values)},
         sort_keys=True,
         default=_jsonable,
     )
-    with open(path, "a", encoding="utf-8") as stream:
-        stream.write(line + "\n")
+    payload = (line + "\n").encode("utf-8")
+    with open(path, "ab+") as stream:
+        stream.seek(0, os.SEEK_END)
+        end = stream.tell()
+        if end:
+            stream.seek(end - 1)
+            if stream.read(1) != b"\n":
+                payload = b"\n" + payload
+        stream.write(payload)
         stream.flush()
         os.fsync(stream.fileno())
 
@@ -174,6 +197,42 @@ class SweepDriver:
     seed:
         Master seed.  Batch ``b`` of point ``i`` runs under
         ``SeedSequence(seed, spawn_key=(i, b))``.
+    priority:
+        ``priority(params) → float`` ranking pending work; **lower runs
+        first**.  ``None`` (the default) keeps grid order.  Priorities
+        order scheduling only — they never change any point's trials
+        (seeds are a pure function of grid position and batch number),
+        so two drivers with opposite priorities produce bit-identical
+        values.  On resume, journal-completed points are skipped and the
+        remainder is re-ranked the same way.
+    max_inflight:
+        Upper bound on batches in flight at once.  ``None`` (the
+        default) submits greedily in priority order.  A finite bound is
+        what gives top-up *preemption* teeth: when a point finishes a
+        batch unconverged, its top-up goes back into the priority queue
+        — behind every not-yet-started point of the same priority —
+        instead of resubmitting immediately, so long adaptive tails
+        cannot starve short points of the bounded in-flight slots.
+
+    A fixed-trials sweep over two grid points, smallest ``k`` first:
+
+    >>> import numpy as np
+    >>> from repro.core import RunSpec
+    >>> from repro.distributions import UniformRows
+    >>> from repro.exec import SweepDriver
+    >>> from repro.protocols import GlobalParityProtocol
+    >>> def spec_fn(n):
+    ...     return RunSpec(
+    ...         protocol=GlobalParityProtocol(),
+    ...         distribution=UniformRows(n, 4),
+    ...         seed=0,
+    ...     )
+    >>> driver = SweepDriver(spec_fn, trials=16, seed=1)
+    >>> result = driver.run([{"n": 2}, {"n": 3}])
+    >>> [point["trials"] for point in result.points]
+    [16.0, 16.0]
+    >>> all(0.0 <= point["mean"] <= 1.0 for point in result.points)
+    True
     """
 
     def __init__(
@@ -189,6 +248,8 @@ class SweepDriver:
         trial_values: Callable[[BatchResult], np.ndarray] | None = None,
         checkpoint: "str | Path | None" = None,
         seed: int = 0,
+        priority: Callable[[Mapping[str, Any]], float] | None = None,
+        max_inflight: int | None = None,
     ):
         if trials < 1:
             raise ValueError("trials per batch must be >= 1")
@@ -200,6 +261,8 @@ class SweepDriver:
             raise ValueError("confidence must lie in (0, 1)")
         if engine is not None and executor is not None:
             raise ValueError("pass either executor or engine, not both")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
         self.spec_fn = spec_fn
         self._engine = engine
         self._executor = executor
@@ -210,6 +273,8 @@ class SweepDriver:
         self.trial_values = trial_values or default_trial_values
         self.checkpoint = checkpoint
         self.seed = seed
+        self.priority = priority
+        self.max_inflight = max_inflight
 
     # -- seeding --------------------------------------------------------
     def _batch_spec(self, params: Mapping[str, Any], index: int, batch: int) -> RunSpec:
@@ -263,7 +328,16 @@ class SweepDriver:
 
     # -- the drive loop -------------------------------------------------
     def run(self, grid: Iterable[Mapping[str, Any]]) -> SweepResult:
-        """Submit every missing grid point; block until all converge.
+        """Drive every missing grid point to convergence; block until done.
+
+        Pending work flows through a priority queue keyed by
+        ``(priority(params), is_top_up, arrival)``: initial batches of
+        unstarted points run before adaptive top-ups of equal priority
+        (cooperative preemption — a point that finishes a batch
+        unconverged re-enters the queue rather than jumping it), and
+        ``max_inflight`` bounds how many batches occupy the engine at
+        once.  Scheduling order never touches values: batch ``b`` of
+        point ``i`` is seeded purely by ``(i, b)``.
 
         Returns a :class:`~repro.analysis.sweep.SweepResult` in grid
         order, mixing journal-loaded and freshly measured points.  Point
@@ -277,11 +351,31 @@ class SweepDriver:
         finished: dict[int, dict[str, float]] = {}
         engine = self._engine if self._engine is not None else Engine(self._executor)
         pending: dict[BatchFuture, _PointState] = {}
+        #: Min-heap of runnable work.  Key: user priority first, then the
+        #: initial-before-top-up class, then arrival order (ties stay
+        #: FIFO and the heap never compares _PointState objects).
+        ready: list[tuple[float, int, int, _PointState]] = []
+        arrivals = itertools.count()
 
-        def submit(state: _PointState) -> None:
-            spec = self._batch_spec(grid[state.index], state.index, state.batches)
-            future = engine.submit_batch(spec, self.trials)
-            pending[future] = state
+        def enqueue(state: _PointState) -> None:
+            rank = (
+                float(self.priority(grid[state.index]))
+                if self.priority is not None
+                else 0.0
+            )
+            heapq.heappush(
+                ready, (rank, 1 if state.batches else 0, next(arrivals), state)
+            )
+
+        def submit_ready() -> None:
+            while ready and (
+                self.max_inflight is None or len(pending) < self.max_inflight
+            ):
+                _, _, _, state = heapq.heappop(ready)
+                spec = self._batch_spec(
+                    grid[state.index], state.index, state.batches
+                )
+                pending[engine.submit_batch(spec, self.trials)] = state
 
         try:
             for index, params in enumerate(grid):
@@ -289,10 +383,12 @@ class SweepDriver:
                 if key in journal:
                     finished[index] = dict(journal[key])
                     continue
-                submit(_PointState(index=index, params=params))
+                enqueue(_PointState(index=index, params=params))
+            submit_ready()
             while pending:
                 # One wait over the in-flight set, then drain everything
-                # that finished — top-up submissions join the next wait.
+                # that finished — re-enqueued top-ups compete with queued
+                # initial batches for the freed in-flight slots.
                 by_inner = {future._inner: future for future in pending}
                 done, _ = _wait_futures(
                     list(by_inner), return_when=FIRST_COMPLETED
@@ -310,7 +406,8 @@ class SweepDriver:
                         if self.checkpoint is not None:
                             append_journal(self.checkpoint, state.params, values)
                     else:
-                        submit(state)
+                        enqueue(state)
+                submit_ready()
         finally:
             if self._engine is None:
                 engine.close(cancel_pending=True)

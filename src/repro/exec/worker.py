@@ -7,6 +7,16 @@ carries a sequence of length-prefixed pickle frames:
 * ``("map", fn, items)`` → ``("ok", [fn(x) for x in items])`` on success
   or ``("err", exception, traceback_text)`` if a task raised — the
   client re-raises task errors, exactly like a local executor would;
+* ``("publish_inputs", digest, shape, dtype, data)`` → ``("ok", None)``
+  — cache a fixed input matrix under its content ``digest``.  The cache
+  is shared by every connection of this serve loop and survives across
+  connections and map calls, so a client re-running batches over the
+  same inputs ships the matrix **once per worker**, not once per batch;
+* a map whose function references a digest this worker does not hold is
+  answered with ``("need", digest)`` — the client republishes and
+  retries (this is how a restarted worker transparently refills);
+* ``("release_inputs", digest)`` → ``("ok", None)`` — drop a cached
+  matrix (sent by ``DistributedExecutor.close``);
 * closing the connection ends the session.
 
 Frames are ``8-byte big-endian length || pickle``.  The payload is an
@@ -26,6 +36,13 @@ serving thread.
 :func:`serve` is also importable directly, which is how the in-process
 :class:`~repro.exec.distributed.LoopbackWorker` used by the test-suite
 hosts the same loop on a background thread.
+
+>>> import socket
+>>> left, right = socket.socketpair()
+>>> send_frame(left, ("ping",))
+>>> recv_frame(right)
+('ping',)
+>>> left.close(); right.close()
 """
 
 from __future__ import annotations
@@ -35,10 +52,15 @@ import pickle
 import socket
 import struct
 import threading
+import time
 import traceback
 from typing import Any, Callable
 
-__all__ = ["send_frame", "recv_frame", "serve", "main"]
+import numpy as np
+
+from ..core.engine import _create_shared_segment, _SharedInput
+
+__all__ = ["PublishedInput", "send_frame", "recv_frame", "serve", "main"]
 
 _LENGTH = struct.Struct(">Q")
 
@@ -78,6 +100,180 @@ def recv_frame(sock: socket.socket) -> Any:
     return pickle.loads(_recv_exact(sock, length))
 
 
+class PublishedInput:
+    """Wire-protocol handle to a fixed input matrix cached on a worker.
+
+    The distributed twin of the shared-memory ``_SharedInput`` handle:
+    instead of pickling a large fixed input matrix into every map frame,
+    the client publishes it once per worker (``publish_inputs`` frame,
+    keyed by content ``digest``) and subsequent frames carry only this
+    handle.  The serve loop *binds* the handle to its cached array
+    before executing the chunk — :meth:`attach` (called by the engine's
+    trial runner) then returns the bound array.
+
+    Pickling is asymmetric on purpose: an **unbound** handle serializes
+    to digest + metadata only (what travels over the wire).  On the
+    worker, the serve loop binds the handle before executing the chunk —
+    either to the cached array directly (inline execution), or to a
+    shared-memory segment (:meth:`bind_shared`) when the chunk is headed
+    for the worker's optional local process pool, so a large matrix is
+    **not** re-pickled into every chunk of the serve-to-pool hop.
+    """
+
+    __slots__ = ("digest", "shape", "dtype_str", "_array", "_shared")
+
+    def __init__(
+        self,
+        digest: str,
+        shape: tuple[int, ...],
+        dtype_str: str,
+        array: "np.ndarray | None" = None,
+    ):
+        self.digest = digest
+        self.shape = tuple(shape)
+        self.dtype_str = dtype_str
+        self._array = array
+        self._shared: _SharedInput | None = None
+
+    @property
+    def bound(self) -> bool:
+        """True once the worker resolved the digest to its cached matrix."""
+        return self._array is not None or self._shared is not None
+
+    def bind(self, array: np.ndarray) -> None:
+        """Resolve the handle to the worker's cached matrix."""
+        self._array = array
+
+    def bind_shared(self, shared: "_SharedInput") -> None:
+        """Resolve the handle to a shared-memory segment of the matrix.
+
+        A handle bound this way pickles as the segment reference, so a
+        worker's local process pool attaches the one machine-wide copy
+        instead of receiving the bytes inside every chunk.
+        """
+        self._shared = shared
+
+    def attach(self) -> np.ndarray:
+        """The bound input matrix (the trial runner's accessor)."""
+        if self._array is None:
+            if self._shared is None:
+                raise LookupError(
+                    f"inputs {self.digest[:12]}… were never published to "
+                    "this worker (protocol error: expected a "
+                    "('need', digest) reply)"
+                )
+            self._array = self._shared.attach()
+        return self._array
+
+    def __getstate__(self):
+        # Prefer the segment reference when present: the array itself
+        # must not ride along too.
+        array = None if self._shared is not None else self._array
+        return (self.digest, self.shape, self.dtype_str, array, self._shared)
+
+    def __setstate__(self, state):
+        (self.digest, self.shape, self.dtype_str, self._array, self._shared) = state
+
+
+class _InputStore:
+    """One serve loop's cache of published input matrices.
+
+    LRU-bounded (a worker serving many clients — or one client sweeping
+    over many distinct matrices — must not grow without limit; eviction
+    is safe because a map referencing an evicted digest gets a
+    ``("need", digest)`` reply and the client republishes).  For workers
+    running a local process pool, the store also materialises a
+    shared-memory segment per digest on demand, so pool tasks attach one
+    machine-wide copy instead of unpickling the matrix per chunk.
+    """
+
+    def __init__(self, max_entries: int = 32):
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._arrays: dict[str, np.ndarray] = {}
+        self._segments: dict[str, tuple[Any, _SharedInput]] = {}
+        #: digest → chunks currently executing against its segment; an
+        #: unlink requested while users remain is deferred (``_doomed``)
+        #: until the last user finishes — unlinking earlier would make a
+        #: queued pool task's ``SharedMemory(name=...)`` attach fail.
+        self._users: dict[str, int] = {}
+        self._doomed: set[str] = set()
+
+    def put(self, message: tuple) -> None:
+        """Store a ``publish_inputs`` frame's matrix."""
+        _, digest, shape, dtype_str, data = message
+        # frombuffer over bytes is already read-only; reshape keeps that.
+        array = np.frombuffer(data, dtype=dtype_str).reshape(shape)
+        with self._lock:
+            self._arrays.pop(digest, None)
+            self._arrays[digest] = array
+            while len(self._arrays) > self.max_entries:
+                oldest = next(iter(self._arrays))
+                del self._arrays[oldest]
+                self._unlink(oldest)
+
+    def get(self, digest: str) -> "np.ndarray | None":
+        with self._lock:
+            return self._arrays.get(digest)
+
+    def shared_handle(self, digest: str) -> "_SharedInput | None":
+        """A shared-memory handle to the matrix, created lazily.
+
+        Registers the caller as a segment user; pair every successful
+        call with :meth:`done_with_shared` once the chunk finished.
+        """
+        with self._lock:
+            array = self._arrays.get(digest)
+            if array is None:
+                return None
+            cached = self._segments.get(digest)
+            if cached is None:
+                cached = _create_shared_segment(np.ascontiguousarray(array))
+                self._segments[digest] = cached
+                self._doomed.discard(digest)
+            self._users[digest] = self._users.get(digest, 0) + 1
+            return cached[1]
+
+    def done_with_shared(self, digest: str) -> None:
+        """Drop a chunk's claim on a segment; unlink if doomed and idle."""
+        with self._lock:
+            count = self._users.get(digest, 0) - 1
+            if count > 0:
+                self._users[digest] = count
+                return
+            self._users.pop(digest, None)
+            if digest in self._doomed:
+                self._doomed.discard(digest)
+                self._unlink(digest)
+
+    def release(self, digest: str) -> None:
+        with self._lock:
+            self._arrays.pop(digest, None)
+            self._unlink(digest)
+
+    def _unlink(self, digest: str) -> None:
+        # Caller holds the lock.  Already-attached pool views survive a
+        # POSIX unlink; a chunk that has not attached *yet* would fail,
+        # so segments with live users are doomed instead and unlinked by
+        # the last done_with_shared.
+        if self._users.get(digest):
+            if digest in self._segments:
+                self._doomed.add(digest)
+            return
+        cached = self._segments.pop(digest, None)
+        if cached is not None:
+            block, _handle = cached
+            block.close()
+            block.unlink()
+
+    def close(self) -> None:
+        with self._lock:
+            self._arrays.clear()
+            self._users.clear()  # serve is exiting; force the unlinks
+            for digest in list(self._segments):
+                self._unlink(digest)
+
+
 def _run_chunk(fn: Callable[[Any], Any], items: list[Any], pool) -> list[Any]:
     if pool is None:
         return [fn(item) for item in items]
@@ -85,13 +281,21 @@ def _run_chunk(fn: Callable[[Any], Any], items: list[Any], pool) -> list[Any]:
 
 
 def _handle_connection(
-    conn: socket.socket, pool, max_requests: int | None
+    conn: socket.socket,
+    pool,
+    max_requests: int | None,
+    input_store: _InputStore,
+    request_delay: float = 0.0,
 ) -> None:
     """Serve one client until it disconnects (or ``max_requests`` frames).
 
     ``max_requests`` exists for fault-injection in tests: a worker that
     hangs up after N map frames exercises the client's mid-batch
-    redistribution path deterministically.
+    redistribution path deterministically.  ``request_delay`` sleeps
+    that long before each map frame — latency injection modelling a
+    slow or overloaded host (see ``benchmarks/bench_exec_steal.py``).
+    ``input_store`` is the serve loop's digest-keyed store of published
+    fixed inputs, shared across this worker's connections.
     """
     served = 0
     try:
@@ -104,16 +308,51 @@ def _handle_connection(
             if kind == "ping":
                 send_frame(conn, ("pong",))
                 continue
+            if kind == "publish_inputs":
+                try:
+                    input_store.put(message)
+                    send_frame(conn, ("ok", None))
+                except Exception as exc:  # noqa: BLE001 - shipped back
+                    send_frame(conn, ("err", exc, traceback.format_exc()))
+                continue
+            if kind == "release_inputs":
+                input_store.release(message[1])
+                send_frame(conn, ("ok", None))
+                continue
             if kind != "map":
                 send_frame(
                     conn, ("err", ValueError(f"unknown frame kind {kind!r}"), "")
                 )
                 continue
             _, fn, items = message
+            handle = getattr(fn, "shared_input", None)
+            shared = None
+            if isinstance(handle, PublishedInput) and not handle.bound:
+                cached = input_store.get(handle.digest)
+                if cached is None:
+                    # Tell the client to publish (e.g. this worker
+                    # restarted and lost its cache) instead of failing
+                    # the chunk.
+                    send_frame(conn, ("need", handle.digest))
+                    continue
+                shared = (
+                    input_store.shared_handle(handle.digest)
+                    if pool is not None
+                    else None
+                )
+                if shared is not None:
+                    handle.bind_shared(shared)
+                else:
+                    handle.bind(cached)
+            if request_delay > 0.0:
+                time.sleep(request_delay)
             try:
                 send_frame(conn, ("ok", _run_chunk(fn, items, pool)))
             except Exception as exc:  # noqa: BLE001 - shipped to the client
                 send_frame(conn, ("err", exc, traceback.format_exc()))
+            finally:
+                if shared is not None:
+                    input_store.done_with_shared(handle.digest)
             served += 1
     finally:
         conn.close()
@@ -126,17 +365,28 @@ def serve(
     stop_event: threading.Event | None = None,
     ready_callback: Callable[[tuple[str, int]], None] | None = None,
     max_requests_per_connection: int | None = None,
+    request_delay: float = 0.0,
+    max_cached_inputs: int = 32,
 ) -> None:
     """Accept connections and execute task frames until ``stop_event`` is set.
 
     ``port=0`` binds an OS-assigned port; ``ready_callback`` receives the
     actual ``(host, port)`` once listening — how in-process loopback
     workers discover their address.  ``processes > 0`` fans each chunk
-    out over a local process pool.
+    out over a local process pool.  ``request_delay`` injects that many
+    seconds of latency before each map frame (a synthetic slow host).
+
+    Published fixed inputs live in a digest-keyed store scoped to this
+    serve call: shared by all its connections, LRU-bounded at
+    ``max_cached_inputs`` distinct matrices (clients refill evicted
+    digests via the ``("need", digest)`` reply), mirrored into
+    shared-memory segments for the local process pool when
+    ``processes > 0``, and released when the loop returns.
     """
     from concurrent.futures import ProcessPoolExecutor
 
     pool = ProcessPoolExecutor(max_workers=processes) if processes > 0 else None
+    input_store = _InputStore(max_cached_inputs)
     server = socket.create_server((host, port))
     server.settimeout(0.1)
     threads: list[threading.Thread] = []
@@ -153,7 +403,13 @@ def serve(
                 continue
             thread = threading.Thread(
                 target=_handle_connection,
-                args=(conn, pool, max_requests_per_connection),
+                args=(
+                    conn,
+                    pool,
+                    max_requests_per_connection,
+                    input_store,
+                    request_delay,
+                ),
                 daemon=True,
             )
             thread.start()
@@ -164,14 +420,22 @@ def serve(
             thread.join(timeout=1.0)
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
+        input_store.close()
 
 
 def main(argv: list[str] | None = None) -> None:
+    """CLI entry point: parse flags, announce the bound address, serve."""
     parser = argparse.ArgumentParser(
         description="Serve repro.exec tasks to DistributedExecutor clients."
     )
     parser.add_argument("--host", default="127.0.0.1")
-    parser.add_argument("--port", type=int, default=9123)
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=9123,
+        help="TCP port to listen on (0 = OS-assigned; the actual port is "
+        "printed once listening)",
+    )
     parser.add_argument(
         "--processes",
         type=int,
@@ -179,10 +443,37 @@ def main(argv: list[str] | None = None) -> None:
         help="size of the local process pool shared by all connections "
         "(0 = run tasks inline in each connection's thread)",
     )
+    parser.add_argument(
+        "--max-cached-inputs",
+        type=int,
+        default=32,
+        help="LRU bound on distinct published input matrices kept cached "
+        "(evicted digests are transparently republished by clients)",
+    )
     args = parser.parse_args(argv)
-    print(f"repro.exec worker listening on {args.host}:{args.port}")
-    serve(args.host, args.port, processes=args.processes)
+
+    def announce(bound: tuple[str, int]) -> None:
+        # Printed only once actually listening — with --port 0 this is
+        # the only way to learn the OS-assigned port, and scripts can
+        # treat the line as the readiness signal.
+        print(f"repro.exec worker listening on {bound[0]}:{bound[1]}", flush=True)
+
+    serve(
+        args.host,
+        args.port,
+        processes=args.processes,
+        ready_callback=announce,
+        max_cached_inputs=args.max_cached_inputs,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry point
-    main()
+    try:
+        # ``python -m repro.exec.worker`` executes this file as
+        # ``__main__`` while the frames it receives reference
+        # ``repro.exec.worker.PublishedInput`` — two distinct class
+        # objects unless we delegate to the canonical module.
+        from repro.exec.worker import main as _canonical_main
+    except ImportError:
+        _canonical_main = main
+    _canonical_main()

@@ -199,3 +199,49 @@ class TestBatchFutureSurface:
             assert future.trials == 12
             assert future.spec is spec
             future.result(timeout=60)
+
+
+class TestAsCompletedTimeout:
+    def test_timeout_raises_after_yielding_finished_futures(self):
+        """A stalled batch must not hang the iterator: finished futures
+        come out first, then TimeoutError."""
+        from concurrent.futures import TimeoutError as FuturesTimeout
+
+        slow_spec = RunSpec(
+            protocol=SleepyParityProtocol(0.05),
+            distribution=UniformRows(3, 4),
+            seed=1,
+        )
+        with Engine(SerialExecutor(), max_inflight=1) as engine:
+            fast = engine.submit_batch(rank_spec(), 4)
+            fast.result(timeout=60)          # already done before iterating
+            slow = engine.submit_batch(slow_spec, 40)  # ~6s of sleeps
+            yielded = []
+            with pytest.raises(FuturesTimeout):
+                for future in as_completed([fast, slow], timeout=0.2):
+                    yielded.append(future)
+            assert yielded == [fast]
+            assert not slow.done()
+            slow.result(timeout=60)  # the batch itself is unharmed
+
+    def test_timeout_none_waits_for_everything(self):
+        with Engine() as engine:
+            futures = [engine.submit_batch(rank_spec(seed), 4) for seed in range(3)]
+            assert len(list(as_completed(futures, timeout=None))) == 3
+
+    def test_generous_timeout_yields_all_in_completion_order(self):
+        with Engine() as engine:
+            futures = [engine.submit_batch(rank_spec(seed), 8) for seed in range(4)]
+            seen = list(as_completed(futures, timeout=120))
+        assert sorted(id(f) for f in seen) == sorted(id(f) for f in futures)
+        assert all(f.done() for f in seen)
+
+    def test_timeout_with_derived_futures(self):
+        """then-derived futures ride their parent's completion through a
+        timed as_completed."""
+        with Engine() as engine:
+            future = engine.submit_batch(rank_spec(), 8)
+            derived = future.then(len)
+            seen = list(as_completed([future, derived], timeout=60))
+        assert set(map(id, seen)) == {id(future), id(derived)}
+        assert derived.result(timeout=1) == 8

@@ -206,3 +206,141 @@ class TestAdaptiveTrials:
         )
         point = driver.run([{"k": 3}]).points[0]
         assert point["mean"] == 3.0  # every trial runs exactly k rounds
+
+
+class TestPriorities:
+    def test_priority_orders_submission(self):
+        """Lower priority value runs first; max_inflight=1 serializes the
+        sweep so the spec_fn call order is exactly the schedule."""
+        counting = CountingSpecFn()
+        SweepDriver(
+            counting,
+            trials=8,
+            seed=1,
+            priority=lambda params: -params["k"],  # biggest k first
+            max_inflight=1,
+        ).run(GRID)
+        assert counting.calls == [4, 3, 2]
+
+    def test_default_priority_keeps_grid_order(self):
+        counting = CountingSpecFn()
+        SweepDriver(counting, trials=8, seed=1, max_inflight=1).run(GRID)
+        assert counting.calls == [2, 3, 4]
+
+    def test_priority_never_changes_values(self):
+        """Scheduling is not seeding: reversed priorities, bounded
+        in-flight slots, and the default greedy order all agree
+        bit-for-bit."""
+        baseline = SweepDriver(rank_spec_fn, trials=16, seed=3).run(GRID)
+        reordered = SweepDriver(
+            rank_spec_fn,
+            trials=16,
+            seed=3,
+            priority=lambda params: -params["k"],
+            max_inflight=1,
+        ).run(GRID)
+        assert [p.values for p in baseline.points] == [
+            p.values for p in reordered.points
+        ]
+        assert [p["k"] for p in reordered.points] == [2, 3, 4]  # grid order
+
+    def test_topup_batches_yield_to_unstarted_points(self):
+        """Cooperative preemption: with one in-flight slot, an adaptive
+        point's top-up re-enters the queue behind every unstarted
+        point's initial batch, so each point starts before any point
+        tops up."""
+        counting = CountingSpecFn()
+        SweepDriver(
+            counting,
+            trials=8,
+            ci_width=0.25,
+            max_trials=64,
+            seed=2,
+            max_inflight=1,
+        ).run(GRID)
+        first_three = counting.calls[:3]
+        assert sorted(first_three) == [2, 3, 4]  # all initial batches first
+
+    def test_adaptive_values_identical_with_and_without_preemption(self):
+        free = SweepDriver(
+            rank_spec_fn, trials=16, ci_width=0.3, max_trials=128, seed=11
+        ).run(GRID)
+        throttled = SweepDriver(
+            rank_spec_fn,
+            trials=16,
+            ci_width=0.3,
+            max_trials=128,
+            seed=11,
+            max_inflight=1,
+            priority=lambda params: params["k"],
+        ).run(GRID)
+        assert [p.values for p in free.points] == [
+            p.values for p in throttled.points
+        ]
+
+    def test_max_inflight_validation(self):
+        with pytest.raises(ValueError):
+            SweepDriver(rank_spec_fn, max_inflight=0)
+
+    def test_resume_respects_priority_without_recomputation(self, tmp_path):
+        """A resumed prioritised sweep reorders only the *missing*
+        points; journal-completed points are neither recomputed nor
+        reordered in the result."""
+        driver_kwargs = dict(
+            trials=8,
+            seed=5,
+            priority=lambda params: -params["k"],
+            max_inflight=1,
+        )
+        grid = [{"k": k} for k in (2, 3, 4, 5)]
+        journal_path = tmp_path / "sweep.jsonl"
+        counting = CountingSpecFn()
+        SweepDriver(
+            counting, checkpoint=journal_path, **driver_kwargs
+        ).run(grid[:2])  # completes k=3, then k=2 (priority order)
+        assert counting.calls == [3, 2]
+        resumed = CountingSpecFn()
+        result = SweepDriver(
+            resumed, checkpoint=journal_path, **driver_kwargs
+        ).run(grid)
+        # Only the missing points ran, highest k first.
+        assert resumed.calls == [5, 4]
+        # Result order is grid order, independent of priorities.
+        assert [p["k"] for p in result.points] == [2, 3, 4, 5]
+        # And the journalled values came back untouched.
+        straight = SweepDriver(CountingSpecFn(), **driver_kwargs).run(grid)
+        assert [p.values for p in result.points] == [
+            p.values for p in straight.points
+        ]
+
+    def test_torn_tail_resume_under_priority_ordering(self, tmp_path):
+        """A journal with a torn final line resumes under priorities:
+        intact points are not recomputed, the torn point reruns, and
+        values match an uninterrupted sweep."""
+        driver_kwargs = dict(
+            trials=16,
+            seed=5,
+            priority=lambda params: -params["k"],
+            max_inflight=1,
+        )
+        journal_path = tmp_path / "sweep.jsonl"
+        SweepDriver(
+            rank_spec_fn, checkpoint=journal_path, **driver_kwargs
+        ).run(GRID[:2])
+        # Tear the last journal line mid-write (killed process).
+        lines = journal_path.read_text().strip().splitlines()
+        journal_path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:13])
+        assert len(load_journal(journal_path)) == 1
+        resumed = CountingSpecFn()
+        result = SweepDriver(
+            resumed, checkpoint=journal_path, **driver_kwargs
+        ).run(GRID)
+        # The torn point plus the never-run point recompute; the intact
+        # one does not.
+        assert len(resumed.calls) == 2
+        straight = SweepDriver(rank_spec_fn, **driver_kwargs).run(GRID)
+        assert [p.values for p in result.points] == [
+            p.values for p in straight.points
+        ]
+        # The repaired journal now holds the full grid.
+        assert len(load_journal(journal_path)) == 3

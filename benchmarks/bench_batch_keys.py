@@ -1,0 +1,128 @@
+"""Batched transcript-key synthesis vs scalar transcript replay.
+
+The paper's headline estimators (transcript total-variation distance,
+Newman simulation error) consume *transcript keys*.  Before the
+``batch_keys`` contract they were pinned to the scalar engine: every
+trial simulated round by round just to read its key.  This bench measures
+the whole key-producing batch — ``Engine.run_batch`` with
+``vectorized=True`` (one ``batch_decisions`` + ``batch_keys`` pass) vs
+``vectorized=False`` (full per-trial simulation) — for every
+``supports_batch_keys`` protocol at batch=256.
+
+Running this file as a script (or ``pytest benchmarks/bench_batch_keys.py``)
+verifies the two paths are bit-identical (keys, outputs, costs), writes
+the medians to ``BENCH_keys.json`` in the repo root (the machine-readable
+perf trajectory CI uploads as an artifact), and asserts the batched path
+is ≥ 3× faster than scalar replay on every workload.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _util import median_ns, print_table, write_bench_json
+
+from repro.core import Engine, RunSpec
+from repro.distributions import UniformRows
+from repro.lowerbounds import TopSubmatrixRankProtocol
+from repro.prg.attacks import SupportMembershipAttack
+from repro.protocols import DeterministicEqualityProtocol, GlobalParityProtocol
+
+BATCH = 256
+SPEEDUP_BAR = 3.0
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_keys.json"
+
+#: One entry per supports_batch_keys protocol: the estimator-facing
+#: workloads whose keys used to require scalar transcript replay.
+WORKLOADS = [
+    ("seed_attack", SupportMembershipAttack(k=8), UniformRows(16, 12)),
+    ("equality", DeterministicEqualityProtocol(m=12), UniformRows(12, 12)),
+    ("parity", GlobalParityProtocol(), UniformRows(16, 16)),
+    ("hierarchy_rank", TopSubmatrixRankProtocol(k=8), UniformRows(12, 12)),
+]
+
+
+def _spec(protocol, dist, vectorized):
+    return RunSpec(
+        protocol=protocol,
+        distribution=dist,
+        seed=20260730,
+        vectorized=vectorized,
+    )
+
+
+def collect_batch_key_records() -> list[dict]:
+    """Time scalar replay vs batched synthesis for every workload.
+
+    Each record verifies bit-identity first — a fast path that diverges
+    from the scalar engine would make the speedup meaningless.
+    """
+    records = []
+    engine = Engine()
+    for name, protocol, dist in WORKLOADS:
+        scalar = engine.run_batch(_spec(protocol, dist, False), BATCH)
+        fast = engine.run_batch(_spec(protocol, dist, True), BATCH)
+        assert scalar.transcript_keys == fast.transcript_keys, name
+        assert scalar.outputs == fast.outputs, name
+        assert scalar.costs == fast.costs, name
+        scalar_ns = median_ns(
+            engine.run_batch, _spec(protocol, dist, False), BATCH, repeats=3
+        )
+        fast_ns = median_ns(
+            engine.run_batch, _spec(protocol, dist, True), BATCH, repeats=5
+        )
+        records.append(
+            {
+                "workload": name,
+                "batch": BATCH,
+                "key_turns": len(fast.transcript_keys[0]),
+                "scalar_ns_per_batch": scalar_ns,
+                "vectorized_ns_per_batch": fast_ns,
+                "ns_per_key": fast_ns / BATCH,
+                "speedup": scalar_ns / fast_ns,
+            }
+        )
+    return records
+
+
+def _report(records: list[dict]) -> None:
+    print_table(
+        f"Batched transcript-key synthesis (batch={BATCH}, medians)",
+        ["workload", "key turns", "scalar ns", "batched ns", "speedup"],
+        [
+            [
+                r["workload"],
+                r["key_turns"],
+                r["scalar_ns_per_batch"],
+                r["vectorized_ns_per_batch"],
+                r["speedup"],
+            ]
+            for r in records
+        ],
+    )
+    write_bench_json(BENCH_JSON, records)
+    print(f"wrote {BENCH_JSON}")
+
+
+def _assert_speedups(records: list[dict]) -> None:
+    for r in records:
+        assert r["speedup"] >= SPEEDUP_BAR, (
+            f"{r['workload']}: batched key synthesis speedup "
+            f"{r['speedup']:.1f}x below the {SPEEDUP_BAR:.0f}x bar"
+        )
+
+
+def test_batch_key_trajectory():
+    """Batched key synthesis ≥ 3× over scalar transcript replay at
+    batch=256 for every supports_batch_keys workload, bit-identically,
+    with medians recorded in BENCH_keys.json."""
+    records = collect_batch_key_records()
+    _report(records)
+    _assert_speedups(records)
+
+
+if __name__ == "__main__":
+    _records = collect_batch_key_records()
+    _report(_records)
+    _assert_speedups(_records)
+    print(f"speedup bar met: batched key synthesis >= {SPEEDUP_BAR:.0f}x")

@@ -19,6 +19,7 @@ from .engine import (
     resolve_executor,
 )
 from .errors import (
+    BatchFallbackWarning,
     BroadcastCliqueError,
     MessageSizeError,
     ProtocolViolation,
@@ -46,6 +47,7 @@ __all__ = [
     "TrialResult",
     "derive_seed",
     "resolve_executor",
+    "BatchFallbackWarning",
     "BroadcastCliqueError",
     "MessageSizeError",
     "ProtocolViolation",

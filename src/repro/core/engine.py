@@ -37,13 +37,17 @@ execution with a warning rather than failing.
 
 **Vectorized fast path.**  Protocols that declare
 ``supports_batch = True`` (their outputs are a deterministic function of
-the input matrix alone) can skip per-trial simulation entirely: a spec
-with ``vectorized=True`` samples every trial's input with the same
-per-trial seeds as the scalar path — so inputs are bit-identical — and
-evaluates all of them with one ``protocol.batch_decisions`` call backed by
-the batched GF(2) kernels of :mod:`repro.linalg.batch`.  Specs the fast
-path cannot honour (transcript recording, coin budgets, protocols without
-batch support) silently fall back to the scalar path.
+the input matrix alone) plus ``supports_batch_keys = True`` can skip
+per-trial simulation entirely: a spec with ``vectorized=True`` samples
+every trial's input with the same per-trial seeds as the scalar path — so
+inputs are bit-identical — and evaluates all of them with one
+``protocol.batch_decisions`` + ``protocol.batch_keys`` pass backed by the
+batched GF(2) kernels of :mod:`repro.linalg.batch`, populating real
+per-trial transcript keys so key-based estimators batch too.  Specs the
+fast path cannot honour (transcript recording, coin budgets, protocols
+without batch/key support) fall back to the scalar path with a
+:class:`~repro.core.errors.BatchFallbackWarning`; ``Engine.batch_fallbacks``
+counts the downgrades.
 
 **Shared-memory inputs.**  When a batch has a fixed input matrix and runs
 on a :class:`ParallelExecutor`, large inputs are published once through
@@ -169,14 +173,16 @@ class RunSpec:
         Keep each trial's full :class:`Transcript` (not just its key).
     vectorized:
         Ask ``run_batch`` to evaluate the whole batch with one
-        ``protocol.batch_decisions`` call when the protocol declares
-        ``supports_batch`` (and the spec needs no transcripts, round
+        ``protocol.batch_decisions`` + ``protocol.batch_keys`` pass when
+        the protocol declares ``supports_batch`` and
+        ``supports_batch_keys`` (and the spec needs no transcripts, round
         overrides, coin budgets or public coins).  Inputs are sampled with
-        the same per-trial seeds as the scalar path and outputs are
-        bit-identical; transcript *keys* are not materialised on the fast
-        path (each ``TrialResult.transcript_key`` is empty), so key-based
-        estimators must keep ``vectorized=False``.  Specs the fast path
-        cannot honour fall back to scalar execution transparently.
+        the same per-trial seeds as the scalar path; outputs, costs *and*
+        per-trial ``transcript_key`` tuples are bit-identical, so
+        key-based estimators can batch too.  Specs the fast path cannot
+        honour fall back to scalar execution, announced with a
+        :class:`~repro.core.errors.BatchFallbackWarning` and counted on
+        ``Engine.batch_fallbacks``.
     """
 
     protocol: Protocol | Callable[[], Protocol]
@@ -752,6 +758,12 @@ class Engine:
             raise ValueError("max_inflight must be >= 1")
         self.executor = resolve_executor(executor)
         self.max_inflight = max_inflight or max(4, os.cpu_count() or 1)
+        #: Number of ``vectorized=True`` batches that fell back to scalar
+        #: simulation (each fallback also emits a ``BatchFallbackWarning``).
+        self.batch_fallbacks = 0
+        # submit_batch runs run_batch on submitter threads, so concurrent
+        # fallbacks must not lose increments.
+        self._fallback_lock = threading.Lock()
         self._submitter: _ThreadPoolExecutor | None = None
         self._submitter_lock = threading.Lock()
 
@@ -873,20 +885,46 @@ class Engine:
     #: inside ``batch_decisions``) without giving up the batching win.
     VECTORIZED_CHUNK_TRIALS = 4096
 
+    def _note_batch_fallback(self, reason: str) -> None:
+        """Record and announce one vectorized→scalar downgrade."""
+        from .errors import BatchFallbackWarning
+
+        with self._fallback_lock:
+            self.batch_fallbacks += 1
+        warnings.warn(
+            f"RunSpec(vectorized=True) fell back to scalar simulation: "
+            f"{reason}",
+            BatchFallbackWarning,
+            stacklevel=4,
+        )
+
     def _run_batch_vectorized(self, spec: RunSpec, trials: int) -> BatchResult | None:
         """The batched-kernel fast path; ``None`` means "use the scalar path".
 
         Inputs are sampled per trial from the same spawned seed children as
         the scalar path (bit-identical), stacked in bounded chunks, and
-        handed to the protocol's ``batch_decisions``; a fixed input matrix
-        is evaluated once and its decision replicated.  Costs are
-        synthesized from the protocol's metadata — exact for
+        handed to the protocol's ``batch_decisions`` and ``batch_keys``; a
+        fixed input matrix is evaluated once and its trial replicated.
+        Costs are synthesized from the protocol's metadata — exact for
         input-deterministic protocols, which run their full round count,
-        broadcast every turn and draw no coins.  Transcript keys are not
-        materialised.
+        broadcast every turn and draw no coins.  Transcript keys come from
+        ``batch_keys``, so key-based estimators see the same tuples the
+        scalar path records.  Every decline is announced with a
+        :class:`~repro.core.errors.BatchFallbackWarning` and counted on
+        :attr:`batch_fallbacks`.
         """
         protocol = spec.fresh_protocol()
         if not getattr(protocol, "supports_batch", False):
+            self._note_batch_fallback(
+                f"{type(protocol).__name__} does not declare supports_batch"
+            )
+            return None
+        if not getattr(protocol, "supports_batch_keys", False):
+            self._note_batch_fallback(
+                f"{type(protocol).__name__} declares supports_batch but not "
+                "supports_batch_keys, so transcript keys cannot be "
+                "synthesized on the fast path"
+            )
             return None
         if (
             spec.record_transcripts
@@ -894,6 +932,11 @@ class Engine:
             or spec.private_bit_budget is not None
             or spec.public_coins is not None
         ):
+            self._note_batch_fallback(
+                "the spec needs full-fidelity simulation (transcript "
+                "recording, a rounds override, coin budgets, or public "
+                "coins)"
+            )
             return None
         if trials == 0:
             return BatchResult()
@@ -905,6 +948,13 @@ class Engine:
                     f"batch_decisions must return shape ({inputs.shape[0]},), "
                     f"got {decisions.shape}"
                 )
+            keys = np.asarray(protocol.batch_keys(inputs))
+            if keys.ndim != 2 or keys.shape[0] != inputs.shape[0]:
+                raise ValueError(
+                    f"batch_keys must return shape ({inputs.shape[0]}, turns), "
+                    f"got {keys.shape}"
+                )
+            key_tuples = [tuple(row) for row in keys.tolist()]
             n = inputs.shape[1]
             rounds = protocol.num_rounds(n)
             width = protocol.message_size
@@ -923,7 +973,7 @@ class Engine:
                     TrialResult(
                         trial_index=start + offset,
                         outputs=[decision.item()] * n,
-                        transcript_key=(),
+                        transcript_key=key_tuples[offset],
                         cost=cost,
                         inputs=per_trial_inputs(offset)
                         if spec.record_inputs

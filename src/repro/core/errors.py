@@ -4,6 +4,7 @@ from __future__ import annotations
 
 __all__ = [
     "BroadcastCliqueError",
+    "BatchFallbackWarning",
     "MessageSizeError",
     "SchedulingError",
     "ProtocolViolation",
@@ -30,3 +31,19 @@ class ProtocolViolation(BroadcastCliqueError):
 
 class RandomnessExhausted(BroadcastCliqueError):
     """A processor asked for more random bits than its budget allows."""
+
+
+class BatchFallbackWarning(RuntimeWarning):
+    """``RunSpec(vectorized=True)`` could not take the batched fast path.
+
+    Emitted by ``Engine.run_batch`` exactly when a vectorized spec falls
+    back to scalar per-trial simulation — because the protocol lacks
+    ``supports_batch`` / ``supports_batch_keys``, or the spec needs
+    features the fast path cannot honour (full transcripts, round
+    overrides, coin budgets, public coins).  Results are still
+    bit-identical to the scalar path; only the speedup is lost.  The
+    message names the reason.  Note that Python's default warning filters
+    *display* repeated warnings from the same call site only once;
+    ``Engine.batch_fallbacks`` counts every fallback exactly, so monitors
+    should read the counter, not count printed warnings.
+    """

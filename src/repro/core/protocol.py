@@ -22,13 +22,28 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from .errors import ProtocolViolation
 from .processor import ProcessorContext
 
-__all__ = ["Protocol", "FunctionProtocol", "ComposedProtocol"]
+__all__ = ["Protocol", "FunctionProtocol", "ComposedProtocol", "require_bits"]
 
 #: Next-message function type: (proc_id, input_row, transcript_bits) -> message
 NextMessageFn = Callable[[int, Any, tuple[int, ...]], int]
+
+
+def require_bits(values, what: str) -> None:
+    """Reject payload arrays the scalar ``BCAST(1)`` width check would refuse.
+
+    Batched ``batch_decisions`` / ``batch_keys`` implementations that
+    broadcast input entries raw must validate them as 0/1 bits: the scalar
+    simulator raises on any other payload, and a batched path that
+    silently coerced instead would break its bit-identical guarantee.
+    """
+    values = np.asarray(values)
+    if values.size and (values.min() < 0 or values.max() > 1):
+        raise ValueError(f"{what} must be 0/1 bits")
 
 
 class Protocol:
@@ -49,10 +64,20 @@ class Protocol:
         implement :meth:`batch_decisions` and the execution engine's
         ``vectorized=True`` fast path evaluates whole trial batches with
         single batched-kernel calls instead of simulating each trial.
+    supports_batch_keys:
+        True for protocols that additionally implement :meth:`batch_keys`,
+        synthesizing every trial's *transcript key* in the same batched
+        pass.  The engine's fast path requires both flags: decisions alone
+        cannot serve key-based estimators (transcript total-variation
+        distance, Newman simulation error), so a protocol advertising only
+        ``supports_batch`` falls back to scalar simulation under
+        ``vectorized=True`` (with a
+        :class:`~repro.core.errors.BatchFallbackWarning`).
     """
 
     message_size: int = 1
     supports_batch: bool = False
+    supports_batch_keys: bool = False
 
     def num_rounds(self, n: int) -> int:
         """Number of rounds the protocol runs for ``n`` processors.
@@ -100,6 +125,23 @@ class Protocol:
         """
         raise NotImplementedError(
             f"{type(self).__name__} does not implement batched evaluation"
+        )
+
+    def batch_keys(self, inputs) -> "Any":
+        """Transcript keys for a whole ``(trials, n, m)`` input batch at once.
+
+        Only meaningful when :attr:`supports_batch_keys` is set; must
+        return an integer array of shape ``(trials, turns)`` whose row
+        ``t`` equals ``Transcript.key()`` of running the protocol through
+        the simulator on ``inputs[t]`` — the message payloads in turn
+        order (round-major, processor ``0 … n-1`` within each round, the
+        speaking order shared by both library schedulers).  Implementations
+        must reject inputs the scalar path would reject (e.g. non-bit
+        payloads that the ``BCAST(b)`` width check refuses) rather than
+        silently diverge from it.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement batched key synthesis"
         )
 
 

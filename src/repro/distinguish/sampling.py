@@ -11,8 +11,12 @@ the N trials out over a process pool, or ``vectorized=True`` (on the
 decision-based estimators) to evaluate the whole trial batch with one
 batched GF(2) kernel call when the protocol supports it — results are
 bit-identical to the serial default for the same ``rng`` state, just
-faster.  Transcript-key estimators always take the scalar path, since the
-fast path does not materialise transcripts.
+faster.  Transcript-key estimators ride the same fast path for protocols
+that declare ``supports_batch_keys``: the engine synthesizes every
+trial's transcript key with one ``protocol.batch_keys`` pass, so
+``sample_transcript_keys`` / ``estimate_transcript_distance`` accept
+``vectorized=True`` too (protocols without key support fall back to
+scalar with a :class:`~repro.core.errors.BatchFallbackWarning`).
 
 Batches can also run asynchronously: :func:`submit_distinguisher` returns
 a future over the decision vector, and
@@ -53,13 +57,22 @@ def sample_transcript_keys(
     rng: np.random.Generator,
     scheduler: Scheduler | str = "round",
     executor: Executor | str | None = None,
+    vectorized: bool = False,
 ) -> list[tuple[int, ...]]:
-    """Run ``protocol`` on ``n_samples`` fresh inputs; return transcript keys."""
+    """Run ``protocol`` on ``n_samples`` fresh inputs; return transcript keys.
+
+    With ``vectorized=True`` and a protocol declaring
+    ``supports_batch_keys`` (the parity/equality family, the seed-length
+    attack, the hierarchy rank protocol), the whole batch's keys are
+    synthesized in single numpy passes — bit-identical to the scalar
+    path for the same ``rng`` state.
+    """
     spec = RunSpec(
         protocol=protocol,
         distribution=dist,
         scheduler=scheduler,
         seed=derive_seed(rng),
+        vectorized=vectorized,
     )
     batch = Engine(executor).run_batch(spec, n_samples)
     return batch.transcript_keys
@@ -74,18 +87,21 @@ def estimate_transcript_distance(
     scheduler: Scheduler | str = "round",
     confidence: float = 0.95,
     executor: Executor | str | None = None,
+    vectorized: bool = False,
 ) -> ConfidenceInterval:
     """Plug-in TV distance between ``P(Π, D_a)`` and ``P(Π, D_b)``.
 
     Honest but conservative: the plug-in estimator is biased upward when
     the transcript support is large relative to ``n_samples``; use exact
-    enumeration when possible.
+    enumeration when possible.  ``vectorized=True`` batches both sides'
+    key synthesis through ``protocol.batch_keys`` when supported —
+    bit-identical estimates, no per-trial simulation.
     """
     keys_a = sample_transcript_keys(
-        protocol, dist_a, n_samples, rng, scheduler, executor
+        protocol, dist_a, n_samples, rng, scheduler, executor, vectorized
     )
     keys_b = sample_transcript_keys(
-        protocol, dist_b, n_samples, rng, scheduler, executor
+        protocol, dist_b, n_samples, rng, scheduler, executor, vectorized
     )
     return estimate_tv_distance(keys_a, keys_b, confidence=confidence)
 

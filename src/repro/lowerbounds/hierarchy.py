@@ -25,7 +25,7 @@ import numpy as np
 
 from ..core.engine import Engine, Executor, RunSpec, derive_seed
 from ..core.processor import ProcessorContext
-from ..core.protocol import Protocol
+from ..core.protocol import Protocol, require_bits
 from ..distributions.uniform import UniformRows
 from ..linalg.batch import BitMatrixBatch
 from ..linalg.bitmatrix import BitMatrix
@@ -71,10 +71,12 @@ class TopSubmatrixRankProtocol(Protocol):
     Outputs are a deterministic function of the input matrix, so the
     protocol supports the engine's vectorized fast path: a whole batch of
     trials is decided by one lock-step rank elimination over the revealed
-    blocks.
+    blocks, and its transcript keys (processors ``0 … k-1`` reveal their
+    prefix bits, everyone else broadcasts 0) by one scatter + transpose.
     """
 
     supports_batch = True
+    supports_batch_keys = True
 
     def __init__(self, k: int, rounds_budget: int | None = None):
         if k < 1:
@@ -115,23 +117,44 @@ class TopSubmatrixRankProtocol(Protocol):
         posterior = conditional_full_rank_probability(self.k, j)
         return int(posterior > 0.5)
 
-    def batch_decisions(self, inputs: np.ndarray) -> np.ndarray:
-        """Decisions for a ``(trials, n, n)`` batch via one batched rank."""
+    def _validated_block(self, inputs: np.ndarray) -> np.ndarray:
+        """The ``(trials, k, j)`` revealed block, shape- and bit-checked —
+        shared by :meth:`batch_decisions` and :meth:`batch_keys` so
+        scalar-parity validation cannot drift."""
         inputs = np.asarray(inputs)
-        trials = inputs.shape[0]
         j = min(self.rounds_budget, self.k)
         if inputs.ndim != 3 or inputs.shape[1] < self.k or inputs.shape[2] < j:
             raise ValueError(
                 f"inputs must expose a {self.k} x {j} revealed block, got "
                 f"shape {inputs.shape}"
             )
+        revealed = inputs[:, : self.k, :j]
+        require_bits(revealed, "revealed block entries")
+        return revealed
+
+    def batch_decisions(self, inputs: np.ndarray) -> np.ndarray:
+        """Decisions for a ``(trials, n, n)`` batch via one batched rank."""
+        revealed = self._validated_block(inputs)
+        trials, j = revealed.shape[0], revealed.shape[2]
         if j == 0:
             return np.zeros(trials, dtype=np.uint8)
-        ranks = BitMatrixBatch.from_arrays(inputs[:, : self.k, :j]).rank()
+        ranks = BitMatrixBatch.from_arrays(revealed).rank()
         if j >= self.k:
             return (ranks == self.k).astype(np.uint8)
         full_guess = int(conditional_full_rank_probability(self.k, j) > 0.5)
         return np.where(ranks < j, 0, full_guess).astype(np.uint8)
+
+    def batch_keys(self, inputs: np.ndarray) -> np.ndarray:
+        """Transcript keys for a ``(trials, n, >=j)`` batch: in round ``r``
+        processor ``p < k`` broadcasts bit ``r`` of its row and everyone
+        else broadcasts 0."""
+        inputs = np.asarray(inputs)
+        revealed = self._validated_block(inputs)
+        trials, n = inputs.shape[0], inputs.shape[1]
+        j = revealed.shape[2]
+        keys = np.zeros((trials, j, n), dtype=np.uint8)
+        keys[:, :, : self.k] = revealed.transpose(0, 2, 1)
+        return keys.reshape(trials, j * n)
 
 
 def conditional_full_rank_probability(k: int, j: int) -> float:

@@ -166,10 +166,16 @@ class _CompiledTrialRunner:
 def _transcript_key_statistic(result) -> Any:
     """Default comparison statistic: the transcript key.
 
-    Works on both :class:`ExecutionResult` and the engine's
-    :class:`~repro.core.engine.TrialResult` (with recorded transcripts).
+    Works on :class:`ExecutionResult` and the engine's
+    :class:`~repro.core.engine.TrialResult` whether or not the full
+    transcript was recorded — every ``TrialResult`` carries its key, and
+    the vectorized fast path synthesizes it without materialising a
+    :class:`~repro.core.transcript.Transcript`.
     """
-    return result.transcript.key()
+    transcript = getattr(result, "transcript", None)
+    if transcript is not None:
+        return transcript.key()
+    return result.transcript_key
 
 
 def simulation_error(
@@ -181,6 +187,7 @@ def simulation_error(
     statistic=None,
     scheduler: str = "round",
     executor: Executor | str | None = None,
+    vectorized: bool = False,
 ) -> float:
     """Empirical simulation error on a fixed input.
 
@@ -191,7 +198,15 @@ def simulation_error(
     ``statistic`` uniformly receives a
     :class:`~repro.core.engine.TrialResult` (``outputs``, ``transcript``,
     ``cost``) for both sample sets.
+
+    ``vectorized=True`` lets the *original-protocol* batch ride the
+    engine's fast path when the protocol declares ``supports_batch_keys``
+    and the default key statistic is used — bit-identical error values,
+    no per-trial simulation.  (The compiled side always simulates: public
+    coin draws cannot batch.)  A custom ``statistic`` needs recorded
+    transcripts, which forces the scalar path.
     """
+    custom_statistic = statistic is not None
     if statistic is None:
         statistic = _transcript_key_statistic
     spec = RunSpec(
@@ -199,7 +214,8 @@ def simulation_error(
         inputs=inputs,
         scheduler=scheduler,
         seed=derive_seed(rng),
-        record_transcripts=True,
+        record_transcripts=custom_statistic,
+        vectorized=vectorized,
     )
     batch_true = Engine(executor).run_batch(spec, n_samples)
     counts_true: dict[Any, int] = {}

@@ -26,7 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.processor import ProcessorContext
-from ..core.protocol import Protocol
+from ..core.protocol import Protocol, require_bits
 
 __all__ = [
     "DeterministicEqualityProtocol",
@@ -47,11 +47,14 @@ class DeterministicEqualityProtocol(Protocol):
 
     Deterministic in the input matrix, so it supports the engine's
     ``vectorized=True`` fast path: a batch of trials is decided by one
-    all-rows-equal comparison (the randomized fingerprint protocol, by
-    contrast, draws public coins and must be simulated).
+    all-rows-equal comparison and its transcript keys (bit ``r`` of every
+    string, revealed round by round) by one transpose (the randomized
+    fingerprint protocol, by contrast, draws public coins and must be
+    simulated).
     """
 
     supports_batch = True
+    supports_batch_keys = True
 
     def __init__(self, m: int):
         if m <= 0:
@@ -71,8 +74,12 @@ class DeterministicEqualityProtocol(Protocol):
                 return 0
         return 1
 
-    def batch_decisions(self, inputs: np.ndarray) -> np.ndarray:
-        """ALL-EQUAL over a ``(trials, n, m)`` batch in one comparison."""
+    def _validated_revealed(self, inputs: np.ndarray) -> np.ndarray:
+        """The ``(trials, n, m)`` revealed block, shape- and bit-checked.
+
+        Shared by :meth:`batch_decisions` and :meth:`batch_keys` so the
+        scalar-parity validation cannot drift between them.
+        """
         inputs = np.asarray(inputs)
         if inputs.ndim != 3 or inputs.shape[2] < self.m:
             raise ValueError(
@@ -80,13 +87,26 @@ class DeterministicEqualityProtocol(Protocol):
                 f"shape {inputs.shape}"
             )
         revealed = inputs[:, :, : self.m]
-        if revealed.size and (revealed.min() < 0 or revealed.max() > 1):
-            # The scalar path broadcasts these values raw and the 1-bit
-            # message check rejects them; diverging silently here would
-            # break the fast path's bit-identical guarantee.
-            raise ValueError("equality inputs must be 0/1 bits")
+        require_bits(revealed, "equality inputs")
+        return revealed
+
+    def batch_decisions(self, inputs: np.ndarray) -> np.ndarray:
+        """ALL-EQUAL over a ``(trials, n, m)`` batch in one comparison."""
+        revealed = self._validated_revealed(inputs)
         equal = (revealed == revealed[:, :1, :]).all(axis=(1, 2))
         return equal.astype(np.uint8)
+
+    def batch_keys(self, inputs: np.ndarray) -> np.ndarray:
+        """Transcript keys for a ``(trials, n, >=m)`` batch: round ``r``
+        broadcasts bit ``r`` of every string, so the key is the revealed
+        block transposed to round-major order — one numpy pass."""
+        revealed = self._validated_revealed(inputs)
+        trials, n = revealed.shape[0], revealed.shape[1]
+        return (
+            revealed.transpose(0, 2, 1)
+            .reshape(trials, self.m * n)
+            .astype(np.uint8)
+        )
 
 
 class FingerprintEqualityProtocol(Protocol):

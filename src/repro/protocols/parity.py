@@ -13,6 +13,7 @@ import numpy as np
 
 from ..core.processor import ProcessorContext
 from ..core.protocol import Protocol
+from ..linalg.batch import BitVectorBatch
 
 __all__ = ["GlobalParityProtocol"]
 
@@ -22,10 +23,13 @@ class GlobalParityProtocol(Protocol):
 
     The output is a deterministic function of the input matrix alone, so
     the protocol rides the engine's ``vectorized=True`` fast path: a
-    whole trial batch is decided by one XOR reduction.
+    whole trial batch is decided by one XOR reduction, and the batch's
+    transcript keys (one row-parity broadcast per processor) come from a
+    single packed popcount pass.
     """
 
     supports_batch = True
+    supports_batch_keys = True
 
     def num_rounds(self, n: int) -> int:
         return 1
@@ -36,12 +40,31 @@ class GlobalParityProtocol(Protocol):
     def output(self, proc: ProcessorContext) -> int:
         return sum(e.message for e in proc.transcript) % 2
 
-    def batch_decisions(self, inputs: np.ndarray) -> np.ndarray:
-        """Whole-matrix parity for a ``(trials, n, m)`` batch at once."""
+    @staticmethod
+    def _validated_stack(inputs: np.ndarray) -> np.ndarray:
+        """The ``(trials, n, m)`` stack, shape-checked — shared by
+        :meth:`batch_decisions` and :meth:`batch_keys` so validation
+        cannot drift.  (No bit check: the scalar path reduces arbitrary
+        integers mod 2, and so do the batched kernels via ``& 1``.)"""
         inputs = np.asarray(inputs, dtype=np.uint8)
         if inputs.ndim != 3:
             raise ValueError(
                 f"inputs must be a (trials, n, m) stack, got shape {inputs.shape}"
             )
-        flat = inputs.reshape(inputs.shape[0], -1)
+        return inputs
+
+    def batch_decisions(self, inputs: np.ndarray) -> np.ndarray:
+        """Whole-matrix parity for a ``(trials, n, m)`` batch at once."""
+        inputs = self._validated_stack(inputs)
+        # Explicit sizes, not -1: reshape(0, -1) rejects empty batches.
+        trials, n, m = inputs.shape
+        flat = inputs.reshape(trials, n * m)
         return np.bitwise_xor.reduce(flat & 1, axis=1).astype(np.uint8)
+
+    def batch_keys(self, inputs: np.ndarray) -> np.ndarray:
+        """Transcript keys for a ``(trials, n, m)`` batch: the one-round
+        key is processor ``p``'s row parity, all rows popcounted at once."""
+        inputs = self._validated_stack(inputs)
+        trials, n, m = inputs.shape
+        rows = BitVectorBatch.from_arrays((inputs & 1).reshape(trials * n, m))
+        return (rows.weights() & 1).astype(np.uint8).reshape(trials, n)

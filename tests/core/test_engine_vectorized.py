@@ -1,15 +1,20 @@
 """The engine's vectorized fast path and shared-memory fixed-input path.
 
 The contract under test: ``vectorized=True`` produces outputs, recorded
-inputs and costs bit-identical to the scalar engine path for protocols
-that support batching, silently falls back otherwise, and the
-shared-memory input publication changes nothing but the transport.
+inputs, *transcript keys* and costs bit-identical to the scalar engine
+path for protocols that support batching, falls back with a
+``BatchFallbackWarning`` (counted on ``Engine.batch_fallbacks``)
+otherwise, and the shared-memory input publication changes nothing but
+the transport.
 """
+
+import warnings
 
 import numpy as np
 import pytest
 
 from repro.core.engine import Engine, ParallelExecutor, RunSpec
+from repro.core.errors import BatchFallbackWarning
 from repro.distinguish.sampling import (
     estimate_protocol_advantage,
     run_distinguisher,
@@ -25,6 +30,14 @@ class UnbatchedParityProtocol(GlobalParityProtocol):
     """Parity without batch support (GlobalParityProtocol gained it)."""
 
     supports_batch = False
+    supports_batch_keys = False
+
+
+class KeylessAttack(SupportMembershipAttack):
+    """Batched decisions but no batched key synthesis: the fast path must
+    decline rather than ship empty transcript keys."""
+
+    supports_batch_keys = False
 
 
 def scalar_and_vectorized(protocol, dist, trials, seed):
@@ -62,6 +75,7 @@ class TestVectorizedFastPath:
         for s, f in zip(scalar, fast):
             assert s.outputs == f.outputs
             assert np.array_equal(s.inputs, f.inputs)
+            assert s.transcript_key == f.transcript_key
             assert s.cost == f.cost
 
     def test_fixed_inputs_batch(self, rng):
@@ -72,6 +86,7 @@ class TestVectorizedFastPath:
             RunSpec(protocol=protocol, inputs=inputs, seed=1, vectorized=True), 6
         )
         assert scalar.outputs == fast.outputs
+        assert scalar.transcript_keys == fast.transcript_keys
 
     def test_empty_batch(self):
         fast = Engine().run_batch(
@@ -95,7 +110,8 @@ class TestVectorizedFastPath:
         scalar = RunSpec(
             protocol=UnbatchedParityProtocol(), distribution=UniformRows(6, 4), seed=11
         )
-        fast = Engine().run_batch(spec, 8)
+        with pytest.warns(BatchFallbackWarning):
+            fast = Engine().run_batch(spec, 8)
         want = Engine().run_batch(scalar, 8)
         assert fast.outputs == want.outputs
         # full scalar execution: real transcript keys, not fast-path stubs
@@ -110,7 +126,8 @@ class TestVectorizedFastPath:
             record_transcripts=True,
             vectorized=True,
         )
-        batch = Engine().run_batch(spec, 5)
+        with pytest.warns(BatchFallbackWarning):
+            batch = Engine().run_batch(spec, 5)
         assert all(trial.transcript is not None for trial in batch)
 
     def test_batch_decisions_validates_width(self):
@@ -118,6 +135,85 @@ class TestVectorizedFastPath:
             SupportMembershipAttack(k=5).batch_decisions(np.zeros((2, 8, 4)))
         with pytest.raises(ValueError):
             TopSubmatrixRankProtocol(k=5).batch_decisions(np.zeros((2, 3, 9)))
+
+
+class TestBatchFallbackSignal:
+    """The silent-downgrade footgun is gone: a vectorized spec that takes
+    the scalar path warns exactly once per batch and bumps the counter."""
+
+    def fallback_spec(self, protocol):
+        return RunSpec(
+            protocol=protocol,
+            distribution=UniformRows(8, 6),
+            seed=5,
+            vectorized=True,
+        )
+
+    def test_warning_and_counter_on_unsupported_protocol(self):
+        engine = Engine()
+        with pytest.warns(BatchFallbackWarning, match="supports_batch"):
+            engine.run_batch(self.fallback_spec(UnbatchedParityProtocol()), 4)
+        assert engine.batch_fallbacks == 1
+        with pytest.warns(BatchFallbackWarning):
+            engine.run_batch(self.fallback_spec(UnbatchedParityProtocol()), 4)
+        assert engine.batch_fallbacks == 2
+
+    def test_warning_on_batch_without_keys(self):
+        """supports_batch alone is not enough: keys cannot be synthesized,
+        and the scalar fallback still produces the real ones."""
+        engine = Engine()
+        with pytest.warns(BatchFallbackWarning, match="supports_batch_keys"):
+            fast = engine.run_batch(self.fallback_spec(KeylessAttack(k=3)), 6)
+        assert engine.batch_fallbacks == 1
+        want = Engine().run_batch(
+            RunSpec(
+                protocol=SupportMembershipAttack(k=3),
+                distribution=UniformRows(8, 6),
+                seed=5,
+            ),
+            6,
+        )
+        assert fast.outputs == want.outputs
+        assert fast.transcript_keys == want.transcript_keys
+
+    def test_warning_on_unhonourable_spec(self):
+        engine = Engine()
+        spec = RunSpec(
+            protocol=SupportMembershipAttack(k=3),
+            distribution=UniformRows(8, 6),
+            seed=5,
+            rounds=2,
+            vectorized=True,
+        )
+        with pytest.warns(BatchFallbackWarning, match="full-fidelity"):
+            engine.run_batch(spec, 4)
+        assert engine.batch_fallbacks == 1
+
+    def test_no_warning_when_fast_path_taken(self):
+        engine = Engine()
+        spec = RunSpec(
+            protocol=SupportMembershipAttack(k=3),
+            distribution=UniformRows(8, 6),
+            seed=5,
+            vectorized=True,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", BatchFallbackWarning)
+            engine.run_batch(spec, 6)
+            engine.run_batch(spec, 0)  # empty batches are honoured too
+        assert engine.batch_fallbacks == 0
+
+    def test_no_warning_without_vectorized(self):
+        engine = Engine()
+        spec = RunSpec(
+            protocol=UnbatchedParityProtocol(),
+            distribution=UniformRows(8, 6),
+            seed=5,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", BatchFallbackWarning)
+            engine.run_batch(spec, 4)
+        assert engine.batch_fallbacks == 0
 
 
 class TestVectorizedEstimators:

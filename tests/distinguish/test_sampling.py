@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import FunctionProtocol
+from repro.core import BatchFallbackWarning, FunctionProtocol
 from repro.distinguish import (
     estimate_protocol_advantage,
     estimate_transcript_distance,
@@ -11,6 +11,8 @@ from repro.distinguish import (
     sample_transcript_keys,
 )
 from repro.distributions import PlantedCliqueAt, UniformRows
+from repro.distributions.prg_dists import PRGOutput
+from repro.prg.attacks import SupportMembershipAttack
 
 
 def weight_protocol(threshold):
@@ -84,3 +86,38 @@ class TestDistinguisher:
         )
         assert est.advantage < 0.08
         assert est.interval.lower <= 0.0 + 1e-12
+
+
+class TestVectorizedKeyEstimators:
+    """Key-based estimators ride the fast path, bit-identical to scalar."""
+
+    def test_sample_transcript_keys_identical(self):
+        args = (SupportMembershipAttack(4), PRGOutput(10, 8, 4), 60)
+        scalar = sample_transcript_keys(*args, np.random.default_rng(2))
+        fast = sample_transcript_keys(
+            *args, np.random.default_rng(2), vectorized=True
+        )
+        assert scalar == fast
+        assert all(len(key) == 10 * 5 for key in fast)
+
+    def test_estimate_transcript_distance_identical(self):
+        args = (
+            SupportMembershipAttack(4),
+            PRGOutput(10, 8, 4),
+            UniformRows(10, 8),
+            80,
+        )
+        scalar = estimate_transcript_distance(*args, np.random.default_rng(6))
+        fast = estimate_transcript_distance(
+            *args, np.random.default_rng(6), vectorized=True
+        )
+        assert scalar == fast
+
+    def test_unsupported_protocol_warns_and_matches(self):
+        args = (weight_protocol(2), UniformRows(3, 3), 12)
+        scalar = sample_transcript_keys(*args, np.random.default_rng(4))
+        with pytest.warns(BatchFallbackWarning):
+            fast = sample_transcript_keys(
+                *args, np.random.default_rng(4), vectorized=True
+            )
+        assert scalar == fast

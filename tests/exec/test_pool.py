@@ -120,15 +120,30 @@ class TestFailureRecovery:
 
 
 class TestIdleReaping:
+    # Deflake pattern: the "still warm right after use" asserts run under
+    # a generous idle_timeout (no reap can fire for minutes, however
+    # loaded the machine), then the timeout is shortened and one more map
+    # schedules the short reap — the test waits on the *state change*, not
+    # on wall-clock alignment between the assert and a 0.2s timer.
+    LONG_IDLE = 300.0
+    SHORT_IDLE = 0.05
+
+    @staticmethod
+    def _wait_reaped(pool, condition, deadline_s=10.0):
+        deadline = time.monotonic() + deadline_s
+        while not condition() and time.monotonic() < deadline:
+            time.sleep(0.02)
+
     def test_idle_workers_reaped_and_rebuilt(self):
-        with WorkerPool(max_workers=2, idle_timeout=0.2) as pool:
+        with WorkerPool(max_workers=2, idle_timeout=self.LONG_IDLE) as pool:
             assert pool.map(_square, [2]) == [4]
-            assert pool.warm
-            deadline = time.monotonic() + 5.0
-            while pool.warm and time.monotonic() < deadline:
-                time.sleep(0.05)
+            assert pool.warm  # safe: the reap timer is minutes away
+            pool.idle_timeout = self.SHORT_IDLE
+            assert pool.map(_square, [4]) == [16]  # schedules the short reap
+            self._wait_reaped(pool, lambda: not pool.warm)
             assert not pool.warm  # reaped after idling
             # The next call transparently rebuilds the workers.
+            pool.idle_timeout = self.LONG_IDLE
             assert pool.map(_square, [3]) == [9]
             assert pool.warm
 
@@ -173,17 +188,23 @@ class TestSharedInputs:
         spec = rank_spec(distribution=None, inputs=inputs)
         golden = Engine(SerialExecutor()).run_batch(spec, 6)
         with WorkerPool(
-            max_workers=2, idle_timeout=0.2, share_inputs_min_bytes=1
+            max_workers=2,
+            idle_timeout=TestIdleReaping.LONG_IDLE,
+            share_inputs_min_bytes=1,
         ) as pool:
             engine = Engine(pool)
             engine.run_batch(spec, 6)
-            assert len(pool._segments) == 1
-            deadline = time.monotonic() + 5.0
-            while (pool.warm or pool._segments) and time.monotonic() < deadline:
-                time.sleep(0.05)
+            assert len(pool._segments) == 1  # safe: reap is minutes away
+            pool.idle_timeout = TestIdleReaping.SHORT_IDLE
+            engine.run_batch(spec, 6)  # schedules the short reap
+            TestIdleReaping._wait_reaped(
+                pool, lambda: not pool.warm and not pool._segments
+            )
             assert not pool.warm
             assert pool._segments == {}  # idle pool pins no shared memory
-            # The next batch republishes and still matches the golden run.
+            # The next batch republishes and still matches the golden run;
+            # restore the long timeout so its asserts cannot race a reap.
+            pool.idle_timeout = TestIdleReaping.LONG_IDLE
             assert engine.run_batch(spec, 6).outputs == golden.outputs
             assert len(pool._segments) == 1
 

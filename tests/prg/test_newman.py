@@ -128,3 +128,45 @@ class TestCompiled:
         # Family deviation ~ sqrt(outcomes/T)/2 ≈ 0.06; plug-in noise over
         # 16 outcomes with 2000 samples ≈ 0.04.
         assert err < 0.15
+
+    def test_vectorized_bit_identical(self):
+        """The original-protocol batch rides the key-synthesis fast path
+        for supports_batch_keys protocols — same error, no simulation."""
+        from repro.protocols import GlobalParityProtocol
+
+        protocol = GlobalParityProtocol()
+        inputs = np.ones((3, 4), dtype=np.uint8)
+        compiled = NewmanCompiled(protocol, t_family=8, master_seed=2)
+        scalar = simulation_error(
+            protocol, compiled, inputs, n_samples=200,
+            rng=np.random.default_rng(31),
+        )
+        fast = simulation_error(
+            protocol, compiled, inputs, n_samples=200,
+            rng=np.random.default_rng(31), vectorized=True,
+        )
+        assert scalar == fast
+        # A deterministic payload is simulated exactly.
+        assert fast == 0.0
+
+    def test_vectorized_custom_statistic_falls_back(self):
+        """A custom statistic needs recorded transcripts, so the fast
+        path declines — with a signal, and identical values."""
+        from repro.core import BatchFallbackWarning
+        from repro.protocols import GlobalParityProtocol
+
+        protocol = GlobalParityProtocol()
+        inputs = np.ones((3, 4), dtype=np.uint8)
+        compiled = NewmanCompiled(protocol, t_family=8, master_seed=2)
+        statistic = lambda trial: trial.transcript.key()  # noqa: E731
+        scalar = simulation_error(
+            protocol, compiled, inputs, n_samples=50,
+            rng=np.random.default_rng(7), statistic=statistic,
+        )
+        with pytest.warns(BatchFallbackWarning):
+            fast = simulation_error(
+                protocol, compiled, inputs, n_samples=50,
+                rng=np.random.default_rng(7), statistic=statistic,
+                vectorized=True,
+            )
+        assert scalar == fast

@@ -29,7 +29,15 @@ from .errors import (
 from .network import CostReport
 from .processor import ProcessorContext
 from .protocol import ComposedProtocol, FunctionProtocol, Protocol
-from .randomness import CoinSource, PrivateCoins, PublicCoins, ReplayCoins, ZeroCoins
+from .randomness import (
+    CoinSource,
+    PrivateCoins,
+    PublicCoins,
+    ReplayCoins,
+    ZeroCoins,
+    expand_seed,
+    fresh_generator,
+)
 from .scheduler import RoundScheduler, Scheduler, TurnScheduler
 from .simulator import ExecutionResult, make_contexts, run_protocol
 from .tracing import TranscriptStats, format_transcript, transcript_stats
@@ -63,6 +71,8 @@ __all__ = [
     "PublicCoins",
     "ReplayCoins",
     "ZeroCoins",
+    "expand_seed",
+    "fresh_generator",
     "RoundScheduler",
     "Scheduler",
     "TurnScheduler",

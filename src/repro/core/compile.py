@@ -15,7 +15,8 @@ protocols that inspect ``proc.transcript`` behave identically.
 
 from __future__ import annotations
 
-from typing import Any
+import contextlib
+from typing import Any, Iterator
 
 from .processor import ProcessorContext
 from .protocol import Protocol
@@ -81,11 +82,11 @@ class Bcast1Compiled(Protocol):
                 turn += 1
         return virtual
 
-    def _with_virtual_view(self, proc: ProcessorContext):
-        import contextlib
-
+    def _with_virtual_view(
+        self, proc: ProcessorContext
+    ) -> contextlib.AbstractContextManager[None]:
         @contextlib.contextmanager
-        def swap():
+        def swap() -> Iterator[None]:
             original = proc.transcript
             proc.transcript = self._virtual_transcript(proc)
             try:

@@ -79,7 +79,7 @@ from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
 from concurrent.futures import ThreadPoolExecutor as _ThreadPoolExecutor
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory as _shared_memory
-from typing import TYPE_CHECKING, Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 import numpy as np
 
@@ -197,7 +197,7 @@ class RunSpec:
     record_transcripts: bool = False
     vectorized: bool = False
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if (self.inputs is None) == (self.distribution is None):
             raise ValueError(
                 "RunSpec needs exactly one input source: pass `inputs` "
@@ -274,7 +274,7 @@ class BatchResult:
     def __len__(self) -> int:
         return len(self.trials)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[TrialResult]:
         return iter(self.trials)
 
     def __getitem__(self, index: int) -> TrialResult:
@@ -809,7 +809,7 @@ class Engine:
     def __enter__(self) -> "Engine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def run(
@@ -941,7 +941,11 @@ class Engine:
         if trials == 0:
             return BatchResult()
 
-        def trial_results(start, inputs, per_trial_inputs):
+        def trial_results(
+            start: int,
+            inputs: np.ndarray,
+            per_trial_inputs: Callable[[int], np.ndarray],
+        ) -> list[TrialResult]:
             decisions = np.asarray(protocol.batch_decisions(inputs))
             if decisions.shape != (inputs.shape[0],):
                 raise ValueError(

@@ -33,7 +33,7 @@ __all__ = ["Protocol", "FunctionProtocol", "ComposedProtocol", "require_bits"]
 NextMessageFn = Callable[[int, Any, tuple[int, ...]], int]
 
 
-def require_bits(values, what: str) -> None:
+def require_bits(values: "np.ndarray | Sequence[int]", what: str) -> None:
     """Reject payload arrays the scalar ``BCAST(1)`` width check would refuse.
 
     Batched ``batch_decisions`` / ``batch_keys`` implementations that
@@ -87,7 +87,7 @@ class Protocol:
         """
         raise NotImplementedError
 
-    def finished(self, n: int, transcript, completed_rounds: int) -> bool:
+    def finished(self, n: int, transcript: Any, completed_rounds: int) -> bool:
         """Early-termination predicate, checked after every round.
 
         Must be a function of *public* information (the transcript) so all
@@ -115,7 +115,7 @@ class Protocol:
         is the processor's output."""
         return None
 
-    def batch_decisions(self, inputs) -> "Any":
+    def batch_decisions(self, inputs: np.ndarray) -> np.ndarray:
         """Outputs for a whole ``(trials, n, m)`` input batch at once.
 
         Only meaningful when :attr:`supports_batch` is set; must return an
@@ -127,7 +127,7 @@ class Protocol:
             f"{type(self).__name__} does not implement batched evaluation"
         )
 
-    def batch_keys(self, inputs) -> "Any":
+    def batch_keys(self, inputs: np.ndarray) -> np.ndarray:
         """Transcript keys for a whole ``(trials, n, m)`` input batch at once.
 
         Only meaningful when :attr:`supports_batch_keys` is set; must

@@ -15,7 +15,48 @@ import numpy as np
 from ..linalg.bitvec import BitVector
 from .errors import RandomnessExhausted
 
-__all__ = ["CoinSource", "PrivateCoins", "PublicCoins", "ZeroCoins", "ReplayCoins"]
+__all__ = [
+    "CoinSource",
+    "PrivateCoins",
+    "PublicCoins",
+    "ZeroCoins",
+    "ReplayCoins",
+    "expand_seed",
+    "fresh_generator",
+]
+
+
+def expand_seed(seed: "int | np.random.SeedSequence") -> np.random.Generator:
+    """Deterministically expand a drawn seed into a ``Generator``.
+
+    The sanctioned way (lint rule ``DET01``) for protocol and
+    distribution code to turn a seed obtained from engine plumbing — a
+    ``draw_int`` from a coin source, a ``SeedSequence`` the engine
+    spawned — into a full generator for derived randomness (probe
+    vectors, sampled triples, PRG families).  Centralising the expansion
+    here keeps generator construction out of trial code paths, so the
+    linter can verify by inspection that every trial draw descends from
+    the spec's seed.
+
+    Bit-compatibility contract: ``expand_seed(s)`` produces the exact
+    stream of ``np.random.default_rng(s)`` — the expansion in use since
+    the first release — so golden transcripts never shift.
+    """
+    return np.random.default_rng(seed)
+
+
+def fresh_generator() -> np.random.Generator:
+    """A generator seeded from OS entropy — for *entry points only*.
+
+    Interactive, single-shot conveniences (``run_protocol`` with no
+    ``rng=``) legitimately want a nondeterministic default; everything
+    downstream of a :class:`~repro.core.engine.RunSpec` must not.
+    Routing the OS-entropy draw through this helper makes the
+    nondeterministic boundary searchable — and keeps unseeded
+    ``np.random.default_rng()`` calls (lint rule ``DET01``) out of the
+    library.
+    """
+    return np.random.default_rng()
 
 
 class CoinSource:
@@ -93,7 +134,7 @@ class ZeroCoins(CoinSource):
     that a supposedly deterministic protocol truly flips no coins.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         super().__init__(np.random.default_rng(0), budget=0)
 
 

@@ -29,7 +29,7 @@ import numpy as np
 from .network import CostReport
 from .processor import ProcessorContext
 from .protocol import Protocol
-from .randomness import CoinSource, PrivateCoins
+from .randomness import CoinSource, PrivateCoins, expand_seed, fresh_generator
 from .scheduler import Scheduler
 from .transcript import Transcript
 
@@ -66,7 +66,9 @@ def make_contexts(
         raise ValueError(f"inputs must be a 2-D array, got shape {inputs.shape}")
     n = inputs.shape[0]
     if rng is None:
-        rng = np.random.default_rng()
+        # Entry-point convenience: nondeterministic by request.  Batch
+        # runs go through the engine, which always passes a seeded rng.
+        rng = fresh_generator()
     transcript = Transcript()
     seeds = rng.integers(0, 2**63, size=n, dtype=np.int64)
     contexts = [
@@ -75,7 +77,7 @@ def make_contexts(
             n=n,
             input_row=inputs[i],
             coins=PrivateCoins(
-                np.random.default_rng(int(seeds[i])), budget=private_bit_budget
+                expand_seed(int(seeds[i])), budget=private_bit_budget
             ),
             public_coins=public_coins,
             transcript=transcript,
@@ -132,5 +134,5 @@ def run_protocol(
         public_coins=public_coins,
     )
     if rng is None:
-        rng = np.random.default_rng()
+        rng = fresh_generator()
     return Engine().run(spec, rng=rng)

@@ -1,0 +1,304 @@
+"""``repro-lint`` — AST-based checks for repo-specific invariants.
+
+Generic linters cannot know that ``np.random.default_rng()`` inside a
+:class:`~repro.core.protocol.Protocol` subclass silently breaks the
+engine's cross-backend bit-identical guarantee.  This module provides a
+small rule framework over :mod:`ast` plus a CLI::
+
+    PYTHONPATH=src python -m repro.devtools.lint src/repro
+
+Exit status is 0 when no rule fires, 1 otherwise.  ``--report FILE``
+additionally writes a JSON report (uploaded as a CI artifact so rule
+regressions are diffable across runs).
+
+Suppression
+-----------
+A finding is suppressed by an inline pragma **on the same line**, which
+must carry a reason::
+
+    rng = np.random.default_rng()  # repro-lint: disable=DET01 fixture noise
+
+A pragma without a reason is itself reported (rule ``SUP01``): an
+unexplained suppression is a future determinism bug with extra steps.
+
+The rule catalog lives in :mod:`repro.devtools.rules`; rationale and
+examples are documented in ``docs/correctness.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "SourceModule",
+    "dotted_name",
+    "lint_source",
+    "lint_paths",
+    "main",
+]
+
+#: ``# repro-lint: disable=DET01[, DET02] <reason>``
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*disable="
+    r"(?P<rules>[A-Z]{2,6}\d{2}(?:\s*,\s*[A-Z]{2,6}\d{2})*)"
+    r"(?P<reason>.*)$"
+)
+
+#: A line only *attempts* a pragma when a comment-prefixed ``repro-lint``
+#: marker appears (hash, optional space, tool name); prose that merely
+#: mentions the tool name (docstrings, error messages) is not a pragma.
+_PRAGMA_TRIGGER = re.compile(r"#\s*repro-lint\b")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else.
+
+    The workhorse of every rule: lets a rule match calls like
+    ``np.random.default_rng`` textually without type inference.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class SourceModule:
+    """One parsed module: AST, source lines, and suppression pragmas."""
+
+    def __init__(self, path: str, source: str):
+        #: POSIX-style path; rules match allowlists against its suffix.
+        self.path = str(path).replace("\\", "/")
+        self.source = source
+        self.tree = ast.parse(source, filename=self.path)
+        self.lines = source.splitlines()
+        #: line number → rule ids disabled on that line
+        self.suppressions: dict[int, set[str]] = {}
+        #: findings produced while parsing pragmas (malformed pragmas)
+        self.pragma_findings: list[Finding] = []
+        self._scan_pragmas()
+
+    def _scan_pragmas(self) -> None:
+        for lineno, text in enumerate(self.lines, start=1):
+            trigger = _PRAGMA_TRIGGER.search(text)
+            if trigger is None:
+                continue
+            match = _PRAGMA.search(text)
+            if match is None:
+                self.pragma_findings.append(
+                    Finding(
+                        "SUP01",
+                        self.path,
+                        lineno,
+                        trigger.start(),
+                        "malformed repro-lint pragma (expected "
+                        "'# repro-lint: disable=RULE01 <reason>')",
+                    )
+                )
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",")}
+            if not match.group("reason").strip():
+                self.pragma_findings.append(
+                    Finding(
+                        "SUP01",
+                        self.path,
+                        lineno,
+                        match.start(),
+                        "suppression pragma must state a reason after the "
+                        "rule id",
+                    )
+                )
+                continue
+            self.suppressions.setdefault(lineno, set()).update(rules)
+
+    def suppressed(self, finding: Finding) -> bool:
+        return finding.rule in self.suppressions.get(finding.line, set())
+
+
+class LintRule:
+    """Base class for rules.  Subclasses set the metadata and ``check``."""
+
+    id: str = "XX00"
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: SourceModule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            self.id,
+            module.path,
+            getattr(node, "lineno", 0),
+            getattr(node, "col_offset", 0),
+            message,
+        )
+
+
+def _default_rules() -> "list[LintRule]":
+    from .rules import all_rules
+
+    return all_rules()
+
+
+def lint_module(
+    module: SourceModule, rules: "Sequence[LintRule] | None" = None
+) -> list[Finding]:
+    """All unsuppressed findings for one parsed module."""
+    findings = list(module.pragma_findings)
+    for rule in rules if rules is not None else _default_rules():
+        for finding in rule.check(module):
+            if not module.suppressed(finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: "Sequence[LintRule] | None" = None,
+) -> list[Finding]:
+    """Lint a source string (the test suite's entry point)."""
+    return lint_module(SourceModule(path, source), rules)
+
+
+def _iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {raw}")
+
+
+def lint_paths(
+    paths: Iterable[str], rules: "Sequence[LintRule] | None" = None
+) -> tuple[list[Finding], int]:
+    """Lint files/trees; returns ``(findings, files_checked)``.
+
+    A file that fails to parse contributes one ``LNT00`` finding rather
+    than aborting the run — the linter must degrade per-file.
+    """
+    if rules is None:
+        rules = _default_rules()
+    findings: list[Finding] = []
+    n_files = 0
+    for file_path in _iter_python_files(paths):
+        n_files += 1
+        text = file_path.read_text(encoding="utf-8")
+        try:
+            module = SourceModule(str(file_path), text)
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    "LNT00",
+                    str(file_path).replace("\\", "/"),
+                    exc.lineno or 0,
+                    exc.offset or 0,
+                    f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        findings.extend(lint_module(module, rules))
+    return findings, n_files
+
+
+def _write_report(report_path: str, findings: list[Finding], n_files: int) -> None:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload = {
+        "version": 1,
+        "files_checked": n_files,
+        "counts": dict(sorted(counts.items())),
+        "findings": [f.to_json() for f in findings],
+    }
+    Path(report_path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Check repo-specific determinism & concurrency invariants.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"])
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        help="also write a JSON report (the CI artifact)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    args = parser.parse_args(argv)
+
+    rules = _default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.title}")
+        return 0
+    if args.rules:
+        wanted = {r.strip() for r in args.rules.split(",")}
+        unknown = wanted - {rule.id for rule in rules}
+        if unknown:
+            parser.error(f"unknown rule ids: {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.id in wanted]
+
+    findings, n_files = lint_paths(args.paths, rules)
+    for finding in findings:
+        print(finding.format())
+    if args.report:
+        _write_report(args.report, findings, n_files)
+    status = "clean" if not findings else f"{len(findings)} finding(s)"
+    print(f"repro-lint: {status} in {n_files} file(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

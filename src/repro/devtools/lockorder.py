@@ -1,0 +1,347 @@
+"""Runtime lock-order cycle detection — a pure-python TSan-lite.
+
+Deadlocks need two ingredients: locks held while taking other locks, and
+two threads doing so in opposite orders.  The second ingredient almost
+never shows up in a test run (the interleaving is rare by nature), but
+the *order inversion* that enables it shows up every time the code paths
+execute at all.  :class:`LockOrderMonitor` exploits that: it wraps every
+lock the repo creates, records a directed edge ``held → acquired``
+whenever a thread takes a lock while holding another, and at the end of
+the test session checks the accumulated lock-order graph for cycles.  A
+cycle is a deadlock waiting for the right interleaving — reported with
+the acquisition stacks that created each edge, even though the run
+itself never hung.
+
+Installation monkeypatches the ``threading.Lock`` / ``threading.RLock``
+/ ``threading.Condition`` factories.  Only locks created *by repro
+code* are instrumented: the factory inspects the caller's module name
+and leaves stdlib machinery (``concurrent.futures``, ``queue``,
+``threading.Timer`` internals, …) on native primitives, so the overhead
+and the graph stay scoped to the code under audit.  The exec test suite
+installs the monitor session-wide via ``tests/exec/conftest.py``.
+
+>>> monitor = LockOrderMonitor()
+>>> monitor.install()
+>>> try:
+...     import threading
+...     a, b = threading.Lock(), threading.Lock()  # wrapped: repro caller?
+... finally:
+...     monitor.uninstall()
+>>> monitor.assert_no_cycles()  # no nesting happened: trivially clean
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import traceback
+from typing import Any, Callable, Iterator
+
+__all__ = ["LockOrderError", "LockOrderMonitor", "TrackedLock"]
+
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+_REAL_CONDITION = threading.Condition
+
+
+class LockOrderError(AssertionError):
+    """A cycle exists in the recorded lock-order graph."""
+
+
+def _call_site(depth: int) -> str:
+    frame = sys._getframe(depth)
+    return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+class TrackedLock:
+    """A lock/RLock proxy reporting acquisitions to its monitor.
+
+    Supports the full lock protocol (``acquire``/``release``, context
+    manager, ``locked``) plus the private hooks ``threading.Condition``
+    needs (``_release_save`` / ``_acquire_restore`` / ``_is_owned``), so
+    a tracked lock can back a condition variable transparently.
+    """
+
+    __slots__ = ("_inner", "_monitor", "uid", "site", "reentrant")
+
+    def __init__(
+        self,
+        inner: Any,
+        monitor: "LockOrderMonitor",
+        uid: int,
+        site: str,
+        reentrant: bool,
+    ):
+        self._inner = inner
+        self._monitor = monitor
+        self.uid = uid
+        self.site = site
+        self.reentrant = reentrant
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._monitor._note_acquired(self)
+        return acquired
+
+    def release(self) -> None:
+        self._monitor._note_released(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        inner_locked = getattr(self._inner, "locked", None)
+        if inner_locked is not None:
+            return bool(inner_locked())
+        # RLock before 3.12 has no locked(); probe non-blockingly.
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __enter__(self) -> "TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    # -- threading.Condition integration --------------------------------
+    def _release_save(self) -> Any:
+        self._monitor._note_released(self, fully=True)
+        saver = getattr(self._inner, "_release_save", None)
+        if saver is not None:
+            return saver()
+        self._inner.release()
+        return None
+
+    def _acquire_restore(self, state: Any) -> None:
+        restorer = getattr(self._inner, "_acquire_restore", None)
+        if restorer is not None:
+            restorer(state)
+        else:
+            self._inner.acquire()
+        self._monitor._note_acquired(self, restored=state)
+
+    def _is_owned(self) -> bool:
+        owned = getattr(self._inner, "_is_owned", None)
+        if owned is not None:
+            return bool(owned())
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "RLock" if self.reentrant else "Lock"
+        return f"Tracked{kind}(uid={self.uid}, created at {self.site})"
+
+
+class _HeldState(threading.local):
+    """Per-thread acquisition state: lock uids in order, with counts."""
+
+    def __init__(self) -> None:
+        self.stack: list[int] = []
+        self.counts: dict[int, int] = {}
+
+
+class LockOrderMonitor:
+    """Records the process-wide lock-order graph of repro-created locks.
+
+    Parameters
+    ----------
+    module_prefixes:
+        Locks are instrumented only when ``threading.Lock()`` (or RLock /
+        Condition) is called from a module whose ``__name__`` starts with
+        one of these prefixes.  Defaults to ``("repro.",)`` — the code
+        under audit — leaving stdlib internals on native primitives.
+    """
+
+    def __init__(self, module_prefixes: tuple[str, ...] = ("repro.",)):
+        self.module_prefixes = tuple(module_prefixes)
+        #: guards _edges/_sites/_next_uid; a *native* lock — the monitor
+        #: must never instrument itself.
+        self._meta = _REAL_LOCK()
+        #: (held uid, acquired uid) → human-readable first-seen evidence
+        self._edges: dict[tuple[int, int], str] = {}
+        #: uid → creation site of the lock
+        self._sites: dict[int, str] = {}
+        self._next_uid = 1
+        self._held = _HeldState()
+        self._installed = False
+
+    # -- monkeypatching ---------------------------------------------------
+    def _should_track(self) -> bool:
+        caller = sys._getframe(2).f_globals.get("__name__", "")
+        return isinstance(caller, str) and caller.startswith(
+            self.module_prefixes
+        )
+
+    def _new_tracked(self, inner: Any, reentrant: bool, site: str) -> TrackedLock:
+        with self._meta:
+            uid = self._next_uid
+            self._next_uid += 1
+            self._sites[uid] = site
+        return TrackedLock(inner, self, uid, site, reentrant)
+
+    def install(self) -> None:
+        """Patch the ``threading`` lock factories (idempotence guarded)."""
+        if self._installed:
+            raise RuntimeError("LockOrderMonitor is already installed")
+
+        def make_lock() -> Any:
+            if self._should_track():
+                return self._new_tracked(_REAL_LOCK(), False, _call_site(2))
+            return _REAL_LOCK()
+
+        def make_rlock() -> Any:
+            if self._should_track():
+                return self._new_tracked(_REAL_RLOCK(), True, _call_site(2))
+            return _REAL_RLOCK()
+
+        def make_condition(lock: Any = None) -> Any:
+            if lock is None and self._should_track():
+                lock = self._new_tracked(_REAL_RLOCK(), True, _call_site(2))
+            return _REAL_CONDITION(lock)
+
+        threading.Lock = make_lock  # type: ignore[assignment]
+        threading.RLock = make_rlock  # type: ignore[assignment]
+        threading.Condition = make_condition  # type: ignore[assignment, misc]
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Restore the native factories (already-created wrappers keep
+        delegating; their recording is harmless after the session)."""
+        if not self._installed:
+            return
+        threading.Lock = _REAL_LOCK  # type: ignore[assignment]
+        threading.RLock = _REAL_RLOCK  # type: ignore[assignment]
+        threading.Condition = _REAL_CONDITION  # type: ignore[assignment, misc]
+        self._installed = False
+
+    # -- event recording --------------------------------------------------
+    def _note_acquired(self, lock: TrackedLock, restored: Any = None) -> None:
+        held = self._held
+        count = held.counts.get(lock.uid, 0)
+        if count and lock.reentrant:
+            # Reentrant re-acquisition adds no ordering information.
+            held.counts[lock.uid] = count + 1
+            return
+        new_edges = [
+            (uid, lock.uid)
+            for uid in held.counts
+            if uid != lock.uid and (uid, lock.uid) not in self._edges
+        ]
+        if new_edges:
+            stack = "".join(traceback.format_stack(sys._getframe(2), limit=6))
+            with self._meta:
+                for edge in new_edges:
+                    self._edges.setdefault(
+                        edge,
+                        f"thread {threading.current_thread().name!r} "
+                        f"acquired {self._describe(edge[1])} while holding "
+                        f"{self._describe(edge[0])}:\n{stack}",
+                    )
+        held.counts[lock.uid] = count + 1
+        held.stack.append(lock.uid)
+
+    def _note_released(self, lock: TrackedLock, fully: bool = False) -> None:
+        held = self._held
+        count = held.counts.get(lock.uid, 0)
+        if count == 0:
+            return  # released by a thread the monitor never saw acquire
+        count = 0 if fully else count - 1
+        if count:
+            held.counts[lock.uid] = count
+        else:
+            held.counts.pop(lock.uid, None)
+            for index in range(len(held.stack) - 1, -1, -1):
+                if held.stack[index] == lock.uid:
+                    del held.stack[index]
+                    break
+
+    def _describe(self, uid: int) -> str:
+        return f"lock#{uid} (created at {self._sites.get(uid, '?')})"
+
+    # -- graph queries -----------------------------------------------------
+    def edges(self) -> dict[tuple[int, int], str]:
+        """A snapshot of the recorded order graph (edge → evidence)."""
+        with self._meta:
+            return dict(self._edges)
+
+    def find_cycle(self) -> "list[int] | None":
+        """Some cycle in the order graph as a uid list, or ``None``."""
+        edges = self.edges()
+        adjacency: dict[int, list[int]] = {}
+        for source, target in edges:
+            adjacency.setdefault(source, []).append(target)
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: dict[int, int] = {}
+        parent: dict[int, int] = {}
+
+        def dfs(root: int) -> "list[int] | None":
+            stack: list[tuple[int, Iterator[int]]] = [
+                (root, iter(adjacency.get(root, ())))
+            ]
+            color[root] = GRAY
+            while stack:
+                node, children = stack[-1]
+                advanced = False
+                for child in children:
+                    if color.get(child, WHITE) == GRAY:
+                        cycle = [child, node]
+                        walker = node
+                        while walker != child:
+                            walker = parent[walker]
+                            cycle.append(walker)
+                        cycle.reverse()
+                        return cycle
+                    if color.get(child, WHITE) == WHITE:
+                        color[child] = GRAY
+                        parent[child] = node
+                        stack.append((child, iter(adjacency.get(child, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+            return None
+
+        for node in adjacency:
+            if color.get(node, WHITE) == WHITE:
+                cycle = dfs(node)
+                if cycle is not None:
+                    return cycle
+        return None
+
+    def assert_no_cycles(self) -> None:
+        """Raise :class:`LockOrderError` when an order inversion exists."""
+        cycle = self.find_cycle()
+        if cycle is None:
+            return
+        edges = self.edges()
+        lines = [
+            "lock-order cycle detected (a deadlock awaiting the right "
+            "interleaving):",
+            " -> ".join(self._describe(uid) for uid in cycle + cycle[:1]),
+            "",
+        ]
+        for source, target in zip(cycle, cycle[1:] + cycle[:1]):
+            evidence = edges.get((source, target))
+            if evidence:
+                lines.append(evidence)
+        raise LockOrderError("\n".join(lines))
+
+
+def install_for_tests(
+    module_prefixes: tuple[str, ...] = ("repro.",),
+) -> Callable[[], None]:
+    """Convenience used by conftest fixtures: install, return a finalizer
+    that uninstalls and asserts the graph is acyclic."""
+    monitor = LockOrderMonitor(module_prefixes)
+    monitor.install()
+
+    def finalize() -> None:
+        monitor.uninstall()
+        monitor.assert_no_cycles()
+
+    return finalize

@@ -1,0 +1,192 @@
+"""BAT01 — the vectorized fast-path contract must be declared in pairs.
+
+The engine's ``vectorized=True`` fast path dispatches on
+``supports_batch`` / ``supports_batch_keys`` *flags* and calls the
+``batch_decisions`` / ``batch_keys`` *methods*.  The failure modes are
+asymmetric and both silent-ish:
+
+* flag set, method missing → every vectorized batch falls back to scalar
+  simulation (correct numbers, silently forfeited speedup) or raises at
+  dispatch, depending on how the method is missing;
+* method implemented, flag unset → the fast path never runs, and the
+  batched implementation rots untested (the exact class of bug PR 5
+  fixed by hand in the key-synthesis pairs).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import Finding, LintRule, SourceModule
+from . import base_names
+
+__all__ = ["BatchContractRule"]
+
+_PAIRS = (
+    ("supports_batch", "batch_decisions"),
+    ("supports_batch_keys", "batch_keys"),
+)
+_CONTRACT_NAMES = {name for pair in _PAIRS for name in pair}
+
+
+def _own_flags(cls: ast.ClassDef) -> dict[str, "bool | None"]:
+    """Flag assignments in the class body: name → constant value.
+
+    Non-constant assignments map to ``None`` (unknown — never flagged)."""
+    flags: dict[str, "bool | None"] = {}
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            names = [t.id for t in stmt.targets if isinstance(t, ast.Name)]
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            names = [stmt.target.id] if isinstance(stmt.target, ast.Name) else []
+            value = stmt.value
+        else:
+            continue
+        for name in names:
+            if name in {"supports_batch", "supports_batch_keys"}:
+                if isinstance(value, ast.Constant) and isinstance(value.value, bool):
+                    flags[name] = value.value
+                else:
+                    flags[name] = None
+    return flags
+
+
+def _is_abstract_stub(fn: ast.FunctionDef) -> bool:
+    """True for bodies that just raise NotImplementedError (the base-class
+    stub pattern) — declaring the contract, not implementing it."""
+    body = [
+        stmt
+        for stmt in fn.body
+        if not (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        )
+    ]
+    if len(body) != 1 or not isinstance(body[0], ast.Raise):
+        return False
+    exc = body[0].exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    return isinstance(exc, ast.Name) and exc.id == "NotImplementedError"
+
+
+def _own_methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in cls.body
+        if isinstance(stmt, ast.FunctionDef)
+        and stmt.name in {"batch_decisions", "batch_keys"}
+        and not _is_abstract_stub(stmt)
+    }
+
+
+class BatchContractRule(LintRule):
+    """BAT01 — supports_batch* iff the matching batch_* method exists."""
+
+    id = "BAT01"
+    title = "supports_batch*/batch_* must be declared together"
+    rationale = (
+        "a flag without its method breaks vectorized dispatch; a method "
+        "without its flag never runs and rots untested."
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        classes = [
+            n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)
+        ]
+        by_name = {cls.name: cls for cls in classes}
+        for cls in classes:
+            # Only examine classes that participate in the contract at
+            # all — a class that mentions neither flag nor method has
+            # nothing to pair.
+            own_flags = _own_flags(cls)
+            own_methods = _own_methods(cls)
+            if not own_flags and not own_methods:
+                continue
+            effective_flags, effective_methods = self._resolve_chain(
+                cls, by_name
+            )
+            for flag_name, method_name in _PAIRS:
+                flag = effective_flags.get(flag_name)
+                has_method = method_name in effective_methods
+                if flag is True and not has_method:
+                    yield self.finding(
+                        module,
+                        cls,
+                        f"{cls.name} sets {flag_name}=True but neither it "
+                        f"nor an in-module ancestor implements "
+                        f"{method_name}()",
+                    )
+                if (
+                    method_name in own_methods
+                    and flag is not True
+                    and not self._flagged_descendant(cls, by_name, flag_name)
+                ):
+                    yield self.finding(
+                        module,
+                        own_methods[method_name],
+                        f"{cls.name} implements {method_name}() but "
+                        f"{flag_name} is not set to True — the engine "
+                        "will never dispatch to it",
+                    )
+
+    @classmethod
+    def _flagged_descendant(
+        cls,
+        base: ast.ClassDef,
+        by_name: dict[str, ast.ClassDef],
+        flag_name: str,
+    ) -> bool:
+        """True when an in-module subclass of ``base`` resolves the flag
+        to True — ``base`` is then a shared-implementation mixin whose
+        method IS dispatched, through that subclass."""
+        for other in by_name.values():
+            if other.name == base.name:
+                continue
+            flags, _ = cls._resolve_chain(other, by_name)
+            if flags.get(flag_name) is not True:
+                continue
+            # Walk other's chain to see whether it passes through base.
+            seen: set[str] = set()
+            current: "ast.ClassDef | None" = other
+            while current is not None and current.name not in seen:
+                seen.add(current.name)
+                if current.name == base.name:
+                    return True
+                current = next(
+                    (
+                        by_name[b]
+                        for b in base_names(current)
+                        if b in by_name
+                    ),
+                    None,
+                )
+        return False
+
+    @staticmethod
+    def _resolve_chain(
+        cls: ast.ClassDef, by_name: dict[str, ast.ClassDef]
+    ) -> tuple[dict[str, "bool | None"], set[str]]:
+        """Flags/methods effective on ``cls``, following in-module bases
+        (nearest definition wins, single-inheritance approximation)."""
+        flags: dict[str, "bool | None"] = {}
+        methods: set[str] = set()
+        seen: set[str] = set()
+        current: "ast.ClassDef | None" = cls
+        while current is not None and current.name not in seen:
+            seen.add(current.name)
+            for name, value in _own_flags(current).items():
+                flags.setdefault(name, value)
+            methods.update(_own_methods(current))
+            current = next(
+                (
+                    by_name[base]
+                    for base in base_names(current)
+                    if base in by_name
+                ),
+                None,
+            )
+        return flags, methods

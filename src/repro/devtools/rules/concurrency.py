@@ -1,0 +1,112 @@
+"""Concurrency rules: EXC01 (pickle quarantine), EXC02 (lock discipline).
+
+EXC01: ``pickle.loads`` executes arbitrary constructors; the worker
+protocol's trust boundary is documented in exactly one place —
+:mod:`repro.exec.wire` — where frame size limits and the trusted-network
+caveat live.  A stray ``loads`` anywhere else silently widens that
+boundary.
+
+EXC02: every lock in :mod:`repro.exec` must be held via ``with`` so that
+no exception path can leak a held lock (a leaked lock is a deadlock that
+reproduces only under failure injection).  The runtime complement is
+:mod:`repro.devtools.lockorder`, which checks acquisition *order*.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import Finding, LintRule, SourceModule, dotted_name
+
+__all__ = ["PickleQuarantineRule", "BareAcquireRule"]
+
+#: The one module allowed to deserialize wire frames.
+_WIRE_PATHS = ("repro/exec/wire.py",)
+
+_PICKLE_LOADERS = {"loads", "load", "Unpickler"}
+
+
+class PickleQuarantineRule(LintRule):
+    """EXC01 — frame deserialization only inside repro.exec.wire."""
+
+    id = "EXC01"
+    title = "no pickle.loads outside the quarantined wire module"
+    rationale = (
+        "unpickling executes arbitrary code; repro.exec.wire is the one "
+        "audited entry point (size-capped frames, trusted-network "
+        "caveat).  Deserializing anywhere else widens the trust "
+        "boundary invisibly."
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.path.endswith(_WIRE_PATHS):
+            return
+        pickle_roots = {"pickle"}
+        from_imports: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in {"pickle", "cPickle"}:
+                        pickle_roots.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module == "pickle":
+                for alias in node.names:
+                    if alias.name in _PICKLE_LOADERS:
+                        from_imports.add(alias.asname or alias.name)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            root, _, attr = name.partition(".")
+            is_loader = (root in pickle_roots and attr in _PICKLE_LOADERS) or (
+                "." not in name and name in from_imports
+            )
+            if is_loader:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name}() outside repro.exec.wire — route frame "
+                    "deserialization through the quarantined wire module",
+                )
+
+
+class BareAcquireRule(LintRule):
+    """EXC02 — locks in repro.exec are held via context managers only."""
+
+    id = "EXC02"
+    title = "no bare lock.acquire()/release() in repro.exec"
+    rationale = (
+        "a bare acquire/release pair leaks the lock on any exception "
+        "path between them; `with lock:` cannot.  The lock-order "
+        "checker (repro.devtools.lockorder) assumes balanced "
+        "acquisition, which `with` guarantees."
+    )
+
+    #: Only the executor layer is in scope: its locks guard cross-thread
+    #: state (schedulers, pools, publication tables) where a leak hangs
+    #: a whole batch.
+    _SCOPE = "repro/exec/"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if self._SCOPE not in module.path:
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in {"acquire", "release"}
+            ):
+                # Lock acquire/release is nullary (timeouts aside, which
+                # `with` also covers); a call with positional arguments is
+                # some other protocol (e.g. an input store's release(digest)).
+                if node.args or node.keywords:
+                    continue
+                receiver = dotted_name(node.func.value) or "<lock>"
+                yield self.finding(
+                    module,
+                    node,
+                    f"bare {receiver}.{node.func.attr}() — hold locks via "
+                    "'with lock:' so exception paths cannot leak them",
+                )

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.processor import ProcessorContext
 from ..core.protocol import Protocol
+from ..core.randomness import expand_seed
 
 __all__ = [
     "DegreeThresholdDistinguisher",
@@ -138,7 +139,7 @@ class RandomParityProbe(Protocol):
 
     @staticmethod
     def _derive_probes(n_rounds: int, row_length: int, seed: int) -> np.ndarray:
-        rng = np.random.default_rng(seed)
+        rng = expand_seed(seed)
         return rng.integers(0, 2, size=(n_rounds, row_length), dtype=np.uint8)
 
     def num_rounds(self, n: int) -> int:

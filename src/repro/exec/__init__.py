@@ -24,6 +24,10 @@ with every estimator, sweep, and benchmark that already takes
   worker** instead of once per batch (:class:`PublishedInput` is the
   wire handle), bit-identical to serial execution thanks to per-trial
   ``SeedSequence.spawn`` seeding;
+* :mod:`repro.exec.wire` — the quarantined frame codec
+  (``8-byte big-endian length || pickle``): the one module allowed to
+  deserialize wire bytes (lint rule ``EXC01``), keeping the protocol's
+  trust boundary in a single auditable place;
 * :mod:`repro.exec.sweep` — :class:`SweepDriver`, resumable (JSONL
   checkpoint journal) adaptive (confidence-interval-targeted) grid
   sweeps over asynchronous batches, with priority-queued scheduling and
@@ -45,6 +49,7 @@ from .sweep import (
     load_journal,
     params_key,
 )
+from .wire import MAX_FRAME_BYTES, recv_frame, send_frame
 from .worker import PublishedInput
 
 __all__ = [
@@ -56,6 +61,9 @@ __all__ = [
     "DistributedExecutor",
     "LoopbackWorker",
     "PublishedInput",
+    "MAX_FRAME_BYTES",
+    "send_frame",
+    "recv_frame",
     "SweepDriver",
     "append_journal",
     "default_trial_values",

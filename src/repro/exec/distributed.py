@@ -45,7 +45,8 @@ import numpy as np
 
 from ..core.engine import Executor, _DigestCache
 from .stealing import ChunkScheduler
-from .worker import PublishedInput, recv_frame, send_frame, serve
+from .wire import recv_frame, send_frame
+from .worker import PublishedInput, serve
 
 __all__ = ["DistributedExecutor", "LoopbackWorker"]
 
@@ -577,7 +578,7 @@ class DistributedExecutor(Executor):
     def __enter__(self) -> "DistributedExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -642,5 +643,5 @@ class LoopbackWorker:
     def __enter__(self) -> "LoopbackWorker":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()

@@ -1,0 +1,73 @@
+"""The wire protocol: length-prefixed pickle frames — **quarantined**.
+
+This is the one module in the repo allowed to deserialize wire bytes
+(lint rule ``EXC01`` enforces the quarantine): every trust-boundary
+decision about the task-frame protocol lives here, in one auditable
+place.
+
+Frames are ``8-byte big-endian length || pickle``.  The payload is an
+arbitrary pickled object — including callables the worker *executes* —
+so the protocol is a compute-fabric protocol for trusted networks and
+trusted clients, exactly like ``multiprocessing`` workers, and not a
+public service.  The guards this module does provide are against
+*corruption*, not malice:
+
+* a frame length beyond :data:`MAX_FRAME_BYTES` is refused before any
+  allocation happens (a corrupt prefix would otherwise ask for
+  petabytes);
+* truncated frames surface as :class:`ConnectionError`, never as a
+  partial unpickle.
+
+>>> import socket
+>>> left, right = socket.socketpair()
+>>> send_frame(left, ("ping",))
+>>> recv_frame(right)
+('ping',)
+>>> left.close(); right.close()
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any
+
+__all__ = ["MAX_FRAME_BYTES", "send_frame", "recv_frame"]
+
+_LENGTH = struct.Struct(">Q")
+
+#: Refuse frames beyond this size (a corrupt length prefix would
+#: otherwise ask us to allocate petabytes).
+MAX_FRAME_BYTES = 1 << 32
+
+
+def send_frame(sock: socket.socket, obj: Any) -> None:
+    """Pickle ``obj`` and write it as one length-prefixed frame."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
+    chunks = []
+    remaining = n_bytes
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Any:
+    """Read one length-prefixed frame; raise ``ConnectionError`` on EOF."""
+    header = sock.recv(_LENGTH.size)
+    if not header:
+        raise ConnectionError("peer closed the connection")
+    if len(header) < _LENGTH.size:
+        header += _recv_exact(sock, _LENGTH.size - len(header))
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionError(f"frame of {length} bytes exceeds protocol limit")
+    return pickle.loads(_recv_exact(sock, length))

@@ -19,7 +19,9 @@ carries a sequence of length-prefixed pickle frames:
   matrix (sent by ``DistributedExecutor.close``);
 * closing the connection ends the session.
 
-Frames are ``8-byte big-endian length || pickle``.  The payload is an
+Frames are ``8-byte big-endian length || pickle``, read and written by
+the quarantined :mod:`repro.exec.wire` module (the one place allowed to
+unpickle wire bytes — lint rule ``EXC01``).  The payload is an
 arbitrary pickled callable, which the worker *executes* — run workers
 only on trusted networks for trusted clients, exactly like
 ``multiprocessing`` workers (this is a compute-fabric protocol, not a
@@ -48,56 +50,31 @@ hosts the same loop on a background thread.
 from __future__ import annotations
 
 import argparse
-import pickle
 import socket
-import struct
 import threading
 import time
 import traceback
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
 from ..core.engine import _create_shared_segment, _SharedInput
+from .wire import MAX_FRAME_BYTES, recv_frame, send_frame
 
-__all__ = ["PublishedInput", "send_frame", "recv_frame", "serve", "main"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import ProcessPoolExecutor
 
-_LENGTH = struct.Struct(">Q")
-
-#: Refuse frames beyond this size (a corrupt length prefix would
-#: otherwise ask us to allocate petabytes).
-MAX_FRAME_BYTES = 1 << 32
-
-
-def send_frame(sock: socket.socket, obj: Any) -> None:
-    """Pickle ``obj`` and write it as one length-prefixed frame."""
-    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_LENGTH.pack(len(payload)) + payload)
-
-
-def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
-    chunks = []
-    remaining = n_bytes
-    while remaining:
-        chunk = sock.recv(min(remaining, 1 << 20))
-        if not chunk:
-            raise ConnectionError("peer closed the connection mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
-
-
-def recv_frame(sock: socket.socket) -> Any:
-    """Read one length-prefixed frame; raise ``ConnectionError`` on EOF."""
-    header = sock.recv(_LENGTH.size)
-    if not header:
-        raise ConnectionError("peer closed the connection")
-    if len(header) < _LENGTH.size:
-        header += _recv_exact(sock, _LENGTH.size - len(header))
-    (length,) = _LENGTH.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ConnectionError(f"frame of {length} bytes exceeds protocol limit")
-    return pickle.loads(_recv_exact(sock, length))
+#: ``send_frame`` / ``recv_frame`` are re-exported for backward
+#: compatibility; they live in :mod:`repro.exec.wire` (the quarantined
+#: deserialization module) as of the devtools lint pass.
+__all__ = [
+    "PublishedInput",
+    "MAX_FRAME_BYTES",
+    "send_frame",
+    "recv_frame",
+    "serve",
+    "main",
+]
 
 
 class PublishedInput:
@@ -165,13 +142,13 @@ class PublishedInput:
             self._array = self._shared.attach()
         return self._array
 
-    def __getstate__(self):
+    def __getstate__(self) -> tuple[Any, ...]:
         # Prefer the segment reference when present: the array itself
         # must not ride along too.
         array = None if self._shared is not None else self._array
         return (self.digest, self.shape, self.dtype_str, array, self._shared)
 
-    def __setstate__(self, state):
+    def __setstate__(self, state: tuple[Any, ...]) -> None:
         (self.digest, self.shape, self.dtype_str, self._array, self._shared) = state
 
 
@@ -274,7 +251,11 @@ class _InputStore:
                 self._unlink(digest)
 
 
-def _run_chunk(fn: Callable[[Any], Any], items: list[Any], pool) -> list[Any]:
+def _run_chunk(
+    fn: Callable[[Any], Any],
+    items: list[Any],
+    pool: "ProcessPoolExecutor | None",
+) -> list[Any]:
     if pool is None:
         return [fn(item) for item in items]
     return list(pool.map(fn, items))
@@ -282,7 +263,7 @@ def _run_chunk(fn: Callable[[Any], Any], items: list[Any], pool) -> list[Any]:
 
 def _handle_connection(
     conn: socket.socket,
-    pool,
+    pool: "ProcessPoolExecutor | None",
     max_requests: int | None,
     input_store: _InputStore,
     request_delay: float = 0.0,

@@ -33,7 +33,7 @@ from ..core.engine import (
     resolve_executor,
 )
 from ..core.protocol import Protocol
-from ..core.randomness import PublicCoins
+from ..core.randomness import PublicCoins, expand_seed
 from ..core.simulator import ExecutionResult, run_protocol
 
 __all__ = [
@@ -86,7 +86,7 @@ class NewmanCompiled:
         self.master_seed = master_seed
         # The fixed family of shared strings, chosen once (Theorem A.1
         # guarantees a random family is good with probability >= 0.9).
-        family_rng = np.random.default_rng(master_seed)
+        family_rng = expand_seed(master_seed)
         self.family_seeds = [
             int(s) for s in family_rng.integers(0, 2**63, size=t_family)
         ]
@@ -104,7 +104,7 @@ class NewmanCompiled:
         """One execution: draw the public index, replay family string ``i``."""
         public = PublicCoins(rng)
         index = public.draw_int(self.public_bits) % self.t_family
-        replay_rng = np.random.default_rng(self.family_seeds[index])
+        replay_rng = expand_seed(self.family_seeds[index])
         result = run_protocol(
             self.protocol,
             inputs,

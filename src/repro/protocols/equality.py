@@ -27,6 +27,7 @@ import numpy as np
 
 from ..core.processor import ProcessorContext
 from ..core.protocol import Protocol, require_bits
+from ..core.randomness import expand_seed
 
 __all__ = [
     "DeterministicEqualityProtocol",
@@ -144,7 +145,7 @@ class FingerprintEqualityProtocol(Protocol):
                     "FingerprintEqualityProtocol needs a public_coins source"
                 )
             seed = proc.public_coins.draw_int(32)
-            expand = np.random.default_rng(seed)
+            expand = expand_seed(seed)
             self._probes = expand.integers(
                 0, 2, size=(self.t_probes, self.m), dtype=np.uint8
             )

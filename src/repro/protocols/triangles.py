@@ -27,6 +27,7 @@ import numpy as np
 
 from ..core.processor import ProcessorContext
 from ..core.protocol import Protocol
+from ..core.randomness import expand_seed
 
 __all__ = [
     "count_triangles",
@@ -147,7 +148,7 @@ class SampledTriangleProtocol(Protocol):
                     "SampledTriangleProtocol needs a public_coins source"
                 )
             seed = proc.public_coins.draw_int(32)
-            expand = np.random.default_rng(seed)
+            expand = expand_seed(seed)
             triples = []
             while len(triples) < self.t_probes:
                 u, v, w = (int(x) for x in expand.choice(self.n, 3, replace=False))

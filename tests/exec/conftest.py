@@ -1,0 +1,36 @@
+"""Lock-order instrumentation for the executor test suite.
+
+Every test under ``tests/exec`` runs with ``threading.Lock`` / ``RLock`` /
+``Condition`` construction monkeypatched (for ``repro.*`` callers only) by
+:class:`repro.devtools.lockorder.LockOrderMonitor`.  The monitor records a
+``held → acquired`` edge for every nested acquisition across every thread;
+at session teardown the accumulated graph must be acyclic, otherwise two
+code paths take the same pair of locks in opposite orders — a deadlock
+waiting for the right interleaving.
+
+The check is cumulative across the whole ``tests/exec`` session on
+purpose: cycles between locks acquired by *different tests* (e.g. a pool
+test and a distributed test sharing the scheduler lock) are exactly the
+interleavings a per-test check would miss.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import pytest
+
+from repro.devtools.lockorder import LockOrderMonitor
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_order_monitor() -> Iterator[LockOrderMonitor]:
+    monitor = LockOrderMonitor(module_prefixes=("repro.",))
+    monitor.install()
+    try:
+        yield monitor
+    finally:
+        monitor.uninstall()
+    # Checked after uninstall so a failure here cannot leave the patched
+    # factories installed for unrelated test sessions.
+    monitor.assert_no_cycles()

@@ -90,7 +90,11 @@ def iter_calls_with_class(
 def all_rules() -> list[LintRule]:
     """The full catalog, in reporting order."""
     from .batching import BatchContractRule
-    from .concurrency import BareAcquireRule, PickleQuarantineRule
+    from .concurrency import (
+        BareAcquireRule,
+        PickleQuarantineRule,
+        SilentExceptRule,
+    )
     from .determinism import AmbientRandomnessRule, FrozenSpecMutationRule
 
     return [
@@ -99,4 +103,5 @@ def all_rules() -> list[LintRule]:
         BatchContractRule(),
         PickleQuarantineRule(),
         BareAcquireRule(),
+        SilentExceptRule(),
     ]

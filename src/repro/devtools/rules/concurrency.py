@@ -1,4 +1,5 @@
-"""Concurrency rules: EXC01 (pickle quarantine), EXC02 (lock discipline).
+"""Concurrency rules: EXC01 (pickle quarantine), EXC02 (lock discipline),
+EXC03 (no silent exception swallows).
 
 EXC01: ``pickle.loads`` executes arbitrary constructors; the worker
 protocol's trust boundary is documented in exactly one place —
@@ -10,6 +11,14 @@ EXC02: every lock in :mod:`repro.exec` must be held via ``with`` so that
 no exception path can leak a held lock (a leaked lock is a deadlock that
 reproduces only under failure injection).  The runtime complement is
 :mod:`repro.devtools.lockorder`, which checks acquisition *order*.
+
+EXC03: an ``except:`` whose whole body is ``pass`` discards a failure
+with no trace — the exact bug class the fault-injection harness exists
+to surface (a swallowed transport error becomes silent wrong behaviour
+under chaos).  Handled failures in :mod:`repro.exec` must do *something*
+observable: record telemetry, return a sentinel, re-raise typed.  A
+handler that genuinely must ignore (and can say why) carries a
+same-line ``# repro-lint: disable=EXC03 <reason>`` pragma.
 """
 
 from __future__ import annotations
@@ -19,7 +28,7 @@ from typing import Iterator
 
 from ..lint import Finding, LintRule, SourceModule, dotted_name
 
-__all__ = ["PickleQuarantineRule", "BareAcquireRule"]
+__all__ = ["PickleQuarantineRule", "BareAcquireRule", "SilentExceptRule"]
 
 #: The one module allowed to deserialize wire frames.
 _WIRE_PATHS = ("repro/exec/wire.py",)
@@ -110,3 +119,54 @@ class BareAcquireRule(LintRule):
                     f"bare {receiver}.{node.func.attr}() — hold locks via "
                     "'with lock:' so exception paths cannot leak them",
                 )
+
+
+class SilentExceptRule(LintRule):
+    """EXC03 — no reason-less silent ``except: pass`` in repro.exec."""
+
+    id = "EXC03"
+    title = "no silent except-pass swallows in repro.exec"
+    rationale = (
+        "an except body of bare `pass` erases a failure with no "
+        "telemetry, no sentinel, no trace — under fault injection that "
+        "is exactly how a dead worker turns into silent wrong output.  "
+        "Record the failure (ErrorTelemetry), return early, or re-raise "
+        "typed; a handler that truly must ignore carries a same-line "
+        "pragma stating why."
+    )
+
+    #: The executor layer only: its swallowed exceptions are transport
+    #: and liveness failures that the robustness machinery must count.
+    _SCOPE = "repro/exec/"
+
+    @staticmethod
+    def _is_silent(body: list[ast.stmt]) -> bool:
+        if len(body) != 1:
+            return False
+        only = body[0]
+        if isinstance(only, ast.Pass):
+            return True
+        # `...` as a statement is the same silence in different clothes.
+        return (
+            isinstance(only, ast.Expr)
+            and isinstance(only.value, ast.Constant)
+            and only.value.value is Ellipsis
+        )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if self._SCOPE not in module.path:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_silent(node.body):
+                continue
+            caught = (
+                dotted_name(node.type) if node.type is not None else None
+            ) or "<bare>"
+            yield self.finding(
+                module,
+                node,
+                f"except {caught}: pass swallows the failure silently — "
+                "record it (telemetry), handle it, or re-raise typed",
+            )

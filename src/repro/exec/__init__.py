@@ -27,19 +27,52 @@ with every estimator, sweep, and benchmark that already takes
 * :mod:`repro.exec.wire` — the quarantined frame codec
   (``8-byte big-endian length || pickle``): the one module allowed to
   deserialize wire bytes (lint rule ``EXC01``), keeping the protocol's
-  trust boundary in a single auditable place;
+  trust boundary in a single auditable place, with typed frame errors
+  (:class:`WireProtocolError` / :class:`TruncatedFrameError` /
+  :class:`CorruptFrameError`) so damaged frames can never surface as a
+  silent partial decode;
+* :mod:`repro.exec.health` — the failure model's machinery:
+  :class:`HealthBoard` (per-worker ``healthy → suspect → dead``
+  liveness), :class:`ErrorTelemetry` (per-worker failure counters),
+  :class:`RetryPolicy` (bounded backoff with deterministic seed-derived
+  jitter), and the loud degradation types
+  (:class:`FleetDegradedWarning`, :class:`WorkerTimeoutError`);
+* :mod:`repro.exec.faults` — deterministic, replayable fault injection:
+  :class:`FaultPlan` (a pure function of a seed, JSON round-trip for
+  replay) and :class:`FaultInjector` (crashes, refusals, torn/corrupt
+  frames, slow links, lost publishes, hangs), wired into the worker
+  serve loop and ``python -m repro.exec.worker --fault-plan``;
 * :mod:`repro.exec.sweep` — :class:`SweepDriver`, resumable (JSONL
   checkpoint journal) adaptive (confidence-interval-targeted) grid
-  sweeps over asynchronous batches, with priority-queued scheduling and
-  cooperative preemption of adaptive top-up batches.
+  sweeps over asynchronous batches, with priority-queued scheduling,
+  cooperative preemption of adaptive top-up batches, and bounded
+  seed-identical retry of batches lost to fleet outages.
 
-See ``docs/architecture.md`` for the engine contract this builds on and
+See ``docs/architecture.md`` for the engine contract this builds on,
 ``docs/scaling.md`` for the scheduling, wire-protocol, and journal
-internals.
+internals, and ``docs/robustness.md`` for the failure model and the
+fault-injection harness.
 """
 
 from .distributed import DistributedExecutor, LoopbackWorker
+from .faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
 from .futures import BatchFuture, as_completed
+from .health import (
+    DEAD,
+    HEALTHY,
+    SUSPECT,
+    ErrorTelemetry,
+    FleetDegradedWarning,
+    HealthBoard,
+    RetryPolicy,
+    WorkerHealth,
+    WorkerTimeoutError,
+)
 from .pool import WorkerPool
 from .stealing import Chunk, ChunkScheduler
 from .sweep import (
@@ -49,7 +82,14 @@ from .sweep import (
     load_journal,
     params_key,
 )
-from .wire import MAX_FRAME_BYTES, recv_frame, send_frame
+from .wire import (
+    MAX_FRAME_BYTES,
+    CorruptFrameError,
+    TruncatedFrameError,
+    WireProtocolError,
+    recv_frame,
+    send_frame,
+)
 from .worker import PublishedInput
 
 __all__ = [
@@ -64,6 +104,22 @@ __all__ = [
     "MAX_FRAME_BYTES",
     "send_frame",
     "recv_frame",
+    "WireProtocolError",
+    "TruncatedFrameError",
+    "CorruptFrameError",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "HEALTHY",
+    "SUSPECT",
+    "DEAD",
+    "WorkerHealth",
+    "HealthBoard",
+    "ErrorTelemetry",
+    "RetryPolicy",
+    "FleetDegradedWarning",
+    "WorkerTimeoutError",
     "SweepDriver",
     "append_journal",
     "default_trial_values",

@@ -18,9 +18,28 @@ finishes when the work runs out rather than when the slowest host does
 (``scheduling="static"`` restores the pure round-robin plan).  A worker
 that disconnects mid-batch has its unfinished chunks redistributed to
 the surviving workers, and when every worker is gone the remainder runs
-locally (with a warning) — a batch never fails because the fleet shrank.
-Task exceptions, by contrast, are shipped back and re-raised exactly
-like a local executor would.
+locally (with a loud :class:`~repro.exec.health.FleetDegradedWarning`) —
+a batch never fails because the fleet shrank.  Task exceptions, by
+contrast, are shipped back and re-raised exactly like a local executor
+would.
+
+The failure model is tested, not aspirational (``docs/robustness.md``):
+a per-map **heartbeat monitor** probes every worker on fresh
+connections and drives the ``healthy → suspect → dead`` state machine
+of :class:`~repro.exec.health.HealthBoard`, so a *hung* worker — one
+whose accept queue still completes TCP handshakes while the process
+answers nothing — is detected within the suspect window instead of
+stalling a batch until its socket dies; each chunk carries a finite
+deadline (``task_timeout``, default 300 s) and a timed-out chunk is
+requeued to the survivors; failed lanes are retried a bounded number of
+times with exponential backoff whose jitter is deterministic
+(seed-derived — replayable schedules, no retry stampede); and every
+handled failure lands in :class:`~repro.exec.health.ErrorTelemetry`
+(``executor.telemetry``) rather than an ``except: pass``.  Under any
+fault schedule the deterministic fault-injection harness
+(:mod:`repro.exec.faults`) can produce, results are bit-identical to
+:class:`~repro.core.engine.SerialExecutor` or the failure is a loud
+typed error — never silent partial output.
 
 Large **fixed input matrices** are not re-pickled into every map frame:
 the executor publishes them once per worker (``publish_inputs`` frames,
@@ -38,17 +57,40 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 import warnings
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 import numpy as np
 
 from ..core.engine import Executor, _DigestCache
+from .health import (
+    DEAD,
+    ErrorTelemetry,
+    FleetDegradedWarning,
+    HealthBoard,
+    RetryPolicy,
+    WorkerTimeoutError,
+)
 from .stealing import ChunkScheduler
-from .wire import recv_frame, send_frame
+from .wire import CorruptFrameError, recv_frame, send_frame
 from .worker import PublishedInput, serve
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .faults import FaultInjector
+
 __all__ = ["DistributedExecutor", "LoopbackWorker"]
+
+
+def _failure_category(exc: BaseException) -> str:
+    """The telemetry category a handled lane failure is recorded under."""
+    if isinstance(exc, WorkerTimeoutError):
+        return "timeout"
+    if isinstance(exc, CorruptFrameError):
+        return "corrupt"
+    if isinstance(exc, (ConnectionError, OSError, EOFError)):
+        return "transport"
+    return "protocol"
 
 
 def _parse_address(address: "str | tuple[str, int]") -> tuple[str, int]:
@@ -70,52 +112,106 @@ def _parse_address(address: "str | tuple[str, int]") -> tuple[str, int]:
 
 
 class _WorkerLink:
-    """One client connection, lazily (re)connected per map call."""
+    """One client connection, lazily (re)connected per map call.
+
+    ``connect_retries`` extra connection attempts are made (spaced by
+    the deterministic ``retry_policy`` backoff) before the link reports
+    itself unreachable; every handled failure is recorded in
+    ``telemetry`` under the link's worker address.
+    """
 
     def __init__(
         self,
         address: tuple[str, int],
         connect_timeout: float,
         task_timeout: float | None = None,
+        lane: int = 0,
+        telemetry: "ErrorTelemetry | None" = None,
+        retry_policy: "RetryPolicy | None" = None,
+        connect_retries: int = 0,
     ):
         self.address = address
         self.connect_timeout = connect_timeout
         self.task_timeout = task_timeout
+        self.lane = lane
+        self.telemetry = telemetry
+        self.retry_policy = retry_policy
+        self.connect_retries = connect_retries
         self.sock: socket.socket | None = None
+
+    def _record(self, category: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.record(self.address, category)
 
     def ensure_connected(self) -> bool:
         if self.sock is not None:
             return True
-        try:
-            sock = socket.create_connection(
-                self.address, timeout=self.connect_timeout
-            )
-            # No task_timeout means frames block until completion; TCP
-            # keepalive still surfaces a silently-partitioned peer
-            # eventually instead of hanging the batch forever.
-            sock.settimeout(self.task_timeout)
-            sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
-            self.sock = sock
-            return True
-        except OSError:
-            return False
+        attempts = self.connect_retries + 1
+        for attempt in range(attempts):
+            try:
+                sock = socket.create_connection(
+                    self.address, timeout=self.connect_timeout
+                )
+                # task_timeout bounds every frame round-trip (the
+                # per-chunk deadline); TCP keepalive additionally
+                # surfaces a silently-partitioned peer when the caller
+                # opted into task_timeout=None.
+                sock.settimeout(self.task_timeout)
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+                self.sock = sock
+                return True
+            except OSError:
+                self._record("connect")
+                if attempt + 1 < attempts and self.retry_policy is not None:
+                    time.sleep(self.retry_policy.delay(attempt, lane=self.lane))
+        return False
 
     def request(self, payload: Any) -> Any:
-        """One round-trip; raises ``ConnectionError`` on transport failure."""
-        assert self.sock is not None
+        """One round-trip; raises ``ConnectionError`` on transport failure.
+
+        The error is typed by diagnosis: a frame that takes longer than
+        ``task_timeout`` raises
+        :class:`~repro.exec.health.WorkerTimeoutError`; a damaged frame
+        raises a :class:`~repro.exec.wire.WireProtocolError` subclass;
+        everything else surfaces as plain :class:`ConnectionError`.  All
+        are ``ConnectionError`` subclasses, so callers can handle
+        transport failure uniformly and still tell the cases apart.
+        """
+        sock = self.sock
+        if sock is None:
+            # The heartbeat monitor dropped this link concurrently (the
+            # worker was declared dead mid-request).
+            raise ConnectionError(f"link to {self.address} was dropped")
         try:
-            send_frame(self.sock, payload)
-            return recv_frame(self.sock)
+            send_frame(sock, payload)
+            return recv_frame(sock)
+        except ConnectionError:
+            raise  # already typed (includes the WireProtocolError family)
+        except TimeoutError as exc:
+            raise WorkerTimeoutError(
+                f"worker {self.address[0]}:{self.address[1]} exceeded "
+                f"task_timeout={self.task_timeout}s answering a frame"
+            ) from exc
         except (OSError, EOFError) as exc:
             raise ConnectionError(str(exc)) from exc
 
     def drop(self) -> None:
         sock, self.sock = self.sock, None
         if sock is not None:
+            # shutdown() before close(): closing an fd does not wake a
+            # thread blocked in recv() on it, shutdown() does — this is
+            # what lets the heartbeat monitor unblock a feeder stuck on
+            # a hung worker long before task_timeout.
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:  # repro-lint: disable=EXC03 ENOTCONN on an already-reset peer is the normal path
+                pass
             try:
                 sock.close()
             except OSError:
-                pass
+                # Nothing to salvage on a socket that will not even
+                # close, but the failure is still counted.
+                self._record("close")
 
 
 class DistributedExecutor(Executor):
@@ -137,12 +233,41 @@ class DistributedExecutor(Executor):
     connect_timeout:
         Seconds to wait when (re)establishing a worker connection.
     task_timeout:
-        Seconds a worker may take to answer one chunk before the link is
-        treated as failed and the chunk redistributed.  ``None`` (the
-        default) waits indefinitely — protocols have unbounded runtimes —
-        relying on TCP keepalive to surface silent partitions; set it
-        when chunk runtimes are predictable and hung workers must not
-        stall a batch.
+        Seconds a worker may take to answer one chunk before the link
+        raises :class:`~repro.exec.health.WorkerTimeoutError` and the
+        chunk is requeued to a surviving lane.  The default is a
+        **finite** 300 seconds — a hung worker can no longer stall
+        ``submit_batch`` forever; batches whose single chunks
+        legitimately run longer should raise it.  ``None`` waits
+        indefinitely, relying on TCP keepalive and the heartbeat
+        monitor to surface dead and hung peers.
+    heartbeat_interval:
+        Seconds between liveness probes while a map call is in flight.
+        The monitor pings every worker on a *fresh* connection (a hung
+        serve loop still completes TCP handshakes, so probing the
+        in-flight socket would prove nothing), records the outcome on
+        :attr:`health`, and once a worker is declared dead forcibly
+        drops its in-flight link — unblocking a feeder stuck waiting on
+        a wedged process within
+        ``dead_after * heartbeat_interval + probe timeout`` rather than
+        after ``task_timeout``.  ``None`` disables the monitor.
+    suspect_after / dead_after:
+        Consecutive misses (heartbeat or chunk failures) before a
+        worker is *suspect*, respectively *dead*, on :attr:`health`.
+    connect_retries:
+        Extra connection attempts per link before a worker counts as
+        unreachable, spaced by the deterministic backoff below.
+    lane_retries:
+        Times a failed lane is resurrected (reconnected and handed
+        chunks again) within one map call before it stays dead.  A
+        worker the heartbeat declared dead is never resurrected.
+    backoff_base / backoff_cap / retry_seed:
+        Retry backoff: attempt ``n`` waits
+        ``min(cap, base * 2**n) * jitter`` seconds, with jitter drawn
+        deterministically from ``retry_seed`` via the sanctioned
+        :func:`~repro.core.randomness.expand_seed` helper
+        (:class:`~repro.exec.health.RetryPolicy`) — retry schedules are
+        replayable and never perturb results.
     local_fallback:
         Run chunks locally when no worker can take them (all
         disconnected / unreachable).  ``False`` raises instead — for
@@ -184,16 +309,29 @@ class DistributedExecutor(Executor):
 
     name = "distributed"
 
+    #: Documented finite default for :attr:`task_timeout` — a hung
+    #: worker stalls one chunk for at most this long before the chunk
+    #: is requeued elsewhere.
+    DEFAULT_TASK_TIMEOUT = 300.0
+
     def __init__(
         self,
         addresses: Iterable["str | tuple[str, int]"],
         chunksize: int | None = None,
         connect_timeout: float = 5.0,
-        task_timeout: float | None = None,
+        task_timeout: float | None = DEFAULT_TASK_TIMEOUT,
         local_fallback: bool = True,
         scheduling: str = "steal",
         share_inputs_min_bytes: int = 1 << 16,
         max_cached_inputs: int = 32,
+        heartbeat_interval: float | None = 5.0,
+        suspect_after: int = 1,
+        dead_after: int = 3,
+        connect_retries: int = 1,
+        lane_retries: int = 1,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        retry_seed: int = 0,
     ):
         parsed = [_parse_address(address) for address in addresses]
         if not parsed:
@@ -208,6 +346,12 @@ class DistributedExecutor(Executor):
             raise ValueError("share_inputs_min_bytes must be >= 1")
         if max_cached_inputs < 1:
             raise ValueError("max_cached_inputs must be >= 1")
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive (or None)")
+        if connect_retries < 0:
+            raise ValueError("connect_retries must be >= 0")
+        if lane_retries < 0:
+            raise ValueError("lane_retries must be >= 0")
         self._addresses = parsed
         self.connect_timeout = connect_timeout
         self.task_timeout = task_timeout
@@ -216,6 +360,19 @@ class DistributedExecutor(Executor):
         self.scheduling = scheduling
         self.share_inputs_min_bytes = share_inputs_min_bytes
         self.max_cached_inputs = max_cached_inputs
+        self.heartbeat_interval = heartbeat_interval
+        self.connect_retries = connect_retries
+        self.lane_retries = lane_retries
+        #: Per-worker liveness state machine (healthy → suspect → dead),
+        #: driven by heartbeat probes and per-chunk failures.
+        self.health = HealthBoard(suspect_after=suspect_after, dead_after=dead_after)
+        #: Per-worker, per-category counters of every *handled* failure
+        #: (connect, transport, timeout, corrupt, heartbeat, ping,
+        #: release, close, protocol) — nothing is silently swallowed.
+        self.telemetry = ErrorTelemetry()
+        self._retry_policy = RetryPolicy(
+            seed=retry_seed, base=backoff_base, cap=backoff_cap
+        )
         #: Published-input bookkeeping: the matrices themselves (digest →
         #: array, LRU-bounded by ``max_cached_inputs``, for lazy
         #: per-worker publication and local fallback), and which workers
@@ -232,10 +389,15 @@ class DistributedExecutor(Executor):
         #: not each ship the same matrix to the same worker (the second
         #: sender waits, then sees the ack and skips).
         self._publish_send_locks: dict[tuple[str, int], threading.Lock] = {}
-        #: Telemetry: ``publish_inputs`` frames actually sent, and chunks
-        #: acquired by stealing in the most recent map call.
+        #: Telemetry: ``publish_inputs`` frames actually sent; chunks
+        #: acquired by stealing and chunks requeued by failed lanes in
+        #: the most recent map call; map calls that degraded to local
+        #: execution (each also warns with
+        #: :class:`~repro.exec.health.FleetDegradedWarning`).
         self.publish_frames_sent = 0
         self.last_map_steals = 0
+        self.last_map_requeues = 0
+        self.degraded_maps = 0
 
     @property
     def addresses(self) -> list[tuple[str, int]]:
@@ -249,13 +411,51 @@ class DistributedExecutor(Executor):
         workers accept one handler thread per connection.
         """
         return [
-            _WorkerLink(address, self.connect_timeout, self.task_timeout)
-            for address in self._addresses
+            _WorkerLink(
+                address,
+                self.connect_timeout,
+                self.task_timeout,
+                lane=lane,
+                telemetry=self.telemetry,
+                retry_policy=self._retry_policy,
+                connect_retries=self.connect_retries,
+            )
+            for lane, address in enumerate(self._addresses)
         ]
 
     # -- liveness -------------------------------------------------------
+    def _probe(self, address: tuple[str, int], lane: int) -> bool:
+        """One single-attempt liveness probe on a fresh connection.
+
+        The probe's frame deadline is the heartbeat interval (falling
+        back to ``connect_timeout``), so a hung worker — which happily
+        completes the TCP handshake — costs one bounded timeout, not a
+        stalled monitor.
+        """
+        deadline = self.heartbeat_interval or self.connect_timeout
+        probe = _WorkerLink(
+            address,
+            self.connect_timeout,
+            task_timeout=deadline,
+            lane=lane,
+            telemetry=self.telemetry,
+        )
+        if not probe.ensure_connected():
+            return False
+        try:
+            return probe.request(("ping",))[0] == "pong"
+        except ConnectionError:
+            return False
+        finally:
+            probe.drop()
+
     def ping(self) -> list[bool]:
-        """Probe every worker; True per worker that answered."""
+        """Probe every worker; True per worker that answered.
+
+        Each probe's outcome also lands on :attr:`health` (an explicit
+        ping is a liveness observation like any heartbeat) and failures
+        are counted in :attr:`telemetry` under ``"ping"``.
+        """
         alive = []
         for link in self._fresh_links():
             ok = False
@@ -263,9 +463,13 @@ class DistributedExecutor(Executor):
                 try:
                     ok = link.request(("ping",))[0] == "pong"
                 except ConnectionError:
-                    pass
+                    self.telemetry.record(link.address, "ping")
                 finally:
                     link.drop()
+            if ok:
+                self.health.record_ok(link.address)
+            else:
+                self.health.record_miss(link.address, reason="ping")
             alive.append(ok)
         return alive
 
@@ -418,6 +622,9 @@ class DistributedExecutor(Executor):
         lock = threading.Lock()
         task_error: list[BaseException] = []
         dead: set[int] = set()
+        #: lane → times it was killed this map call; resurrection is
+        #: allowed while the count stays within ``lane_retries``.
+        attempts: dict[int, int] = {}
         shared = getattr(fn, "shared_input", None)
         handle = shared if isinstance(shared, PublishedInput) else None
 
@@ -427,10 +634,15 @@ class DistributedExecutor(Executor):
             The retire happens under the map lock so concurrent lane
             deaths serialize: a later kill sees every chunk an earlier
             one parked, and nothing is ever dealt onto a lane that is
-            already dead (which static mode would strand).
+            already dead (which static mode would strand).  Re-killing
+            an already-dead lane retires again — a chunk requeued onto
+            it by a feeder that unblocked *after* the first kill must
+            still migrate to the survivors.
             """
             with lock:
-                dead.add(index)
+                if index not in dead:
+                    dead.add(index)
+                    attempts[index] = attempts.get(index, 0) + 1
                 survivors = [i for i in range(len(links)) if i not in dead]
                 scheduler.retire_lane(index, survivors)
 
@@ -481,13 +693,17 @@ class DistributedExecutor(Executor):
                             f"short reply: {len(payload)} results for "
                             f"{len(chunk)} tasks"
                         )
-                except Exception:  # noqa: BLE001 - any transport/protocol
-                    # failure (dropped socket, corrupt pickle, malformed
-                    # reply): the chunk's fate is unknown, but tasks are
-                    # pure, so rerunning it elsewhere is safe.  The link
-                    # sits out the rest of this map call (it may reconnect
-                    # on the next one); its queued chunks move to the
-                    # survivors.
+                except Exception as exc:  # noqa: BLE001 - any transport/
+                    # protocol failure (dropped socket, chunk deadline,
+                    # corrupt frame, malformed reply): the chunk's fate
+                    # is unknown, but tasks are pure, so rerunning it
+                    # elsewhere is safe.  The failure is categorized
+                    # into telemetry and counts as a liveness miss; the
+                    # lane sits out until (maybe) resurrected, and its
+                    # queued chunks move to the survivors.
+                    category = _failure_category(exc)
+                    self.telemetry.record(link.address, category)
+                    self.health.record_miss(link.address, reason=category)
                     link.drop()
                     scheduler.requeue(chunk, index)
                     kill_lane(index)
@@ -495,34 +711,93 @@ class DistributedExecutor(Executor):
                 with lock:
                     results[chunk.start : chunk.start + len(chunk)] = payload
                 scheduler.mark_done(chunk)
+                self.health.record_ok(link.address)
+
+        stop_monitor = threading.Event()
+
+        def monitor() -> None:
+            """Heartbeat: probe workers, declare the unresponsive dead.
+
+            Probes ride *fresh* connections — a hung serve loop still
+            completes TCP handshakes on the in-flight socket, so only
+            an independent request can tell hung from busy.  A worker
+            the board declares dead gets its in-flight link dropped,
+            which unblocks a feeder waiting on a wedged process long
+            before ``task_timeout`` would.
+            """
+            while not stop_monitor.wait(self.heartbeat_interval):
+                for index, link in enumerate(links):
+                    if stop_monitor.is_set():
+                        return
+                    address = link.address
+                    if self.health.is_dead(address):
+                        continue
+                    if self._probe(address, index):
+                        self.health.record_ok(address)
+                        continue
+                    self.telemetry.record(address, "heartbeat")
+                    state = self.health.record_miss(address, reason="heartbeat")
+                    if state == DEAD and not stop_monitor.is_set():
+                        link.drop()
+                        kill_lane(index)
+
+        monitor_thread: "threading.Thread | None" = None
+        if self.heartbeat_interval is not None:
+            monitor_thread = threading.Thread(target=monitor, daemon=True)
+            monitor_thread.start()
 
         # Dispatch rounds.  Feeder threads exit when no chunk is
         # available to them, so a chunk re-queued by a worker dying
         # *after* the survivors already left would strand without the
-        # outer loop: each round re-dispatches leftovers over the
-        # still-live links.  A lane that fails to (re)connect is killed
-        # like any other link failure — critically, its dealt chunks
-        # move to the survivors, or static mode would spin forever on
-        # chunks pinned to a lane that never runs.  Every round either
-        # completes a chunk or kills a link, so the loop terminates.
-        while scheduler.pending and not task_error:
-            threads = []
-            for index, link in enumerate(links):
-                if index in dead:
-                    continue
-                if not link.ensure_connected():
-                    kill_lane(index)
-                    continue
-                thread = threading.Thread(
-                    target=feed, args=(index, link), daemon=True
-                )
-                thread.start()
-                threads.append(thread)
-            if not threads:
-                break  # nobody reachable: leftovers go to the fallback
-            for thread in threads:
-                thread.join()
+        # outer loop: each round first resurrects lanes still within
+        # their retry budget (after the deterministic backoff delay),
+        # then re-dispatches leftovers over the live links.  A lane
+        # that fails to (re)connect is killed like any other link
+        # failure — critically, its dealt chunks move to the survivors,
+        # or static mode would spin forever on chunks pinned to a lane
+        # that never runs.  Every round either completes a chunk or
+        # permanently burns a lane attempt (``attempts`` only grows,
+        # bounded by ``lane_retries``), so the loop terminates.
+        try:
+            while scheduler.pending and not task_error:
+                with lock:
+                    revivable = [
+                        index
+                        for index in sorted(dead)
+                        if attempts.get(index, 0) <= self.lane_retries
+                        and not self.health.is_dead(links[index].address)
+                    ]
+                for index in revivable:
+                    time.sleep(
+                        self._retry_policy.delay(
+                            max(attempts.get(index, 1) - 1, 0), lane=index
+                        )
+                    )
+                    with lock:
+                        dead.discard(index)
+                threads = []
+                for index, link in enumerate(links):
+                    with lock:
+                        if index in dead:
+                            continue
+                    if not link.ensure_connected():
+                        kill_lane(index)
+                        continue
+                    thread = threading.Thread(
+                        target=feed, args=(index, link), daemon=True
+                    )
+                    thread.start()
+                    threads.append(thread)
+                if not threads:
+                    break  # nobody reachable: leftovers go to the fallback
+                for thread in threads:
+                    thread.join()
+        finally:
+            stop_monitor.set()
+            if monitor_thread is not None:
+                monitor_thread.join(timeout=1.0)
         self.last_map_steals = scheduler.total_steals()
+        self.last_map_requeues = scheduler.total_requeues()
 
         if task_error:
             raise task_error[0]
@@ -534,10 +809,11 @@ class DistributedExecutor(Executor):
                     f"{len(leftovers)} task chunks undelivered and no "
                     "distributed worker is reachable"
                 )
+            self.degraded_maps += 1
             warnings.warn(
                 f"no distributed worker reachable; running {len(leftovers)} "
                 "remaining chunks locally",
-                RuntimeWarning,
+                FleetDegradedWarning,
                 stacklevel=2,
             )
             self._bind_local(fn)
@@ -564,14 +840,22 @@ class DistributedExecutor(Executor):
         for address, digests in acked.items():
             if not digests:
                 continue
-            link = _WorkerLink(address, self.connect_timeout, self.task_timeout)
+            link = _WorkerLink(
+                address,
+                self.connect_timeout,
+                self.task_timeout,
+                telemetry=self.telemetry,
+            )
             if not link.ensure_connected():
                 continue
             try:
                 for digest in digests:
                     link.request(("release_inputs", digest))
             except ConnectionError:
-                pass
+                # Best-effort by design (the worker's cache dies with
+                # its process anyway) — but the failure is counted, not
+                # swallowed.
+                self.telemetry.record(address, "release")
             finally:
                 link.drop()
 
@@ -596,6 +880,10 @@ class LoopbackWorker:
     that long before each map frame — latency injection turning this
     worker into the slow host of a synthetic heterogeneous fleet (how
     ``benchmarks/bench_exec_steal.py`` builds its straggler).
+    ``fault_injector`` arms the serve loop with a full deterministic
+    :class:`~repro.exec.faults.FaultPlan` schedule — crashes, torn and
+    corrupt frames, refusals, lost publishes, hangs — which is how the
+    fault-matrix conformance suite drives in-process chaos.
     """
 
     def __init__(
@@ -603,6 +891,7 @@ class LoopbackWorker:
         max_requests_per_connection: int | None = None,
         request_delay: float = 0.0,
         max_cached_inputs: int = 32,
+        fault_injector: "FaultInjector | None" = None,
     ):
         self._stop = threading.Event()
         ready = threading.Event()
@@ -622,6 +911,7 @@ class LoopbackWorker:
                 max_requests_per_connection=max_requests_per_connection,
                 request_delay=request_delay,
                 max_cached_inputs=max_cached_inputs,
+                fault_injector=fault_injector,
             ),
             daemon=True,
         )

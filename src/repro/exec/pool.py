@@ -62,6 +62,7 @@ from ..core.engine import (
     _create_shared_segment,
     _evict_shared_attachment,
 )
+from .health import FleetDegradedWarning
 from .stealing import ChunkScheduler
 
 __all__ = ["WorkerPool"]
@@ -157,6 +158,12 @@ class WorkerPool(Executor):
         self._segments: dict[str, tuple[_shared_memory.SharedMemory, _SharedInput]] = {}
         #: Memoizes content digests of fixed inputs across batches.
         self._digest_cache = _DigestCache()
+        #: Telemetry: pools discarded because a worker process died, and
+        #: batches that degraded to in-process serial execution (each of
+        #: the latter also warns with
+        #: :class:`~repro.exec.health.FleetDegradedWarning`).
+        self.broken_pools = 0
+        self.degraded_batches = 0
 
     # -- pool lifecycle -------------------------------------------------
     @property
@@ -248,15 +255,17 @@ class WorkerPool(Executor):
                     # the whole batch once on a rebuilt pool, then give up
                     # on parallelism rather than on the batch.
                     last_exc = exc
+                    self.broken_pools += 1
                     with self._lock:
                         if self._pool is pool:
                             self._discard_pool()
                         if attempt == 0:
                             pool = self._ensure_pool()
+            self.degraded_batches += 1
             warnings.warn(
                 f"WorkerPool running batch serially "
                 f"({type(last_exc).__name__}: {last_exc})",
-                RuntimeWarning,
+                FleetDegradedWarning,
                 stacklevel=2,
             )
             return [fn(item) for item in items]

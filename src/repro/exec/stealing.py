@@ -111,6 +111,9 @@ class ChunkScheduler:
         self._outstanding = len(chunks)  # queued + running
         #: Telemetry: how many chunks each lane acquired by stealing.
         self.steals: list[int] = [0] * lanes
+        #: Telemetry: how many chunks each lane returned unfinished
+        #: (lane failure / chunk deadline) via :meth:`requeue`.
+        self.requeues: list[int] = [0] * lanes
 
     # -- consumption ----------------------------------------------------
     def next_chunk(self, lane: int) -> Chunk | None:
@@ -149,6 +152,7 @@ class ChunkScheduler:
         outer dispatch loop handles the static / all-lanes-dead cases.
         """
         with self._lock:
+            self.requeues[lane] += 1
             self._local[lane].appendleft(chunk)
 
     def retire_lane(self, lane: int, survivors: "Sequence[int] | None" = None) -> None:
@@ -208,3 +212,8 @@ class ChunkScheduler:
         """Chunks acquired by stealing, summed over lanes."""
         with self._lock:
             return sum(self.steals)
+
+    def total_requeues(self) -> int:
+        """Chunks returned unfinished by failed lanes, summed over lanes."""
+        with self._lock:
+            return sum(self.requeues)

@@ -90,18 +90,19 @@ def load_journal(path: "str | Path") -> dict[str, dict[str, float]]:
     """
     journal: dict[str, dict[str, float]] = {}
     try:
-        with open(path, "r", encoding="utf-8") as stream:
-            for line in stream:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn tail write from an interrupted run
-                journal[params_key(record["params"])] = record["values"]
+        stream = open(path, "r", encoding="utf-8")
     except FileNotFoundError:
-        pass
+        return journal  # no journal yet: nothing completed
+    with stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail write from an interrupted run
+            journal[params_key(record["params"])] = record["values"]
     return journal
 
 
@@ -149,6 +150,7 @@ class _PointState:
     params: Mapping[str, Any]
     values: list[np.ndarray] = field(default_factory=list)
     batches: int = 0
+    retries: int = 0
 
     @property
     def trials(self) -> int:
@@ -213,6 +215,16 @@ class SweepDriver:
         — behind every not-yet-started point of the same priority —
         instead of resubmitting immediately, so long adaptive tails
         cannot starve short points of the bounded in-flight slots.
+    batch_retries:
+        Times one point's batch is resubmitted after failing with a
+        :class:`ConnectionError` (a fleet outage surfaced by a
+        ``local_fallback=False`` distributed backend) before the sweep
+        gives up and re-raises.  A retried batch reruns the **same**
+        spec — batch ``b`` of point ``i`` is seeded purely by
+        ``(i, b)`` — so values on eventual success are bit-identical to
+        an unfaulted run.  Task errors are never retried (a failing
+        trial is deterministic; retrying cannot fix it).  The driver
+        counts resubmissions in :attr:`retried_batches`.
 
     A fixed-trials sweep over two grid points, smallest ``k`` first:
 
@@ -250,9 +262,12 @@ class SweepDriver:
         seed: int = 0,
         priority: Callable[[Mapping[str, Any]], float] | None = None,
         max_inflight: int | None = None,
+        batch_retries: int = 1,
     ):
         if trials < 1:
             raise ValueError("trials per batch must be >= 1")
+        if batch_retries < 0:
+            raise ValueError("batch_retries must be >= 0")
         if ci_width is not None and ci_width <= 0:
             raise ValueError("ci_width must be positive")
         if max_trials is not None and max_trials < trials:
@@ -275,6 +290,9 @@ class SweepDriver:
         self.seed = seed
         self.priority = priority
         self.max_inflight = max_inflight
+        self.batch_retries = batch_retries
+        #: Telemetry: batches resubmitted after a ConnectionError.
+        self.retried_batches = 0
 
     # -- seeding --------------------------------------------------------
     def _batch_spec(self, params: Mapping[str, Any], index: int, batch: int) -> RunSpec:
@@ -396,9 +414,22 @@ class SweepDriver:
                 for inner in done:
                     future = by_inner[inner]
                     state = pending.pop(future)
-                    state.values.append(
-                        np.asarray(self.trial_values(future.result()))
-                    )
+                    try:
+                        batch = future.result()
+                    except ConnectionError:
+                        # A fleet outage killed the batch before any
+                        # result existed.  Its spec is a pure function
+                        # of (index, batch number) — ``state.batches``
+                        # was not advanced — so the re-enqueued batch
+                        # reruns the identical trials: values are
+                        # bit-identical to an unfaulted run.
+                        if state.retries >= self.batch_retries:
+                            raise
+                        state.retries += 1
+                        self.retried_batches += 1
+                        enqueue(state)
+                        continue
+                    state.values.append(np.asarray(self.trial_values(batch)))
                     state.batches += 1
                     values = self._point_values(state)
                     if self._is_converged(values):

@@ -10,13 +10,23 @@ arbitrary pickled object — including callables the worker *executes* —
 so the protocol is a compute-fabric protocol for trusted networks and
 trusted clients, exactly like ``multiprocessing`` workers, and not a
 public service.  The guards this module does provide are against
-*corruption*, not malice:
+*corruption*, not malice, and every failure is a **typed** error (the
+fault-injection suite asserts a damaged frame can never surface as a
+silent partial decode):
 
 * a frame length beyond :data:`MAX_FRAME_BYTES` is refused before any
   allocation happens (a corrupt prefix would otherwise ask for
-  petabytes);
-* truncated frames surface as :class:`ConnectionError`, never as a
-  partial unpickle.
+  petabytes) — :class:`WireProtocolError`;
+* a connection closed mid-frame surfaces as
+  :class:`TruncatedFrameError`, never as a partial unpickle;
+* payload bytes that fail to decode surface as
+  :class:`CorruptFrameError` — a torn, bit-flipped, or mis-framed
+  payload is a transport failure, and callers treat it exactly like a
+  dropped socket (the chunk is requeued elsewhere).
+
+All three are :class:`ConnectionError` subclasses, so every existing
+``except ConnectionError`` transport path handles them — the subclass
+only adds the diagnosis.
 
 >>> import socket
 >>> left, right = socket.socketpair()
@@ -33,13 +43,32 @@ import socket
 import struct
 from typing import Any
 
-__all__ = ["MAX_FRAME_BYTES", "send_frame", "recv_frame"]
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "WireProtocolError",
+    "TruncatedFrameError",
+    "CorruptFrameError",
+    "send_frame",
+    "recv_frame",
+]
 
 _LENGTH = struct.Struct(">Q")
 
 #: Refuse frames beyond this size (a corrupt length prefix would
 #: otherwise ask us to allocate petabytes).
 MAX_FRAME_BYTES = 1 << 32
+
+
+class WireProtocolError(ConnectionError):
+    """A frame violated the wire protocol (oversized, malformed)."""
+
+
+class TruncatedFrameError(WireProtocolError):
+    """The peer closed the connection in the middle of a frame."""
+
+
+class CorruptFrameError(WireProtocolError):
+    """A full-length frame arrived whose payload failed to decode."""
 
 
 def send_frame(sock: socket.socket, obj: Any) -> None:
@@ -54,14 +83,19 @@ def _recv_exact(sock: socket.socket, n_bytes: int) -> bytes:
     while remaining:
         chunk = sock.recv(min(remaining, 1 << 20))
         if not chunk:
-            raise ConnectionError("peer closed the connection mid-frame")
+            raise TruncatedFrameError("peer closed the connection mid-frame")
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
 
 
 def recv_frame(sock: socket.socket) -> Any:
-    """Read one length-prefixed frame; raise ``ConnectionError`` on EOF."""
+    """Read one length-prefixed frame.
+
+    Raises plain :class:`ConnectionError` on a clean EOF between frames
+    (the peer hung up — the normal end of a session) and the typed
+    subclasses above for everything pathological.
+    """
     header = sock.recv(_LENGTH.size)
     if not header:
         raise ConnectionError("peer closed the connection")
@@ -69,5 +103,14 @@ def recv_frame(sock: socket.socket) -> Any:
         header += _recv_exact(sock, _LENGTH.size - len(header))
     (length,) = _LENGTH.unpack(header)
     if length > MAX_FRAME_BYTES:
-        raise ConnectionError(f"frame of {length} bytes exceeds protocol limit")
-    return pickle.loads(_recv_exact(sock, length))
+        raise WireProtocolError(
+            f"frame of {length} bytes exceeds protocol limit"
+        )
+    payload = _recv_exact(sock, length)
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 - any decode failure is corruption
+        raise CorruptFrameError(
+            f"frame payload of {length} bytes failed to decode "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc

@@ -34,7 +34,10 @@ Run a worker from the command line::
 ``--processes k`` executes tasks through one local process pool of ``k``
 workers shared by every connection, so one remote host contributes up to
 ``k`` cores in total; the default runs tasks inline in each connection's
-serving thread.
+serving thread.  ``--fault-plan plan.json`` (with ``--fault-site``)
+arms the serve loop with a deterministic
+:class:`~repro.exec.faults.FaultPlan` schedule — real-subprocess chaos
+for the conformance suite; see ``docs/robustness.md``.
 :func:`serve` is also importable directly, which is how the in-process
 :class:`~repro.exec.distributed.LoopbackWorker` used by the test-suite
 hosts the same loop on a background thread.
@@ -59,6 +62,7 @@ from typing import TYPE_CHECKING, Any, Callable
 import numpy as np
 
 from ..core.engine import _create_shared_segment, _SharedInput
+from .faults import MANGLE_KINDS, FaultEvent, FaultInjector, FaultPlan, send_mangled
 from .wire import MAX_FRAME_BYTES, recv_frame, send_frame
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -261,12 +265,36 @@ def _run_chunk(
     return list(pool.map(fn, items))
 
 
+#: Frame kind → the fault scope its replies are scheduled under.
+_FRAME_SCOPES = {
+    "ping": "ping",
+    "publish_inputs": "publish",
+    "release_inputs": "release",
+    "map": "map",
+}
+
+
+def _reply(conn: socket.socket, obj: Any, fault: "FaultEvent | None") -> bool:
+    """Send a reply frame, mangled if the planned fault says so.
+
+    Returns ``False`` when the connection must close afterwards (a
+    mangled frame is followed by a close, so the client's decoder sees
+    the damage immediately instead of waiting out a socket timeout).
+    """
+    if fault is not None and fault.kind in MANGLE_KINDS:
+        send_mangled(conn, obj, fault.kind)
+        return False
+    send_frame(conn, obj)
+    return True
+
+
 def _handle_connection(
     conn: socket.socket,
     pool: "ProcessPoolExecutor | None",
     max_requests: int | None,
     input_store: _InputStore,
     request_delay: float = 0.0,
+    fault_injector: "FaultInjector | None" = None,
 ) -> None:
     """Serve one client until it disconnects (or ``max_requests`` frames).
 
@@ -277,28 +305,55 @@ def _handle_connection(
     slow or overloaded host (see ``benchmarks/bench_exec_steal.py``).
     ``input_store`` is the serve loop's digest-keyed store of published
     fixed inputs, shared across this worker's connections.
+    ``fault_injector`` is consulted once per received frame and applies
+    the richer planned-fault vocabulary of :mod:`repro.exec.faults`.
     """
     served = 0
     try:
         while max_requests is None or served < max_requests:
+            if fault_injector is not None and fault_injector.hung:
+                # A wedged process answers nothing on any connection —
+                # including this one, mid-session.
+                fault_injector.wait_while_hung()
+                return
             try:
                 message = recv_frame(conn)
             except ConnectionError:
                 return
             kind = message[0]
+            fault = (
+                fault_injector.next_fault(_FRAME_SCOPES.get(kind, "map"))
+                if fault_injector is not None
+                else None
+            )
+            if fault is not None:
+                if fault.kind == "hang":
+                    fault_injector.hang()
+                    return
+                if fault.kind == "crash":
+                    # Close without replying: the client sees a clean
+                    # mid-request EOF, exactly like a killed process.
+                    return
+                if fault.kind == "slow":
+                    time.sleep(fault.delay)
             if kind == "ping":
-                send_frame(conn, ("pong",))
+                if not _reply(conn, ("pong",), fault):
+                    return
                 continue
             if kind == "publish_inputs":
                 try:
-                    input_store.put(message)
-                    send_frame(conn, ("ok", None))
+                    if fault is None or fault.kind != "lose_publish":
+                        input_store.put(message)
+                    reply: tuple[Any, ...] = ("ok", None)
                 except Exception as exc:  # noqa: BLE001 - shipped back
-                    send_frame(conn, ("err", exc, traceback.format_exc()))
+                    reply = ("err", exc, traceback.format_exc())
+                if not _reply(conn, reply, fault):
+                    return
                 continue
             if kind == "release_inputs":
                 input_store.release(message[1])
-                send_frame(conn, ("ok", None))
+                if not _reply(conn, ("ok", None), fault):
+                    return
                 continue
             if kind != "map":
                 send_frame(
@@ -314,7 +369,8 @@ def _handle_connection(
                     # Tell the client to publish (e.g. this worker
                     # restarted and lost its cache) instead of failing
                     # the chunk.
-                    send_frame(conn, ("need", handle.digest))
+                    if not _reply(conn, ("need", handle.digest), fault):
+                        return
                     continue
                 shared = (
                     input_store.shared_handle(handle.digest)
@@ -327,13 +383,18 @@ def _handle_connection(
                     handle.bind(cached)
             if request_delay > 0.0:
                 time.sleep(request_delay)
+            closing = False
             try:
-                send_frame(conn, ("ok", _run_chunk(fn, items, pool)))
+                closing = not _reply(
+                    conn, ("ok", _run_chunk(fn, items, pool)), fault
+                )
             except Exception as exc:  # noqa: BLE001 - shipped to the client
                 send_frame(conn, ("err", exc, traceback.format_exc()))
             finally:
                 if shared is not None:
                     input_store.done_with_shared(handle.digest)
+            if closing:
+                return
             served += 1
     finally:
         conn.close()
@@ -348,6 +409,7 @@ def serve(
     max_requests_per_connection: int | None = None,
     request_delay: float = 0.0,
     max_cached_inputs: int = 32,
+    fault_injector: "FaultInjector | None" = None,
 ) -> None:
     """Accept connections and execute task frames until ``stop_event`` is set.
 
@@ -356,6 +418,13 @@ def serve(
     workers discover their address.  ``processes > 0`` fans each chunk
     out over a local process pool.  ``request_delay`` injects that many
     seconds of latency before each map frame (a synthetic slow host).
+    ``fault_injector`` arms the loop with a deterministic
+    :class:`~repro.exec.faults.FaultPlan` schedule: it is consulted on
+    every accepted connection (any ``accept``-scope fault closes the
+    connection immediately — the observable shape of a refused or reset
+    connection injected from inside a listening process) and on every
+    received frame; the loop releases any hung connections when it
+    exits.
 
     Published fixed inputs live in a digest-keyed store scoped to this
     serve call: shared by all its connections, LRU-bounded at
@@ -382,6 +451,13 @@ def serve(
                 conn, _addr = server.accept()
             except socket.timeout:
                 continue
+            if fault_injector is not None:
+                accept_fault = fault_injector.next_fault("accept")
+                if accept_fault is not None:
+                    # Whatever the kind, an accept-scope fault denies
+                    # the client this connection ("refuse" in plans).
+                    conn.close()
+                    continue
             thread = threading.Thread(
                 target=_handle_connection,
                 args=(
@@ -390,6 +466,7 @@ def serve(
                     max_requests_per_connection,
                     input_store,
                     request_delay,
+                    fault_injector,
                 ),
                 daemon=True,
             )
@@ -397,6 +474,10 @@ def serve(
             threads.append(thread)
     finally:
         server.close()
+        if fault_injector is not None:
+            # Release connections blocked in the sticky hung state so
+            # their handler threads can exit.
+            fault_injector.stop()
         for thread in threads:
             thread.join(timeout=1.0)
         if pool is not None:
@@ -431,7 +512,27 @@ def main(argv: list[str] | None = None) -> None:
         help="LRU bound on distinct published input matrices kept cached "
         "(evicted digests are transparently republished by clients)",
     )
+    parser.add_argument(
+        "--fault-plan",
+        metavar="FILE",
+        default=None,
+        help="arm the serve loop with a deterministic fault schedule: a "
+        "JSON file written by FaultPlan.to_json() (chaos testing; see "
+        "docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--fault-site",
+        default="worker-0",
+        help="which site's schedule of --fault-plan this worker plays "
+        "(default: worker-0)",
+    )
     args = parser.parse_args(argv)
+
+    injector = None
+    if args.fault_plan is not None:
+        with open(args.fault_plan, encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+        injector = plan.injector(args.fault_site)
 
     def announce(bound: tuple[str, int]) -> None:
         # Printed only once actually listening — with --port 0 this is
@@ -445,6 +546,7 @@ def main(argv: list[str] | None = None) -> None:
         processes=args.processes,
         ready_callback=announce,
         max_cached_inputs=args.max_cached_inputs,
+        fault_injector=injector,
     )
 
 

@@ -351,6 +351,84 @@ class TestEXC02:
 
 
 # ----------------------------------------------------------------------
+# EXC03 — silent except-pass swallows in repro.exec
+# ----------------------------------------------------------------------
+class TestEXC03:
+    def test_flags_typed_except_pass_in_exec(self):
+        src = """
+            def drop(sock):
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        """
+        assert "EXC03" in rules_fired(src, path="src/repro/exec/distributed.py")
+
+    def test_flags_bare_except_pass(self):
+        src = """
+            def probe(link):
+                try:
+                    link.ping()
+                except:
+                    pass
+        """
+        assert "EXC03" in rules_fired(src, path="src/repro/exec/pool.py")
+
+    def test_flags_ellipsis_body(self):
+        src = """
+            def probe(link):
+                try:
+                    link.ping()
+                except ConnectionError:
+                    ...
+        """
+        assert "EXC03" in rules_fired(src, path="src/repro/exec/worker.py")
+
+    def test_out_of_scope_module_not_flagged(self):
+        src = """
+            def load(path):
+                try:
+                    open(path).close()
+                except FileNotFoundError:
+                    pass
+        """
+        assert "EXC03" not in rules_fired(src, path="src/repro/core/engine.py")
+
+    def test_handler_with_real_body_not_flagged(self):
+        src = """
+            def probe(link, telemetry):
+                try:
+                    link.ping()
+                except ConnectionError:
+                    telemetry.record(link.address, "ping")
+        """
+        assert "EXC03" not in rules_fired(src, path="src/repro/exec/distributed.py")
+
+    def test_handler_returning_sentinel_not_flagged(self):
+        src = """
+            def load(path):
+                journal = {}
+                try:
+                    stream = open(path)
+                except FileNotFoundError:
+                    return journal
+                with stream:
+                    return journal
+        """
+        assert "EXC03" not in rules_fired(src, path="src/repro/exec/sweep.py")
+
+    def test_pragma_with_reason_suppresses(self):
+        src = """
+            def drop(sock):
+                try:
+                    sock.close()
+                except OSError:  # repro-lint: disable=EXC03 close is best-effort teardown
+                    pass
+        """
+        assert "EXC03" not in rules_fired(src, path="src/repro/exec/distributed.py")
+
+
+# ----------------------------------------------------------------------
 # Pragmas and framework behaviour
 # ----------------------------------------------------------------------
 class TestPragmas:

@@ -1,6 +1,7 @@
 """Tests for the distributed executor, worker serve loop, and loopback rig."""
 
 import socket
+import time
 from pathlib import Path
 
 import numpy as np
@@ -9,6 +10,8 @@ import pytest
 from repro.core import Engine, RunSpec, SerialExecutor
 from repro.distributions import UniformRows
 from repro.exec import DistributedExecutor, LoopbackWorker
+from repro.exec.faults import FaultEvent, FaultInjector
+from repro.exec.health import DEAD, SUSPECT, FleetDegradedWarning
 from repro.exec.worker import PublishedInput, recv_frame, send_frame
 from repro.lowerbounds import TopSubmatrixRankProtocol
 
@@ -211,6 +214,200 @@ class TestFailover:
             flaky.stop()
             steady.stop()
         assert batch.outputs == golden.outputs
+
+
+class TestRobustness:
+    """The failure-hardening contract: deadlines, heartbeat, telemetry."""
+
+    def test_default_task_timeout_is_finite_and_documented(self):
+        """Satellite regression: submit_batch can no longer hang forever
+        on a wedged worker by default."""
+        assert DistributedExecutor.DEFAULT_TASK_TIMEOUT == 300.0
+        with LoopbackWorker() as worker:
+            with DistributedExecutor([worker.endpoint]) as executor:
+                assert executor.task_timeout == 300.0
+
+    def test_never_replying_worker_hits_chunk_deadline(self):
+        """A worker that accepts the chunk and never answers trips
+        task_timeout; the chunk is requeued and the failure is loud and
+        typed — results still correct."""
+        injector = FaultInjector([FaultEvent("map", 0, "hang")])
+        worker = LoopbackWorker(fault_injector=injector)
+        try:
+            with DistributedExecutor(
+                [worker.endpoint],
+                chunksize=2,
+                task_timeout=0.5,
+                heartbeat_interval=None,
+                lane_retries=0,
+            ) as executor:
+                with pytest.warns(FleetDegradedWarning, match="locally"):
+                    assert executor.map(_square, range(6)) == [
+                        x * x for x in range(6)
+                    ]
+                counts = executor.telemetry.counts()[worker.address]
+                assert counts["timeout"] == 1
+                assert executor.degraded_maps == 1
+                assert executor.last_map_requeues >= 1
+        finally:
+            worker.stop()
+
+    def test_submit_batch_survives_never_replying_worker(self):
+        """The satellite's submit_batch regression: a hung worker stalls
+        one chunk for task_timeout, then the survivors finish the batch
+        bit-identically."""
+        golden = Engine(SerialExecutor()).run_batch(rank_spec(), 8)
+        injector = FaultInjector([FaultEvent("map", 0, "hang")])
+        hung = LoopbackWorker(fault_injector=injector)
+        steady = LoopbackWorker()
+        try:
+            with DistributedExecutor(
+                [hung.endpoint, steady.endpoint],
+                chunksize=2,
+                task_timeout=0.5,
+                heartbeat_interval=None,
+                lane_retries=0,
+            ) as executor:
+                with Engine(executor) as engine:
+                    batch = engine.submit_batch(rank_spec(), 8).result(
+                        timeout=60
+                    )
+                assert executor.telemetry.counts()[hung.address]["timeout"] == 1
+        finally:
+            hung.stop()
+            steady.stop()
+        assert batch.outputs == golden.outputs
+        assert batch.transcript_keys == golden.transcript_keys
+
+    def test_heartbeat_flags_hung_worker_within_suspect_window(self):
+        """The acceptance criterion: with task_timeout far away (30s),
+        only the heartbeat monitor can unblock the feeder — the hung
+        worker must be flagged suspect, then dead, within the configured
+        window, and the batch must finish promptly on the survivor."""
+        injector = FaultInjector([FaultEvent("map", 0, "hang")])
+        hung = LoopbackWorker(fault_injector=injector)
+        steady = LoopbackWorker()
+        try:
+            with DistributedExecutor(
+                [hung.endpoint, steady.endpoint],
+                chunksize=2,
+                task_timeout=30.0,
+                heartbeat_interval=0.1,
+                suspect_after=1,
+                dead_after=2,
+                lane_retries=0,
+            ) as executor:
+                start = time.monotonic()
+                assert executor.map(_square, range(8)) == [
+                    x * x for x in range(8)
+                ]
+                elapsed = time.monotonic() - start
+                # Far below task_timeout: the heartbeat did the work.
+                assert elapsed < 10.0
+                record = executor.health.snapshot()[hung.address]
+                assert record.state == DEAD
+                reasons = [reason for _, _, reason in record.transitions]
+                assert "heartbeat" in reasons
+                assert (
+                    executor.telemetry.counts()[hung.address]["heartbeat"]
+                    >= 2
+                )
+        finally:
+            hung.stop()
+            steady.stop()
+
+    def test_worker_death_after_need_reply_keeps_publish_invariant(self):
+        """Satellite: the worker answers ("need", digest), receives the
+        refill, then crashes before returning the chunk.  The retried
+        lane must find the refilled cache — exactly one publish frame
+        ever, including across the next batch."""
+        spec = fixed_input_spec()
+        golden = Engine(SerialExecutor()).run_batch(spec, 12)
+        injector = FaultInjector([FaultEvent("map", 1, "crash")])
+        worker = LoopbackWorker(fault_injector=injector)
+        try:
+            with DistributedExecutor(
+                [worker.endpoint],
+                share_inputs_min_bytes=1,
+                chunksize=12,
+                heartbeat_interval=None,
+            ) as executor:
+                engine = Engine(executor)
+                # Seed a stale ack: the client believes this (fresh,
+                # empty-cached) worker already holds the digest, so the
+                # first map frame draws the ("need", digest) reply.
+                handle = executor.publish_inputs(spec.inputs)
+                executor._acked[worker.address] = {handle.digest}
+                batch = engine.run_batch(spec, 12)
+                assert batch.outputs == golden.outputs
+                assert batch.transcript_keys == golden.transcript_keys
+                # Exactly one publish frame: the need-path refill.
+                assert executor.publish_frames_sent == 1
+                assert executor.telemetry.counts()[worker.address][
+                    "transport"
+                ] == 1
+                executor.release_inputs(handle)
+                # The next batch reuses the worker's cache: still one.
+                batch = engine.run_batch(spec, 12)
+                assert batch.outputs == golden.outputs
+                assert executor.publish_frames_sent == 1
+        finally:
+            worker.stop()
+
+    def test_corrupt_reply_is_typed_requeued_and_counted(self):
+        injector = FaultInjector([FaultEvent("map", 0, "corrupt")])
+        worker = LoopbackWorker(fault_injector=injector)
+        steady = LoopbackWorker()
+        try:
+            with DistributedExecutor(
+                [worker.endpoint, steady.endpoint],
+                chunksize=2,
+                heartbeat_interval=None,
+            ) as executor:
+                assert executor.map(_square, range(8)) == [
+                    x * x for x in range(8)
+                ]
+                assert executor.telemetry.counts()[worker.address][
+                    "corrupt"
+                ] == 1
+        finally:
+            worker.stop()
+            steady.stop()
+
+    def test_fault_exhaustion_without_fallback_raises_typed(self):
+        """The conformance invariant's loud half: when every retry budget
+        is spent and fallback is off, the failure is a typed
+        ConnectionError — never a silent partial result."""
+        injector = FaultInjector(
+            [FaultEvent("map", op, "crash") for op in range(8)]
+        )
+        worker = LoopbackWorker(fault_injector=injector)
+        try:
+            with DistributedExecutor(
+                [worker.endpoint],
+                chunksize=4,
+                heartbeat_interval=None,
+                lane_retries=1,
+                local_fallback=False,
+            ) as executor:
+                with pytest.raises(ConnectionError):
+                    executor.map(_square, range(8))
+        finally:
+            worker.stop()
+
+    def test_ping_failure_lands_in_telemetry_and_health(self):
+        """The former silent except/pass sites now count every failure."""
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            dead_endpoint = "127.0.0.1:%d" % probe.getsockname()[1]
+        with DistributedExecutor(
+            [dead_endpoint], connect_timeout=0.3
+        ) as executor:
+            assert executor.ping() == [False]
+            address = executor.addresses[0]
+            counts = executor.telemetry.counts()[address]
+            assert counts["connect"] >= 1
+            assert executor.health.state(address) == SUSPECT
 
 
 def fixed_input_spec(seed=3):

@@ -1,0 +1,191 @@
+"""Tests for the deterministic fault-injection harness (repro.exec.faults)."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.exec.faults import (
+    DEFAULT_KINDS,
+    FAULT_KINDS,
+    MANGLE_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    send_mangled,
+)
+from repro.exec.wire import (
+    CorruptFrameError,
+    TruncatedFrameError,
+    WireProtocolError,
+    recv_frame,
+)
+
+
+class TestFaultEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="scope"):
+            FaultEvent("nonsense", 0, "crash")
+        with pytest.raises(ValueError, match="kind"):
+            FaultEvent("map", 0, "meteor")
+        with pytest.raises(ValueError, match="op"):
+            FaultEvent("map", -1, "crash")
+        with pytest.raises(ValueError, match="delay"):
+            FaultEvent("map", 0, "slow", delay=-0.1)
+
+    def test_frozen(self):
+        event = FaultEvent("map", 0, "crash")
+        with pytest.raises(AttributeError):
+            event.kind = "slow"
+
+    def test_vocabulary_is_consistent(self):
+        assert MANGLE_KINDS <= set(FAULT_KINDS)
+        assert set(DEFAULT_KINDS) <= set(FAULT_KINDS)
+        assert "hang" not in DEFAULT_KINDS  # only scheduled explicitly
+
+
+class TestFaultPlan:
+    def test_from_seed_is_deterministic(self):
+        sites = ("worker-0", "worker-1")
+        assert FaultPlan.from_seed(7, sites=sites) == FaultPlan.from_seed(
+            7, sites=sites
+        )
+        assert FaultPlan.from_seed(7, sites=sites) != FaultPlan.from_seed(
+            8, sites=sites
+        )
+
+    def test_json_round_trip_is_exact(self):
+        plan = FaultPlan.from_seed(3, sites=("a", "b"), rate=0.5)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_from_json_rejects_unknown_version(self):
+        with pytest.raises(ValueError, match="version"):
+            FaultPlan.from_json('{"version": 99, "sites": {}}')
+
+    def test_duplicate_schedule_slot_rejected(self):
+        with pytest.raises(ValueError, match="two faults"):
+            FaultPlan(
+                {
+                    "w": [
+                        FaultEvent("map", 0, "crash"),
+                        FaultEvent("map", 0, "slow"),
+                    ]
+                }
+            )
+
+    def test_from_seed_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultPlan.from_seed(0, rate=1.5)
+        with pytest.raises(ValueError, match="horizon"):
+            FaultPlan.from_seed(0, horizon=0)
+        with pytest.raises(ValueError, match="unknown fault kinds"):
+            FaultPlan.from_seed(0, kinds=("crash", "meteor"))
+
+    def test_rate_bounds_event_count(self):
+        empty = FaultPlan.from_seed(0, rate=0.0)
+        assert empty.events("worker-0") == ()
+        # rate=1 schedules one fault at every op of every applicable scope.
+        saturated = FaultPlan.from_seed(0, rate=1.0, horizon=4)
+        ops = {
+            (event.scope, event.op)
+            for event in saturated.events("worker-0")
+        }
+        assert {("map", op) for op in range(4)} <= ops
+        assert {("accept", op) for op in range(4)} <= ops
+
+    def test_unknown_site_has_no_faults(self):
+        plan = FaultPlan.from_seed(1)
+        assert plan.events("never-heard-of-it") == ()
+        assert plan.sites == ("worker-0",)
+
+    def test_slow_events_carry_bounded_delay(self):
+        plan = FaultPlan.from_seed(5, rate=1.0, horizon=16, max_delay=0.02)
+        slow = [
+            event
+            for event in plan.events("worker-0")
+            if event.kind == "slow"
+        ]
+        for event in slow:
+            assert 0.002 <= event.delay <= 0.02
+
+
+class TestFaultInjector:
+    def test_counts_ops_per_scope(self):
+        injector = FaultInjector(
+            [FaultEvent("map", 1, "crash"), FaultEvent("publish", 0, "lose_publish")]
+        )
+        assert injector.next_fault("map") is None  # map op 0
+        fault = injector.next_fault("map")  # map op 1
+        assert fault is not None and fault.kind == "crash"
+        # Scope counters are independent: publish is still at op 0.
+        fault = injector.next_fault("publish")
+        assert fault is not None and fault.kind == "lose_publish"
+        assert [event.kind for event in injector.injected] == [
+            "crash",
+            "lose_publish",
+        ]
+
+    def test_exhausted_schedule_is_quiet(self):
+        injector = FaultInjector([FaultEvent("map", 0, "crash")])
+        assert injector.next_fault("map").kind == "crash"
+        for _ in range(5):
+            assert injector.next_fault("map") is None
+
+    def test_hang_is_sticky_until_stop(self):
+        injector = FaultInjector([])
+        released = threading.Event()
+
+        def wedge():
+            injector.hang()  # blocks until stop()
+            released.set()
+
+        thread = threading.Thread(target=wedge, daemon=True)
+        thread.start()
+        deadline = 50
+        while not injector.hung and deadline:
+            threading.Event().wait(0.01)
+            deadline -= 1
+        assert injector.hung
+        assert not released.is_set()
+        injector.stop()
+        thread.join(timeout=5.0)
+        assert released.is_set()
+
+
+class TestSendMangled:
+    @staticmethod
+    def _mangled_recv(kind):
+        left, right = socket.socketpair()
+        try:
+            send_mangled(left, ("ok", [1, 2, 3]), kind)
+            left.close()
+            return recv_frame(right)
+        finally:
+            right.close()
+
+    def test_truncate_surfaces_as_truncated_frame(self):
+        with pytest.raises(TruncatedFrameError):
+            self._mangled_recv("truncate")
+
+    def test_drop_mid_frame_surfaces_as_truncated_frame(self):
+        with pytest.raises(TruncatedFrameError):
+            self._mangled_recv("drop_mid_frame")
+
+    def test_corrupt_surfaces_as_corrupt_frame(self):
+        with pytest.raises(CorruptFrameError):
+            self._mangled_recv("corrupt")
+
+    def test_every_mangle_is_a_typed_wire_error(self):
+        """The invariant: damage never decodes into a plausible object."""
+        for kind in sorted(MANGLE_KINDS):
+            with pytest.raises(WireProtocolError):
+                self._mangled_recv(kind)
+
+    def test_non_mangle_kind_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            with pytest.raises(ValueError, match="mangling"):
+                send_mangled(left, "x", "crash")
+        finally:
+            left.close()
+            right.close()

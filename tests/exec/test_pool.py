@@ -108,8 +108,28 @@ class TestFailureRecovery:
             first = pool._pool
             assert pool.map(_exit_once, [str(sentinel)]) == ["recovered"]
             assert pool._pool is not first  # crash forced a rebuild
+            assert pool.broken_pools == 1  # the crash was counted
+            assert pool.degraded_batches == 0  # the retry succeeded
             # And the rebuilt pool keeps serving.
             assert pool.map(_square, range(6)) == [x * x for x in range(6)]
+
+    def test_twice_broken_pool_degrades_loudly_and_counts(self, monkeypatch):
+        """When the rebuilt pool breaks too, the batch runs serially with
+        a typed FleetDegradedWarning and both counters advance."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.exec.health import FleetDegradedWarning
+
+        with WorkerPool(max_workers=2) as pool:
+
+            def always_broken(*args, **kwargs):
+                raise BrokenProcessPool("injected worker death")
+
+            monkeypatch.setattr(pool, "_map_once", always_broken)
+            with pytest.warns(FleetDegradedWarning, match="serially"):
+                assert pool.map(_square, range(4)) == [0, 1, 4, 9]
+            assert pool.broken_pools == 2  # original + rebuilt attempt
+            assert pool.degraded_batches == 1
 
     def test_closed_pool_refuses_work(self):
         pool = WorkerPool(max_workers=2)

@@ -5,7 +5,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.core import RunSpec
+from repro.core import RunSpec, SerialExecutor
 from repro.distributions import UniformRows
 from repro.exec import SweepDriver, load_journal, params_key
 from repro.exec.sweep import append_journal
@@ -145,6 +145,81 @@ class TestCheckpointResume:
         for line in lines:
             record = json.loads(line)
             assert set(record) == {"params", "values"}
+
+
+class OutageExecutor(SerialExecutor):
+    """Drops the first ``failures`` map calls like a vanished fleet."""
+
+    def __init__(self, failures=1):
+        self.failures = failures
+        self.maps = 0
+
+    def map(self, fn, items):
+        self.maps += 1
+        if self.maps <= self.failures:
+            raise ConnectionError("fleet unreachable (injected)")
+        return super().map(fn, items)
+
+
+class TestBatchRetries:
+    def test_lost_batch_is_retried_seed_identically(self):
+        """A batch lost to a fleet outage resubmits under the same
+        (point, batch-index) spec — the retried values are bit-identical
+        to an undisturbed sweep, not a fresh draw."""
+        driver = SweepDriver(
+            rank_spec_fn, executor=OutageExecutor(failures=1), trials=16, seed=5
+        )
+        result = driver.run(GRID)
+        straight = SweepDriver(rank_spec_fn, trials=16, seed=5).run(GRID)
+        assert [p.values for p in result.points] == [
+            p.values for p in straight.points
+        ]
+        assert driver.retried_batches == 1
+
+    def test_retry_budget_exhaustion_raises_typed(self):
+        driver = SweepDriver(
+            rank_spec_fn,
+            executor=OutageExecutor(failures=99),
+            trials=8,
+            seed=5,
+            batch_retries=1,
+        )
+        with pytest.raises(ConnectionError, match="unreachable"):
+            driver.run([{"k": 2}])  # one point: a deterministic retry count
+        assert driver.retried_batches == 1  # one retry, then give up
+
+    def test_zero_budget_fails_fast(self):
+        driver = SweepDriver(
+            rank_spec_fn,
+            executor=OutageExecutor(failures=1),
+            trials=8,
+            seed=5,
+            batch_retries=0,
+        )
+        with pytest.raises(ConnectionError):
+            driver.run(GRID)
+        assert driver.retried_batches == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepDriver(rank_spec_fn, batch_retries=-1)
+
+    def test_task_errors_are_not_retried(self):
+        """Only fleet outages (ConnectionError) consume the retry budget;
+        a task exception propagates immediately."""
+        driver = SweepDriver(
+            lambda k: RunSpec(
+                protocol=TopSubmatrixRankProtocol(9),  # exceeds 8x8 inputs
+                distribution=UniformRows(8, 8),
+                seed=0,
+            ),
+            trials=8,
+            seed=1,
+        )
+        with pytest.raises(Exception) as excinfo:
+            driver.run([{"k": 9}])
+        assert not isinstance(excinfo.value, ConnectionError)
+        assert driver.retried_batches == 0
 
 
 class TestAdaptiveTrials:

@@ -13,11 +13,16 @@ regressions show up as numbers, not vibes.
 
 from __future__ import annotations
 
+import datetime
 import json
+import platform
+import subprocess
 import time
 from pathlib import Path
 
-__all__ = ["print_table", "fit_constant", "median_ns", "write_bench_json"]
+import numpy as np
+
+__all__ = ["print_table", "fit_constant", "median_ns", "write_bench_json", "provenance"]
 
 
 def median_ns(fn, *args, repeats: int = 5, number: int = 1) -> float:
@@ -39,14 +44,47 @@ def median_ns(fn, *args, repeats: int = 5, number: int = 1) -> float:
     return samples[len(samples) // 2]
 
 
+def provenance() -> dict:
+    """Environment provenance for a benchmark artifact.
+
+    Git sha (``"unknown"`` outside a checkout), UTC ISO-8601 timestamp,
+    and interpreter/numpy versions — enough to tell two BENCH_*.json
+    artifacts apart when comparing trajectories across machines or
+    commits.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        sha = "unknown"
+    return {
+        "git_sha": sha,
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
 def write_bench_json(path, records: list[dict]) -> None:
     """Write benchmark records as a machine-readable JSON artifact.
 
     ``records`` is a list of flat dicts (kernel name, shape parameters,
     ``ns_per_op`` medians, speedups…); the envelope carries a schema tag so
-    downstream tooling can evolve without guessing.
+    downstream tooling can evolve without guessing, plus
+    :func:`provenance` metadata so artifacts from different commits or
+    machines are distinguishable.
     """
-    payload = {"schema": "repro-bench-v1", "records": records}
+    payload = {
+        "schema": "repro-bench-v1",
+        "provenance": provenance(),
+        "records": records,
+    }
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 

@@ -30,6 +30,7 @@ from repro.core import Engine, ParallelExecutor, RunSpec, SerialExecutor
 from repro.distributions import UniformRows
 from repro.exec import WorkerPool
 from repro.lowerbounds import TopSubmatrixRankProtocol
+from repro.obs import Tracer, validate_chrome_trace
 
 N = 8
 K = 8
@@ -40,6 +41,7 @@ MIN_SPEEDUP = 1.2   # warm reuse must at least beat cold start-up by 20%
 REPEATS = 3         # best-of-N wall clocks to damp scheduler jitter
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_exec.json"
+TRACE_JSON = Path(__file__).resolve().parent.parent / "BENCH_exec_trace.json"
 
 
 def spec(batch_index: int) -> RunSpec:
@@ -118,6 +120,29 @@ def measure() -> tuple[list[list], list[dict], float, bool]:
     return rows, records, speedup_vs_cold, identical
 
 
+def trace_smoke() -> dict:
+    """Run one traced warm-pool batch and export a validated Chrome trace.
+
+    The CI smoke step: tracing is opt-in (the timed comparison above runs
+    with the no-op tracer), but when a :class:`~repro.obs.Tracer` is
+    attached the engine/pool spans must export as schema-valid Chrome
+    trace-event JSON that Perfetto can load.
+    """
+    tracer = Tracer()
+    pool = WorkerPool(max_workers=WORKERS, tracer=tracer)
+    try:
+        Engine(pool, tracer=tracer).run_batch(spec(0), TRIALS)
+    finally:
+        pool.close()
+    payload = tracer.to_chrome()
+    problems = validate_chrome_trace(payload)
+    assert not problems, f"Chrome trace schema violations: {problems}"
+    names = {e["name"] for e in payload["traceEvents"]}
+    assert "run_batch" in names, "traced batch produced no run_batch span"
+    tracer.dump_chrome(TRACE_JSON)
+    return payload
+
+
 def main() -> None:
     rows, records, speedup, identical = measure()
     print_table(
@@ -137,6 +162,11 @@ def main() -> None:
         f"warm-pool reuse beats cold pool start-up: {speedup:.2f}x "
         f"(bar {MIN_SPEEDUP}x), outputs bit-identical"
     )
+    payload = trace_smoke()
+    print(
+        f"trace-export smoke: {len(payload['traceEvents'])} Chrome trace "
+        f"events, schema valid, wrote {TRACE_JSON.name}"
+    )
 
 
 def test_warm_pool_beats_cold_startup():
@@ -144,6 +174,12 @@ def test_warm_pool_beats_cold_startup():
     _rows, _records, speedup, identical = measure()
     assert identical
     assert speedup >= MIN_SPEEDUP
+
+
+def test_trace_export_schema():
+    """Pytest entry point mirroring the trace-export smoke step."""
+    payload = trace_smoke()
+    assert payload["traceEvents"]
 
 
 if __name__ == "__main__":

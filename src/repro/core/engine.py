@@ -83,6 +83,8 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 from .errors import SchedulingError
 from .network import CostReport
 from .protocol import Protocol
@@ -103,6 +105,7 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "Engine",
+    "FallbackCounts",
     "resolve_executor",
     "derive_seed",
 ]
@@ -731,6 +734,48 @@ def _validate_batch_args(spec: RunSpec, trials: int) -> None:
         )
 
 
+class FallbackCounts(dict):
+    """Per-reason fallback counts that still compare like the old int.
+
+    ``Engine.batch_fallbacks`` was a bare int for several releases;
+    existing callers compare it against integers and monitors alert on
+    it.  This dict subclass keeps those reads working (``== 2``,
+    ``int(...)``) while exposing *why* each fallback happened, keyed by
+    the short reason code also carried in the paired
+    :class:`~repro.core.errors.BatchFallbackWarning`.
+
+    >>> counts = FallbackCounts({"no_batch_support": 1, "full_fidelity": 1})
+    >>> counts == 2 and counts.total == 2 and int(counts) == 2
+    True
+    >>> counts["full_fidelity"]
+    1
+    """
+
+    @property
+    def total(self) -> int:
+        return sum(self.values())
+
+    def __int__(self) -> int:
+        return self.total
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, bool):
+            return NotImplemented
+        if isinstance(other, int):
+            return self.total == other
+        return dict.__eq__(self, other)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    __hash__ = None  # type: ignore[assignment]  # dicts are unhashable
+
+
+#: Registry series behind :attr:`Engine.batch_fallbacks`.
+FALLBACKS_METRIC = "engine_batch_fallbacks_total"
+
+
 class Engine:
     """Executes :class:`RunSpec` objects on a pluggable backend.
 
@@ -747,25 +792,49 @@ class Engine:
         ``max(4, cpu_count)``.  Queued batches beyond this start in
         submission order, which is what makes ``BatchFuture.cancel()``
         effective on not-yet-started work.
+    registry:
+        :class:`~repro.obs.metrics.MetricsRegistry` the engine's
+        counters live in (a private one by default).  Pass the same
+        registry to the engine and its executor to export one unified
+        metrics artifact for a run.
+    tracer:
+        :class:`~repro.obs.trace.Tracer` for span-based timing of
+        :meth:`run_batch` / :meth:`submit_batch`.  Defaults to the
+        zero-overhead :data:`~repro.obs.trace.NULL_TRACER`.
     """
 
     def __init__(
         self,
         executor: Executor | str | None = None,
         max_inflight: int | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
     ):
         if max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
         self.executor = resolve_executor(executor)
         self.max_inflight = max_inflight or max(4, os.cpu_count() or 1)
-        #: Number of ``vectorized=True`` batches that fell back to scalar
-        #: simulation (each fallback also emits a ``BatchFallbackWarning``).
-        self.batch_fallbacks = 0
-        # submit_batch runs run_batch on submitter threads, so concurrent
-        # fallbacks must not lose increments.
-        self._fallback_lock = threading.Lock()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
         self._submitter: _ThreadPoolExecutor | None = None
         self._submitter_lock = threading.Lock()
+
+    @property
+    def batch_fallbacks(self) -> FallbackCounts:
+        """Vectorized→scalar downgrades, by reason code.
+
+        Served from the unified registry
+        (``engine_batch_fallbacks_total{reason}``); compares equal to
+        the all-reasons total when read as an int, which is exactly the
+        old bare-int behaviour.
+        """
+        return FallbackCounts(
+            {
+                series.labels["reason"]: series.snapshot_value()
+                for series in self.registry.series(FALLBACKS_METRIC)
+                if series.snapshot_value()
+            }
+        )
 
     # -- asynchronous batches -------------------------------------------
     def submit_batch(self, spec: RunSpec, trials: int) -> "BatchFuture":
@@ -784,13 +853,14 @@ class Engine:
         # Validate eagerly so mistakes surface at the call site, not
         # later inside a submission thread.
         _validate_batch_args(spec, trials)
-        with self._submitter_lock:
-            if self._submitter is None:
-                self._submitter = _ThreadPoolExecutor(
-                    max_workers=self.max_inflight,
-                    thread_name_prefix="repro-engine-submit",
-                )
-            inner = self._submitter.submit(self.run_batch, spec, trials)
+        with self.tracer.span("submit_batch", track="engine", trials=trials):
+            with self._submitter_lock:
+                if self._submitter is None:
+                    self._submitter = _ThreadPoolExecutor(
+                        max_workers=self.max_inflight,
+                        thread_name_prefix="repro-engine-submit",
+                    )
+                inner = self._submitter.submit(self.run_batch, spec, trials)
         return BatchFuture(inner, spec=spec, trials=trials)
 
     def close(self, cancel_pending: bool = False) -> None:
@@ -856,22 +926,25 @@ class Engine:
         protocol supports it.
         """
         _validate_batch_args(spec, trials)
-        if spec.vectorized:
-            batch = self._run_batch_vectorized(spec, trials)
-            if batch is not None:
-                return batch
-        seeds = spec.seed_sequence().spawn(trials)
-        runner = _TrialRunner(spec)
-        handle = None
-        if self._should_share_inputs(spec, trials):
-            handle = self.executor.publish_inputs(spec.inputs)
-            runner.shared_input = handle
-        try:
-            results = self.executor.map(runner, list(enumerate(seeds)))
-        finally:
-            if handle is not None:
-                self.executor.release_inputs(handle)
-        return BatchResult(trials=results)
+        with self.tracer.span(
+            "run_batch", track="engine", trials=trials, vectorized=spec.vectorized
+        ):
+            if spec.vectorized:
+                batch = self._run_batch_vectorized(spec, trials)
+                if batch is not None:
+                    return batch
+            seeds = spec.seed_sequence().spawn(trials)
+            runner = _TrialRunner(spec)
+            handle = None
+            if self._should_share_inputs(spec, trials):
+                handle = self.executor.publish_inputs(spec.inputs)
+                runner.shared_input = handle
+            try:
+                results = self.executor.map(runner, list(enumerate(seeds)))
+            finally:
+                if handle is not None:
+                    self.executor.release_inputs(handle)
+            return BatchResult(trials=results)
 
     def _should_share_inputs(self, spec: RunSpec, trials: int) -> bool:
         return (
@@ -885,15 +958,16 @@ class Engine:
     #: inside ``batch_decisions``) without giving up the batching win.
     VECTORIZED_CHUNK_TRIALS = 4096
 
-    def _note_batch_fallback(self, reason: str) -> None:
-        """Record and announce one vectorized→scalar downgrade."""
+    def _note_batch_fallback(self, code: str, reason: str) -> None:
+        """Record (per reason ``code``) and announce one downgrade."""
         from .errors import BatchFallbackWarning
 
-        with self._fallback_lock:
-            self.batch_fallbacks += 1
+        # Registry counters are individually locked, so concurrent
+        # submit_batch threads never lose increments.
+        self.registry.counter(FALLBACKS_METRIC, reason=code).inc()
         warnings.warn(
-            f"RunSpec(vectorized=True) fell back to scalar simulation: "
-            f"{reason}",
+            f"RunSpec(vectorized=True) fell back to scalar simulation "
+            f"[{code}]: {reason}",
             BatchFallbackWarning,
             stacklevel=4,
         )
@@ -916,14 +990,16 @@ class Engine:
         protocol = spec.fresh_protocol()
         if not getattr(protocol, "supports_batch", False):
             self._note_batch_fallback(
-                f"{type(protocol).__name__} does not declare supports_batch"
+                "no_batch_support",
+                f"{type(protocol).__name__} does not declare supports_batch",
             )
             return None
         if not getattr(protocol, "supports_batch_keys", False):
             self._note_batch_fallback(
+                "no_batch_keys",
                 f"{type(protocol).__name__} declares supports_batch but not "
                 "supports_batch_keys, so transcript keys cannot be "
-                "synthesized on the fast path"
+                "synthesized on the fast path",
             )
             return None
         if (
@@ -933,9 +1009,10 @@ class Engine:
             or spec.public_coins is not None
         ):
             self._note_batch_fallback(
+                "full_fidelity",
                 "the spec needs full-fidelity simulation (transcript "
                 "recording, a rounds override, coin budgets, or public "
-                "coins)"
+                "coins)",
             )
             return None
         if trials == 0:

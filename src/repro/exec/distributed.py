@@ -64,6 +64,9 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable
 import numpy as np
 
 from ..core.engine import Executor, _DigestCache
+from ..obs.metrics import MetricsRegistry
+from ..obs.recorder import FlightRecorder
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 from .health import (
     DEAD,
     ErrorTelemetry,
@@ -332,6 +335,9 @@ class DistributedExecutor(Executor):
         backoff_base: float = 0.05,
         backoff_cap: float = 1.0,
         retry_seed: int = 0,
+        registry: "MetricsRegistry | None" = None,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
+        recorder: "FlightRecorder | None" = None,
     ):
         parsed = [_parse_address(address) for address in addresses]
         if not parsed:
@@ -363,13 +369,29 @@ class DistributedExecutor(Executor):
         self.heartbeat_interval = heartbeat_interval
         self.connect_retries = connect_retries
         self.lane_retries = lane_retries
+        #: Unified metrics home (shared when passed in, private
+        #: otherwise); every counter below is a view into it.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Span tracer; :data:`~repro.obs.trace.NULL_TRACER` (free) by
+        #: default.  A real tracer renders each map call as per-lane
+        #: chunk spans plus steal/requeue instants and a heartbeat track.
+        self.tracer = tracer
+        #: Always-on bounded flight recorder: health transitions, lane
+        #: deaths, and local-fallback degradations land here, dumped to
+        #: ``REPRO_CHAOS_DIR`` by the conformance harness on failure.
+        self.recorder = recorder if recorder is not None else FlightRecorder()
         #: Per-worker liveness state machine (healthy → suspect → dead),
         #: driven by heartbeat probes and per-chunk failures.
-        self.health = HealthBoard(suspect_after=suspect_after, dead_after=dead_after)
+        self.health = HealthBoard(
+            suspect_after=suspect_after,
+            dead_after=dead_after,
+            recorder=self.recorder,
+        )
         #: Per-worker, per-category counters of every *handled* failure
         #: (connect, transport, timeout, corrupt, heartbeat, ping,
         #: release, close, protocol) — nothing is silently swallowed.
-        self.telemetry = ErrorTelemetry()
+        #: Served from :attr:`registry` as ``exec_errors_total``.
+        self.telemetry = ErrorTelemetry(registry=self.registry)
         self._retry_policy = RetryPolicy(
             seed=retry_seed, base=backoff_base, cap=backoff_cap
         )
@@ -389,19 +411,35 @@ class DistributedExecutor(Executor):
         #: not each ship the same matrix to the same worker (the second
         #: sender waits, then sees the ack and skips).
         self._publish_send_locks: dict[tuple[str, int], threading.Lock] = {}
-        #: Telemetry: ``publish_inputs`` frames actually sent; chunks
-        #: acquired by stealing and chunks requeued by failed lanes in
-        #: the most recent map call; map calls that degraded to local
-        #: execution (each also warns with
-        #: :class:`~repro.exec.health.FleetDegradedWarning`).
-        self.publish_frames_sent = 0
-        self.last_map_steals = 0
-        self.last_map_requeues = 0
-        self.degraded_maps = 0
-
     @property
     def addresses(self) -> list[tuple[str, int]]:
         return list(self._addresses)
+
+    # -- registry-backed counters ---------------------------------------
+    # The original bare-int telemetry attributes, now served from the
+    # unified registry so a run exports one metrics artifact.  Old
+    # attribute paths keep working and keep their int semantics.
+
+    @property
+    def publish_frames_sent(self) -> int:
+        """``publish_inputs`` frames actually sent (cumulative)."""
+        return int(self.registry.total("exec_publish_frames_total"))
+
+    @property
+    def last_map_steals(self) -> int:
+        """Chunks acquired by stealing in the most recent map call."""
+        return int(self.registry.gauge("exec_last_map_steals").value)
+
+    @property
+    def last_map_requeues(self) -> int:
+        """Chunks requeued by failed lanes in the most recent map call."""
+        return int(self.registry.gauge("exec_last_map_requeues").value)
+
+    @property
+    def degraded_maps(self) -> int:
+        """Map calls that degraded to local execution (each also warns
+        with :class:`~repro.exec.health.FleetDegradedWarning`)."""
+        return int(self.registry.total("exec_degraded_maps_total"))
 
     def _fresh_links(self) -> list[_WorkerLink]:
         """Private connections for one conversation.
@@ -573,7 +611,7 @@ class DistributedExecutor(Executor):
                 raise ConnectionError(f"publish_inputs rejected: {reply[0]!r}")
             with self._publish_lock:
                 self._acked.setdefault(address, set()).add(handle.digest)
-                self.publish_frames_sent += 1
+            self.registry.counter("exec_publish_frames_total").inc()
 
     def _bind_local(self, fn: Callable[[Any], Any]) -> None:
         """Give a locally-run task its published inputs back.
@@ -604,7 +642,8 @@ class DistributedExecutor(Executor):
             )
         links = self._fresh_links()
         try:
-            return self._map_over_links(fn, items, links)
+            with self.tracer.span("map", track="engine", items=len(items)):
+                return self._map_over_links(fn, items, links)
         finally:
             for link in links:
                 link.drop()
@@ -616,7 +655,11 @@ class DistributedExecutor(Executor):
             len(items), len(links)
         )
         scheduler = ChunkScheduler(
-            items, chunksize, lanes=len(links), stealing=self.scheduling == "steal"
+            items,
+            chunksize,
+            lanes=len(links),
+            stealing=self.scheduling == "steal",
+            tracer=self.tracer,
         )
         results: list[Any] = [None] * len(items)
         lock = threading.Lock()
@@ -640,14 +683,27 @@ class DistributedExecutor(Executor):
             still migrate to the survivors.
             """
             with lock:
-                if index not in dead:
+                already_dead = index in dead
+                if not already_dead:
                     dead.add(index)
                     attempts[index] = attempts.get(index, 0) + 1
                 survivors = [i for i in range(len(links)) if i not in dead]
                 scheduler.retire_lane(index, survivors)
+            if not already_dead:
+                address = links[index].address
+                self.recorder.record(
+                    "lane_death",
+                    lane=index,
+                    worker=f"{address[0]}:{address[1]}",
+                    survivors=len(survivors),
+                )
+                self.tracer.instant(
+                    "lane_death", track=f"lane-{index}", survivors=len(survivors)
+                )
 
         def feed(index: int, link: _WorkerLink) -> None:
             """Pull chunks for one worker — own deque first, then steals."""
+            track = f"lane-{index}"
             while True:
                 with lock:
                     if task_error:
@@ -655,6 +711,25 @@ class DistributedExecutor(Executor):
                 chunk = scheduler.next_chunk(index)
                 if chunk is None:
                     return
+                # When tracing, the chunk span's context id rides the
+                # map frame as an extra element — a tracer-armed worker
+                # tags its execution span with it, so client and worker
+                # timelines correlate.  With tracing off the frame is
+                # the classic 3-tuple: the wire is byte-identical.
+                if self.tracer.enabled:
+                    ctx = self.tracer.new_context()
+                    frame = ("map", fn, chunk.items, ctx)
+                    span = self.tracer.span(
+                        "chunk",
+                        track=track,
+                        start=chunk.start,
+                        items=len(chunk),
+                        worker=f"{link.address[0]}:{link.address[1]}",
+                        ctx=ctx,
+                    )
+                else:
+                    frame = ("map", fn, chunk.items)
+                    span = None
                 try:
                     # Publish lazily, only when this worker is actually
                     # about to receive a frame referencing the digest —
@@ -662,7 +737,7 @@ class DistributedExecutor(Executor):
                     # matrix.  O(1) after the first chunk (ack table).
                     if handle is not None:
                         self._ensure_published(link, handle)
-                    reply = link.request(("map", fn, chunk.items))
+                    reply = link.request(frame)
                     for _ in range(3):
                         if reply[0] != "need":
                             break
@@ -679,7 +754,7 @@ class DistributedExecutor(Executor):
                                 f"worker demanded unknown inputs {reply[1]!r}"
                             )
                         self._ensure_published(link, handle)
-                        reply = link.request(("map", fn, chunk.items))
+                        reply = link.request(frame)
                     kind = reply[0]
                     if kind == "err":
                         with lock:
@@ -706,11 +781,16 @@ class DistributedExecutor(Executor):
                     self.health.record_miss(link.address, reason=category)
                     link.drop()
                     scheduler.requeue(chunk, index)
+                    if span is not None:
+                        span.args["outcome"] = category
+                        span.close()
                     kill_lane(index)
                     return
                 with lock:
                     results[chunk.start : chunk.start + len(chunk)] = payload
                 scheduler.mark_done(chunk)
+                if span is not None:
+                    span.close()
                 self.health.record_ok(link.address)
 
         stop_monitor = threading.Event()
@@ -732,7 +812,16 @@ class DistributedExecutor(Executor):
                     address = link.address
                     if self.health.is_dead(address):
                         continue
-                    if self._probe(address, index):
+                    with self.tracer.span(
+                        "probe",
+                        track="heartbeat",
+                        lane=index,
+                        worker=f"{address[0]}:{address[1]}",
+                    ) as probe_span:
+                        alive = self._probe(address, index)
+                        if self.tracer.enabled:
+                            probe_span.args["alive"] = alive
+                    if alive:
                         self.health.record_ok(address)
                         continue
                     self.telemetry.record(address, "heartbeat")
@@ -796,8 +885,18 @@ class DistributedExecutor(Executor):
             stop_monitor.set()
             if monitor_thread is not None:
                 monitor_thread.join(timeout=1.0)
-        self.last_map_steals = scheduler.total_steals()
-        self.last_map_requeues = scheduler.total_requeues()
+        self.registry.gauge("exec_last_map_steals").set(scheduler.total_steals())
+        self.registry.gauge("exec_last_map_requeues").set(
+            scheduler.total_requeues()
+        )
+        if scheduler.total_steals():
+            self.registry.counter("exec_steals_total").inc(
+                scheduler.total_steals()
+            )
+        if scheduler.total_requeues():
+            self.registry.counter("exec_requeues_total").inc(
+                scheduler.total_requeues()
+            )
 
         if task_error:
             raise task_error[0]
@@ -809,7 +908,10 @@ class DistributedExecutor(Executor):
                     f"{len(leftovers)} task chunks undelivered and no "
                     "distributed worker is reachable"
                 )
-            self.degraded_maps += 1
+            self.registry.counter("exec_degraded_maps_total").inc()
+            self.recorder.record(
+                "fleet_degraded", chunks=len(leftovers), reason="no worker reachable"
+            )
             warnings.warn(
                 f"no distributed worker reachable; running {len(leftovers)} "
                 "remaining chunks locally",
@@ -817,10 +919,11 @@ class DistributedExecutor(Executor):
                 stacklevel=2,
             )
             self._bind_local(fn)
-            for chunk in leftovers:
-                results[chunk.start : chunk.start + len(chunk)] = [
-                    fn(item) for item in chunk.items
-                ]
+            with self.tracer.span("local_fallback", track="engine"):
+                for chunk in leftovers:
+                    results[chunk.start : chunk.start + len(chunk)] = [
+                        fn(item) for item in chunk.items
+                    ]
         return results
 
     def close(self) -> None:
@@ -884,6 +987,10 @@ class LoopbackWorker:
     :class:`~repro.exec.faults.FaultPlan` schedule — crashes, torn and
     corrupt frames, refusals, lost publishes, hangs — which is how the
     fault-matrix conformance suite drives in-process chaos.
+    ``tracer`` arms the serve loop with a (shared, in-process)
+    :class:`~repro.obs.trace.Tracer`, so worker-side chunk-execution
+    spans — tagged with the context id each map frame carries — land in
+    the same timeline as the client's per-lane spans.
     """
 
     def __init__(
@@ -892,6 +999,7 @@ class LoopbackWorker:
         request_delay: float = 0.0,
         max_cached_inputs: int = 32,
         fault_injector: "FaultInjector | None" = None,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
     ):
         self._stop = threading.Event()
         ready = threading.Event()
@@ -912,6 +1020,7 @@ class LoopbackWorker:
                 request_delay=request_delay,
                 max_cached_inputs=max_cached_inputs,
                 fault_injector=fault_injector,
+                tracer=tracer,
             ),
             daemon=True,
         )

@@ -64,6 +64,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from ..core.randomness import expand_seed
+from ..obs.recorder import FlightRecorder
 
 __all__ = [
     "FAULT_KINDS",
@@ -178,9 +179,11 @@ class FaultPlan:
         """The site's schedule (empty for unknown sites — no faults)."""
         return self._events.get(site, ())
 
-    def injector(self, site: str) -> "FaultInjector":
+    def injector(
+        self, site: str, recorder: "FlightRecorder | None" = None
+    ) -> "FaultInjector":
         """A fresh injector applying this plan's schedule for ``site``."""
-        return FaultInjector(self.events(site), site=site)
+        return FaultInjector(self.events(site), site=site, recorder=recorder)
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -313,7 +316,12 @@ class FaultInjector:
     while the application answers nothing.
     """
 
-    def __init__(self, events: Iterable[FaultEvent], site: str = "worker-0"):
+    def __init__(
+        self,
+        events: Iterable[FaultEvent],
+        site: str = "worker-0",
+        recorder: "FlightRecorder | None" = None,
+    ):
         self.site = site
         self._by_key: dict[tuple[str, int], FaultEvent] = {
             (event.scope, event.op): event for event in events
@@ -324,6 +332,10 @@ class FaultInjector:
         self._hung = False
         #: Faults applied so far, in application order.
         self.injected: list[FaultEvent] = []
+        #: Optional flight recorder: every applied fault is recorded as
+        #: a ``fault_injected`` event, so a chaos dump interleaves the
+        #: injections with the health transitions they caused.
+        self.recorder = recorder
 
     def next_fault(self, scope: str) -> "FaultEvent | None":
         """Advance the scope's op counter; the fault planned there, if any."""
@@ -333,7 +345,15 @@ class FaultInjector:
             event = self._by_key.get((scope, op))
             if event is not None:
                 self.injected.append(event)
-            return event
+        if event is not None and self.recorder is not None:
+            self.recorder.record(
+                "fault_injected",
+                site=self.site,
+                scope=event.scope,
+                op=event.op,
+                fault=event.kind,
+            )
+        return event
 
     @property
     def hung(self) -> bool:

@@ -49,6 +49,8 @@ from typing import Any, Hashable, Mapping
 import numpy as np
 
 from ..core.randomness import expand_seed
+from ..obs.metrics import MetricsRegistry
+from ..obs.recorder import FlightRecorder
 
 __all__ = [
     "HEALTHY",
@@ -58,6 +60,7 @@ __all__ = [
     "WorkerTimeoutError",
     "WorkerHealth",
     "HealthBoard",
+    "ERRORS_METRIC",
     "ErrorTelemetry",
     "RetryPolicy",
 ]
@@ -154,15 +157,26 @@ class HealthBoard:
         Consecutive misses before a suspect worker is declared *dead* —
         at which point the executor stops routing chunks to it and
         forcibly unblocks any feeder still waiting on its socket.
+    recorder:
+        Optional :class:`~repro.obs.recorder.FlightRecorder`; every
+        state transition is recorded there as a ``health`` event, so a
+        chaos-failure dump shows the liveness timeline alongside the
+        fault plan.
     """
 
-    def __init__(self, suspect_after: int = 1, dead_after: int = 3):
+    def __init__(
+        self,
+        suspect_after: int = 1,
+        dead_after: int = 3,
+        recorder: "FlightRecorder | None" = None,
+    ):
         if suspect_after < 1:
             raise ValueError("suspect_after must be >= 1")
         if dead_after < suspect_after:
             raise ValueError("dead_after must be >= suspect_after")
         self.suspect_after = suspect_after
         self.dead_after = dead_after
+        self.recorder = recorder
         self._lock = threading.Lock()
         self._workers: dict[Hashable, WorkerHealth] = {}
 
@@ -173,19 +187,37 @@ class HealthBoard:
             entry = self._workers[worker] = WorkerHealth()
         return entry
 
+    def _transition(self, worker: Hashable, entry: WorkerHealth, before: str) -> str:
+        # Caller holds the lock; records the transition outside it is
+        # unnecessary — FlightRecorder has its own lock and never calls
+        # back into the board.
+        if self.recorder is not None and entry.state != before:
+            old, new, reason = entry.transitions[-1]
+            self.recorder.record(
+                "health", worker=str(worker), old=old, new=new, reason=reason
+            )
+        return entry.state
+
     def record_ok(self, worker: Hashable) -> str:
         with self._lock:
-            return self._entry(worker).record_ok()
+            entry = self._entry(worker)
+            before = entry.state
+            entry.record_ok()
+            return self._transition(worker, entry, before)
 
     def record_miss(self, worker: Hashable, reason: str = "miss") -> str:
         with self._lock:
-            return self._entry(worker).record_miss(
-                self.suspect_after, self.dead_after, reason
-            )
+            entry = self._entry(worker)
+            before = entry.state
+            entry.record_miss(self.suspect_after, self.dead_after, reason)
+            return self._transition(worker, entry, before)
 
     def mark_dead(self, worker: Hashable, reason: str = "exhausted") -> str:
         with self._lock:
-            return self._entry(worker).mark_dead(reason)
+            entry = self._entry(worker)
+            before = entry.state
+            entry.mark_dead(reason)
+            return self._transition(worker, entry, before)
 
     def state(self, worker: Hashable) -> str:
         """The worker's current state (unknown workers are healthy)."""
@@ -209,6 +241,31 @@ class HealthBoard:
                 for worker, entry in self._workers.items()
             }
 
+    def transition_history(self) -> list[dict[str, str]]:
+        """Every recorded state change, JSON-friendly and export-ready.
+
+        Workers are sorted (by their string form) and each change is
+        ``{"worker", "old", "new", "reason"}`` in occurrence order per
+        worker — the same shape the flight recorder captures live.
+        """
+        with self._lock:
+            items = [
+                (str(worker), list(entry.transitions))
+                for worker, entry in self._workers.items()
+            ]
+        history: list[dict[str, str]] = []
+        for worker, transitions in sorted(items):
+            history.extend(
+                {"worker": worker, "old": old, "new": new, "reason": reason}
+                for old, new, reason in transitions
+            )
+        return history
+
+
+#: The registry series every :class:`ErrorTelemetry` records under;
+#: ``python -m repro.obs.report`` builds its failure table from it.
+ERRORS_METRIC = "exec_errors_total"
+
 
 class ErrorTelemetry:
     """Per-worker, per-category error counters — the anti-silent-pass.
@@ -219,34 +276,59 @@ class ErrorTelemetry:
     ``"heartbeat"``, ``"ping"``, ``"release"``, ``"close"``, …).  Lint
     rule ``EXC03`` forbids the reason-less ``except: pass`` alternative
     in :mod:`repro.exec`.
+
+    The counts live in a :class:`~repro.obs.metrics.MetricsRegistry` —
+    a private one by default, or a shared one passed as ``registry`` so
+    the fleet's failures export alongside every other metric — as the
+    ``exec_errors_total{worker, category}`` counter family.  Worker
+    addresses are any hashable (typically ``(host, port)`` tuples);
+    this class keeps the label ↔ original-key mapping so
+    :meth:`counts` still returns the exact keys callers recorded.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
-        self._counts: dict[Hashable, dict[str, int]] = {}
+        #: worker label → the exact hashable key the caller used.
+        self._keys: dict[str, Hashable] = {}
+
+    @staticmethod
+    def worker_label(worker: Hashable) -> str:
+        """The registry label for a worker key (``host:port`` for pairs)."""
+        if (
+            isinstance(worker, tuple)
+            and len(worker) == 2
+            and isinstance(worker[0], str)
+        ):
+            return f"{worker[0]}:{worker[1]}"
+        return str(worker)
 
     def record(self, worker: Hashable, category: str, n: int = 1) -> None:
+        label = self.worker_label(worker)
         with self._lock:
-            per_worker = self._counts.setdefault(worker, {})
-            per_worker[category] = per_worker.get(category, 0) + n
+            self._keys.setdefault(label, worker)
+        self.registry.counter(ERRORS_METRIC, worker=label, category=category).inc(n)
 
     def counts(self) -> dict[Hashable, dict[str, int]]:
         """A copy of every counter: ``worker → {category → count}``."""
         with self._lock:
-            return {
-                worker: dict(categories)
-                for worker, categories in self._counts.items()
-            }
+            keys = dict(self._keys)
+        out: dict[Hashable, dict[str, int]] = {}
+        for series in self.registry.series(ERRORS_METRIC):
+            labels = series.labels
+            worker = keys.get(labels["worker"])
+            if worker is None:
+                # A series this instance never recorded (shared registry,
+                # or a restored dump): surface it under the label string.
+                worker = labels["worker"]
+            out.setdefault(worker, {})[labels["category"]] = series.snapshot_value()
+        return out
 
     def total(self, category: "str | None" = None) -> int:
         """Total recorded errors, optionally restricted to one category."""
-        with self._lock:
-            return sum(
-                count
-                for categories in self._counts.values()
-                for name, count in categories.items()
-                if category is None or name == category
-            )
+        if category is None:
+            return int(self.registry.total(ERRORS_METRIC))
+        return int(self.registry.total(ERRORS_METRIC, category=category))
 
 
 class RetryPolicy:

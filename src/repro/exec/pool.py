@@ -62,6 +62,9 @@ from ..core.engine import (
     _create_shared_segment,
     _evict_shared_attachment,
 )
+from ..obs.metrics import MetricsRegistry
+from ..obs.recorder import FlightRecorder
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 from .health import FleetDegradedWarning
 from .stealing import ChunkScheduler
 
@@ -131,6 +134,9 @@ class WorkerPool(Executor):
         idle_timeout: float | None = None,
         share_inputs_min_bytes: int = 1 << 16,
         scheduling: str = "steal",
+        registry: "MetricsRegistry | None" = None,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
+        recorder: "FlightRecorder | None" = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -158,12 +164,23 @@ class WorkerPool(Executor):
         self._segments: dict[str, tuple[_shared_memory.SharedMemory, _SharedInput]] = {}
         #: Memoizes content digests of fixed inputs across batches.
         self._digest_cache = _DigestCache()
-        #: Telemetry: pools discarded because a worker process died, and
-        #: batches that degraded to in-process serial execution (each of
-        #: the latter also warns with
-        #: :class:`~repro.exec.health.FleetDegradedWarning`).
-        self.broken_pools = 0
-        self.degraded_batches = 0
+        #: Unified metrics/trace/flight-recorder hooks (private instances
+        #: unless shared ones are passed in); the telemetry counters
+        #: below are registry-backed views.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.recorder = recorder if recorder is not None else FlightRecorder()
+
+    @property
+    def broken_pools(self) -> int:
+        """Pools discarded because a worker process died (cumulative)."""
+        return int(self.registry.total("pool_broken_total"))
+
+    @property
+    def degraded_batches(self) -> int:
+        """Batches that degraded to in-process serial execution (each
+        also warns with :class:`~repro.exec.health.FleetDegradedWarning`)."""
+        return int(self.registry.total("pool_degraded_batches_total"))
 
     # -- pool lifecycle -------------------------------------------------
     @property
@@ -255,20 +272,27 @@ class WorkerPool(Executor):
                     # the whole batch once on a rebuilt pool, then give up
                     # on parallelism rather than on the batch.
                     last_exc = exc
-                    self.broken_pools += 1
+                    self.registry.counter("pool_broken_total").inc()
+                    self.recorder.record(
+                        "pool_broken", attempt=attempt, error=str(exc)
+                    )
                     with self._lock:
                         if self._pool is pool:
                             self._discard_pool()
                         if attempt == 0:
                             pool = self._ensure_pool()
-            self.degraded_batches += 1
+            self.registry.counter("pool_degraded_batches_total").inc()
+            self.recorder.record(
+                "pool_degraded", items=len(items), error=str(last_exc)
+            )
             warnings.warn(
                 f"WorkerPool running batch serially "
                 f"({type(last_exc).__name__}: {last_exc})",
                 FleetDegradedWarning,
                 stacklevel=2,
             )
-            return [fn(item) for item in items]
+            with self.tracer.span("serial_fallback", track="pool", items=len(items)):
+                return [fn(item) for item in items]
         finally:
             with self._lock:
                 self._active_maps -= 1
@@ -296,7 +320,9 @@ class WorkerPool(Executor):
         if self.scheduling == "static":
             return list(pool.map(fn, items, chunksize=chunksize))
         lanes = max(1, min(self.max_workers, math.ceil(len(items) / chunksize)))
-        scheduler = ChunkScheduler(items, chunksize, lanes, stealing=True)
+        scheduler = ChunkScheduler(
+            items, chunksize, lanes, stealing=True, tracer=self.tracer
+        )
         results: list[Any] = [None] * len(items)
         errors: list[BaseException] = []
 
@@ -306,7 +332,13 @@ class WorkerPool(Executor):
                 if chunk is None:
                     return
                 try:
-                    payload = pool.submit(_run_chunk, fn, chunk.items).result()
+                    with self.tracer.span(
+                        "chunk",
+                        track=f"lane-{lane}",
+                        start=chunk.start,
+                        items=len(chunk),
+                    ):
+                        payload = pool.submit(_run_chunk, fn, chunk.items).result()
                 except BaseException as exc:  # noqa: BLE001 - re-raised below
                     errors.append(exc)
                     return

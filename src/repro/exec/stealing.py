@@ -41,6 +41,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
+
 __all__ = ["Chunk", "ChunkScheduler"]
 
 
@@ -80,6 +82,11 @@ class ChunkScheduler:
         a chunk from the *tail* of the lane with the most queued chunks.
         When False, :meth:`next_chunk` returns ``None`` as soon as the
         lane's own deque is empty — the static baseline.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`; steals and requeues
+        are marked as instant events on the acting lane's track.  The
+        default :data:`~repro.obs.trace.NULL_TRACER` costs nothing —
+        the hot ``next_chunk`` path checks one attribute.
 
     Thread-safety: all methods take an internal lock; lanes are expected
     to call :meth:`next_chunk` / :meth:`mark_done` / :meth:`requeue`
@@ -92,6 +99,7 @@ class ChunkScheduler:
         chunksize: int,
         lanes: int,
         stealing: bool = True,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
     ):
         if chunksize < 1:
             raise ValueError("chunksize must be >= 1")
@@ -100,6 +108,7 @@ class ChunkScheduler:
         items = list(items)
         self.lanes = lanes
         self.stealing = stealing
+        self.tracer = tracer
         chunks = [
             Chunk(start, items[start : start + chunksize])
             for start in range(0, len(items), chunksize)
@@ -136,8 +145,19 @@ class ChunkScheduler:
                 if not self._local[victim]:
                     return None
                 self.steals[lane] += 1
-                return self._local[victim].pop()
-            return None
+                stolen = self._local[victim].pop()
+            else:
+                return None
+        # Instant recorded outside the scheduler lock — the tracer has
+        # its own; holding both invites lock-order trouble for nothing.
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "steal",
+                track=f"lane-{lane}",
+                victim=victim,
+                start=stolen.start,
+            )
+        return stolen
 
     def mark_done(self, chunk: Chunk) -> None:
         """Record that ``chunk`` completed (its results are written)."""
@@ -154,6 +174,10 @@ class ChunkScheduler:
         with self._lock:
             self.requeues[lane] += 1
             self._local[lane].appendleft(chunk)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "requeue", track=f"lane-{lane}", start=chunk.start
+            )
 
     def retire_lane(self, lane: int, survivors: "Sequence[int] | None" = None) -> None:
         """Spread a dead lane's queued chunks over the surviving lanes.

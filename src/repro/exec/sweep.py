@@ -51,6 +51,8 @@ import numpy as np
 from ..analysis.sweep import SweepPoint, SweepResult
 from ..core.engine import BatchResult, Engine, Executor, RunSpec
 from ..infotheory.estimation import _normal_quantile, wilson_interval
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 from .futures import BatchFuture
 
 __all__ = [
@@ -263,6 +265,8 @@ class SweepDriver:
         priority: Callable[[Mapping[str, Any]], float] | None = None,
         max_inflight: int | None = None,
         batch_retries: int = 1,
+        registry: "MetricsRegistry | None" = None,
+        tracer: "Tracer | NullTracer" = NULL_TRACER,
     ):
         if trials < 1:
             raise ValueError("trials per batch must be >= 1")
@@ -291,8 +295,15 @@ class SweepDriver:
         self.priority = priority
         self.max_inflight = max_inflight
         self.batch_retries = batch_retries
-        #: Telemetry: batches resubmitted after a ConnectionError.
-        self.retried_batches = 0
+        #: Unified metrics home (shared when passed in) and span tracer
+        #: for the point/top-up lifecycle.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+
+    @property
+    def retried_batches(self) -> int:
+        """Batches resubmitted after a ConnectionError (registry-backed)."""
+        return int(self.registry.total("sweep_retried_batches_total"))
 
     # -- seeding --------------------------------------------------------
     def _batch_spec(self, params: Mapping[str, Any], index: int, batch: int) -> RunSpec:
@@ -393,6 +404,12 @@ class SweepDriver:
                 spec = self._batch_spec(
                     grid[state.index], state.index, state.batches
                 )
+                kind = "top_up" if state.batches else "initial"
+                self.tracer.instant(
+                    "submit", track="sweep", point=state.index,
+                    batch=state.batches, kind=kind,
+                )
+                self.registry.counter("sweep_batches_total", kind=kind).inc()
                 pending[engine.submit_batch(spec, self.trials)] = state
 
         try:
@@ -426,7 +443,11 @@ class SweepDriver:
                         if state.retries >= self.batch_retries:
                             raise
                         state.retries += 1
-                        self.retried_batches += 1
+                        self.registry.counter("sweep_retried_batches_total").inc()
+                        self.tracer.instant(
+                            "retry", track="sweep", point=state.index,
+                            batch=state.batches,
+                        )
                         enqueue(state)
                         continue
                     state.values.append(np.asarray(self.trial_values(batch)))
@@ -434,6 +455,11 @@ class SweepDriver:
                     values = self._point_values(state)
                     if self._is_converged(values):
                         finished[state.index] = values
+                        self.tracer.instant(
+                            "point_converged", track="sweep",
+                            point=state.index, batches=state.batches,
+                            trials=values["trials"],
+                        )
                         if self.checkpoint is not None:
                             append_journal(self.checkpoint, state.params, values)
                     else:

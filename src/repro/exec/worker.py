@@ -6,7 +6,11 @@ carries a sequence of length-prefixed pickle frames:
 * ``("ping",)`` → ``("pong",)`` — liveness probe;
 * ``("map", fn, items)`` → ``("ok", [fn(x) for x in items])`` on success
   or ``("err", exception, traceback_text)`` if a task raised — the
-  client re-raises task errors, exactly like a local executor would;
+  client re-raises task errors, exactly like a local executor would.  A
+  tracing client appends a lightweight span-context id as an optional
+  fourth element (``("map", fn, items, ctx)``); a worker armed with a
+  tracer tags its chunk-execution span with it, and workers either way
+  accept both shapes;
 * ``("publish_inputs", digest, shape, dtype, data)`` → ``("ok", None)``
   — cache a fixed input matrix under its content ``digest``.  The cache
   is shared by every connection of this serve loop and survives across
@@ -53,6 +57,7 @@ hosts the same loop on a background thread.
 from __future__ import annotations
 
 import argparse
+import logging
 import socket
 import threading
 import time
@@ -62,8 +67,11 @@ from typing import TYPE_CHECKING, Any, Callable
 import numpy as np
 
 from ..core.engine import _create_shared_segment, _SharedInput
+from ..obs.trace import NULL_TRACER, NullTracer, Tracer
 from .faults import MANGLE_KINDS, FaultEvent, FaultInjector, FaultPlan, send_mangled
 from .wire import MAX_FRAME_BYTES, recv_frame, send_frame
+
+logger = logging.getLogger(__name__)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from concurrent.futures import ProcessPoolExecutor
@@ -295,6 +303,7 @@ def _handle_connection(
     input_store: _InputStore,
     request_delay: float = 0.0,
     fault_injector: "FaultInjector | None" = None,
+    tracer: "Tracer | NullTracer" = NULL_TRACER,
 ) -> None:
     """Serve one client until it disconnects (or ``max_requests`` frames).
 
@@ -360,7 +369,10 @@ def _handle_connection(
                     conn, ("err", ValueError(f"unknown frame kind {kind!r}"), "")
                 )
                 continue
-            _, fn, items = message
+            # Tracing clients append a span-context id as an optional
+            # fourth element; both frame shapes are accepted.
+            _, fn, items = message[:3]
+            ctx = message[3] if len(message) > 3 else None
             handle = getattr(fn, "shared_input", None)
             shared = None
             if isinstance(handle, PublishedInput) and not handle.bound:
@@ -385,9 +397,11 @@ def _handle_connection(
                 time.sleep(request_delay)
             closing = False
             try:
-                closing = not _reply(
-                    conn, ("ok", _run_chunk(fn, items, pool)), fault
-                )
+                with tracer.span(
+                    "exec_chunk", track="worker", items=len(items), ctx=ctx
+                ):
+                    payload = _run_chunk(fn, items, pool)
+                closing = not _reply(conn, ("ok", payload), fault)
             except Exception as exc:  # noqa: BLE001 - shipped to the client
                 send_frame(conn, ("err", exc, traceback.format_exc()))
             finally:
@@ -410,6 +424,7 @@ def serve(
     request_delay: float = 0.0,
     max_cached_inputs: int = 32,
     fault_injector: "FaultInjector | None" = None,
+    tracer: "Tracer | NullTracer" = NULL_TRACER,
 ) -> None:
     """Accept connections and execute task frames until ``stop_event`` is set.
 
@@ -432,6 +447,11 @@ def serve(
     digests via the ``("need", digest)`` reply), mirrored into
     shared-memory segments for the local process pool when
     ``processes > 0``, and released when the loop returns.
+
+    ``tracer`` records a ``worker``-track span per executed chunk,
+    tagged with the span-context id the client's map frame carried (if
+    any) — for in-process loopback workers this is typically the
+    *client's* tracer, so both sides land in one timeline.
     """
     from concurrent.futures import ProcessPoolExecutor
 
@@ -467,6 +487,7 @@ def serve(
                     input_store,
                     request_delay,
                     fault_injector,
+                    tracer,
                 ),
                 daemon=True,
             )
@@ -526,19 +547,44 @@ def main(argv: list[str] | None = None) -> None:
         help="which site's schedule of --fault-plan this worker plays "
         "(default: worker-0)",
     )
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=("debug", "info", "warning", "error", "critical"),
+        help="stdlib logging threshold for worker diagnostics, emitted "
+        "on stderr (default: warning).  The port-announce line always "
+        "goes to stdout regardless — scripts parse it as the readiness "
+        "signal.",
+    )
     args = parser.parse_args(argv)
+
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+    )
 
     injector = None
     if args.fault_plan is not None:
         with open(args.fault_plan, encoding="utf-8") as handle:
             plan = FaultPlan.from_json(handle.read())
         injector = plan.injector(args.fault_site)
+        logger.info(
+            "armed fault plan %s (site %s)", args.fault_plan, args.fault_site
+        )
 
     def announce(bound: tuple[str, int]) -> None:
-        # Printed only once actually listening — with --port 0 this is
-        # the only way to learn the OS-assigned port, and scripts can
-        # treat the line as the readiness signal.
+        # The one deliberate print: with --port 0 this line is the only
+        # way to learn the OS-assigned port, and scripts treat it as the
+        # readiness signal — its exact shape on *stdout* is API
+        # (logging goes to stderr and is reconfigurable, this is not).
         print(f"repro.exec worker listening on {bound[0]}:{bound[1]}", flush=True)
+        logger.info(
+            "serving on %s:%s (processes=%d, max_cached_inputs=%d)",
+            bound[0],
+            bound[1],
+            args.processes,
+            args.max_cached_inputs,
+        )
 
     serve(
         args.host,

@@ -1,0 +1,130 @@
+"""The flight recorder: a bounded ring of structured last-moments events.
+
+When a conformance cell fails under chaos, the fault plan (PR 7) says
+what was *injected* — the flight recorder says what the stack *did
+about it*: health transitions, lane deaths, fault injections as they
+fired, fallback warnings.  It is a fixed-capacity in-memory ring
+(``collections.deque(maxlen=...)``) so it can run always-on at
+negligible cost; old events fall off the back, which is the point — on
+failure you want the last N events, not a full log.
+
+Dumps land in ``REPRO_CHAOS_DIR`` alongside the replayable fault plans
+(:func:`dump_on_chaos`), where CI uploads them as artifacts.
+
+Timestamps use wall-clock ``time.time()`` — presentation only, never
+feeding any seed, so the DET01 determinism rule is untouched.
+
+>>> recorder = FlightRecorder(capacity=2)
+>>> recorder.record("lane_death", lane=0, worker="w0")
+>>> recorder.record("health", worker="w1", old="healthy", new="suspect")
+>>> recorder.record("health", worker="w1", old="suspect", new="dead")
+>>> [e["kind"] for e in recorder.events()]  # capacity 2: first fell off
+['health', 'health']
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any
+
+__all__ = ["FlightRecorder", "dump_on_chaos"]
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring of structured events.
+
+    Every event is ``{"seq": int, "ts": float, "kind": str, **payload}``
+    — ``seq`` is a monotonically increasing sequence number that
+    survives ring eviction, so a dump shows both the retained window and
+    how much history fell off before it.
+    """
+
+    SCHEMA = "repro-flightrec-v1"
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def record(self, kind: str, **payload: Any) -> None:
+        """Append one structured event; payload must be JSON-friendly."""
+        event = {"seq": 0, "ts": time.time(), "kind": kind, **payload}
+        with self._lock:
+            self._seq += 1
+            event["seq"] = self._seq
+            self._ring.append(event)
+
+    def events(self) -> list[dict[str, Any]]:
+        """The retained window, oldest first (copies; safe to mutate)."""
+        with self._lock:
+            return [dict(event) for event in self._ring]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def total_recorded(self) -> int:
+        """How many events were ever recorded (including evicted ones)."""
+        with self._lock:
+            return self._seq
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    # -- export ---------------------------------------------------------
+    def to_json(self, indent: "int | None" = 2) -> str:
+        with self._lock:
+            events = [dict(event) for event in self._ring]
+            total = self._seq
+        return json.dumps(
+            {
+                "schema": self.SCHEMA,
+                "capacity": self.capacity,
+                "total_recorded": total,
+                "events": events,
+            },
+            indent=indent,
+            default=str,  # exotic payloads degrade to repr, never crash a dump
+        )
+
+    def dump(self, path: "str | os.PathLike[str]") -> Path:
+        """Write the recorder state as JSON; returns the path written."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(self.to_json(), encoding="utf-8")
+        return target
+
+
+def dump_on_chaos(
+    recorder: FlightRecorder,
+    name: str,
+    registry: "Any | None" = None,
+) -> "Path | None":
+    """Dump recorder (and optionally metrics) into ``$REPRO_CHAOS_DIR``.
+
+    The conformance suite calls this on cell failure so the flight
+    recorder lands next to the fault-plan artifact CI already uploads.
+    No-op (returns None) when the env var is unset — local runs stay
+    clean.
+    """
+    directory = os.environ.get("REPRO_CHAOS_DIR")
+    if not directory:
+        return None
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+    path = recorder.dump(base / f"{name}.flightrec.json")
+    if registry is not None:
+        (base / f"{name}.metrics.json").write_text(
+            registry.to_json(), encoding="utf-8"
+        )
+    return path

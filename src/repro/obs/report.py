@@ -1,0 +1,221 @@
+"""``python -m repro.obs.report`` — summarize a metrics/trace dump.
+
+Loads artifacts produced by the observability layer and prints human
+summary tables:
+
+* a ``repro-metrics-v1`` JSON (``MetricsRegistry.to_json``) → every
+  counter/gauge plus a per-worker × per-category failure table from the
+  ``exec_errors_total`` series (matching what ``ErrorTelemetry.counts()``
+  reported live);
+* optionally a Chrome trace JSON (``--trace``) → span counts and total
+  busy time per track;
+* optionally a flight-recorder dump (``--flightrec``) → the last events
+  before the run ended, per kind.
+
+Usage::
+
+    python -m repro.obs.report chaos-artifacts/cell.metrics.json \
+        --trace sweep.trace.json --flightrec cell.flightrec.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .metrics import MetricsRegistry
+
+__all__ = ["main", "render_metrics", "render_trace", "render_flightrec"]
+
+#: The registry series name ErrorTelemetry records under; the failure
+#: table below is keyed off its (worker, category) labels.
+ERRORS_METRIC = "exec_errors_total"
+
+
+def _table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> list[str]:
+    """Plain fixed-width table lines (no third-party tabulate)."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in materialized)
+    return lines
+
+
+def render_metrics(registry: MetricsRegistry) -> list[str]:
+    """Summary lines for a metrics registry."""
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+
+    rows: list[tuple[str, str, Any]] = []
+    for kind in ("counter", "gauge"):
+        for name, entries in sorted(snapshot.get(kind, {}).items()):
+            for entry in entries:
+                label_text = ",".join(
+                    f"{k}={v}" for k, v in sorted(entry["labels"].items())
+                )
+                rows.append((name, label_text or "-", entry["value"]))
+    if rows:
+        lines.append("== metrics ==")
+        lines.extend(_table(("metric", "labels", "value"), rows))
+    for name, entries in sorted(snapshot.get("histogram", {}).items()):
+        lines.append("")
+        lines.append(f"== histogram {name} ==")
+        hist_rows = []
+        for entry in entries:
+            label_text = ",".join(
+                f"{k}={v}" for k, v in sorted(entry["labels"].items())
+            )
+            value = entry["value"]
+            mean = value["sum"] / value["count"] if value["count"] else 0.0
+            hist_rows.append(
+                (label_text or "-", value["count"], f"{value['sum']:.6g}", f"{mean:.6g}")
+            )
+        lines.extend(_table(("labels", "count", "sum", "mean"), hist_rows))
+
+    failures = _failure_matrix(registry)
+    if failures:
+        workers = sorted(failures)
+        categories = sorted({c for by_cat in failures.values() for c in by_cat})
+        lines.append("")
+        lines.append("== failures by worker x category ==")
+        matrix_rows = []
+        for worker in workers:
+            by_cat = failures[worker]
+            row = [worker] + [by_cat.get(c, 0) for c in categories]
+            row.append(sum(by_cat.values()))
+            matrix_rows.append(row)
+        totals = ["TOTAL"] + [
+            sum(failures[w].get(c, 0) for w in workers) for c in categories
+        ]
+        totals.append(sum(sum(b.values()) for b in failures.values()))
+        matrix_rows.append(totals)
+        lines.extend(
+            _table(["worker"] + categories + ["total"], matrix_rows)
+        )
+    return lines
+
+
+def _failure_matrix(registry: MetricsRegistry) -> dict[str, dict[str, int]]:
+    """``worker → category → count`` from the error-telemetry series."""
+    matrix: dict[str, dict[str, int]] = {}
+    for series in registry.series(ERRORS_METRIC):
+        labels = series.labels
+        worker = labels.get("worker", "?")
+        category = labels.get("category", "?")
+        matrix.setdefault(worker, {})[category] = int(series.snapshot_value())
+    return matrix
+
+
+def render_trace(payload: dict[str, Any]) -> list[str]:
+    """Summary lines for a Chrome trace-event dump."""
+    events = payload.get("traceEvents", [])
+    track_names: dict[tuple[int, int], str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            key = (event.get("pid", 0), event.get("tid", 0))
+            track_names[key] = event.get("args", {}).get("name", str(key))
+    stats: dict[str, dict[str, float]] = {}
+    for event in events:
+        ph = event.get("ph")
+        if ph not in ("X", "i"):
+            continue
+        key = (event.get("pid", 0), event.get("tid", 0))
+        track = track_names.get(key, f"track-{key[1]}")
+        entry = stats.setdefault(
+            track, {"spans": 0, "instants": 0, "busy_us": 0.0}
+        )
+        if ph == "X":
+            entry["spans"] += 1
+            entry["busy_us"] += float(event.get("dur", 0.0))
+        else:
+            entry["instants"] += 1
+    lines = ["== trace ==" ]
+    rows = [
+        (
+            track,
+            int(entry["spans"]),
+            int(entry["instants"]),
+            f"{entry['busy_us'] / 1000.0:.3f}",
+        )
+        for track, entry in sorted(stats.items())
+    ]
+    lines.extend(_table(("track", "spans", "instants", "busy_ms"), rows))
+    return lines
+
+
+def render_flightrec(payload: dict[str, Any]) -> list[str]:
+    """Summary lines for a flight-recorder dump."""
+    events = payload.get("events", [])
+    by_kind: dict[str, int] = {}
+    for event in events:
+        by_kind[event.get("kind", "?")] = by_kind.get(event.get("kind", "?"), 0) + 1
+    lines = [
+        "== flight recorder ==",
+        f"retained {len(events)} of {payload.get('total_recorded', len(events))} "
+        f"events (capacity {payload.get('capacity', '?')})",
+    ]
+    if by_kind:
+        lines.extend(
+            _table(("kind", "events"), sorted(by_kind.items()))
+        )
+    tail = events[-5:]
+    if tail:
+        lines.append("last events:")
+        for event in tail:
+            detail = {
+                k: v
+                for k, v in event.items()
+                if k not in ("seq", "ts", "kind")
+            }
+            lines.append(f"  #{event.get('seq')} {event.get('kind')}: {detail}")
+    return lines
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize repro.obs metrics/trace/flight-recorder dumps.",
+    )
+    parser.add_argument(
+        "metrics", nargs="?", help="path to a repro-metrics-v1 JSON dump"
+    )
+    parser.add_argument("--trace", help="path to a Chrome trace-event JSON")
+    parser.add_argument(
+        "--flightrec", help="path to a flight-recorder JSON dump"
+    )
+    args = parser.parse_args(argv)
+    if not (args.metrics or args.trace or args.flightrec):
+        parser.error("give a metrics dump, --trace, and/or --flightrec")
+
+    sections: list[str] = []
+    if args.metrics:
+        registry = MetricsRegistry.from_json(
+            Path(args.metrics).read_text(encoding="utf-8")
+        )
+        sections.extend(render_metrics(registry))
+    if args.trace:
+        payload = json.loads(Path(args.trace).read_text(encoding="utf-8"))
+        if sections:
+            sections.append("")
+        sections.extend(render_trace(payload))
+    if args.flightrec:
+        payload = json.loads(Path(args.flightrec).read_text(encoding="utf-8"))
+        if sections:
+            sections.append("")
+        sections.extend(render_flightrec(payload))
+    print("\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,297 @@
+"""Span-based tracing with Chrome/Perfetto trace-event export.
+
+A :class:`Tracer` records **spans** (named intervals with a track and
+free-form args) and **instants** (point events) from any thread, then
+exports the run as Chrome trace-event JSON — the format
+``chrome://tracing`` and https://ui.perfetto.dev open directly, so a
+distributed sweep renders as a per-lane timeline with steal markers and
+a heartbeat track.
+
+Two properties drive the design:
+
+* **Zero cost when off.**  The default everywhere is
+  :data:`NULL_TRACER`, whose ``span()`` returns one shared, reusable
+  no-op context manager — no allocation, no clock read, no lock.  The
+  execution stack is instrumented unconditionally; only passing a real
+  tracer turns any of it on, which is what keeps the bench medians flat.
+* **Injectable monotonic clock.**  The clock is a ``() -> int``
+  nanosecond counter, defaulting to :func:`time.perf_counter_ns`.
+  Tests inject a fake clock for exact timestamps; nothing here ever
+  feeds a seed (the determinism linter's DET01 concern), timestamps
+  are presentation only.
+
+Cross-process spans: workers in other processes can't share a tracer
+object, so span *context ids* from :meth:`Tracer.new_context` ride the
+existing wire frames as plain ints, and the worker-side serve loop
+records its chunk-execution spans against that id.  The exporter keys
+tracks by name, so client- and worker-side events line up per lane.
+
+>>> clock = iter(range(0, 10_000, 1000)).__next__
+>>> tracer = Tracer(clock=clock)
+>>> with tracer.span("run_batch", track="engine", trials=4):
+...     tracer.instant("steal", track="engine")
+>>> [e["name"] for e in tracer.to_chrome()["traceEvents"] if e["ph"] != "M"]
+['steal', 'run_batch']
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "validate_chrome_trace",
+]
+
+Clock = Callable[[], int]
+
+
+class Span:
+    """An open interval; closes (and records itself) on ``__exit__``.
+
+    Usable as a context manager or closed explicitly via :meth:`close`
+    (the worker serve loop does the latter — frame handling isn't a
+    lexical scope).
+    """
+
+    __slots__ = ("_tracer", "name", "track", "args", "start_ns", "end_ns")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        track: str,
+        args: dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.track = track
+        self.args = args
+        self.start_ns = tracer._clock()
+        self.end_ns: "int | None" = None
+
+    def close(self) -> None:
+        if self.end_ns is not None:
+            return
+        self.end_ns = self._tracer._clock()
+        self._tracer._record(
+            {
+                "type": "span",
+                "name": self.name,
+                "track": self.track,
+                "start_ns": self.start_ns,
+                "end_ns": self.end_ns,
+                "args": self.args,
+            }
+        )
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class _NullSpan:
+    """The shared no-op span — one instance serves every disabled call."""
+
+    __slots__ = ()
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a constant-time no-op.
+
+    Instrumented code holds a ``Tracer | NullTracer`` and calls it
+    unconditionally; with this implementation the per-call cost is one
+    attribute lookup and returning a preallocated object.
+    """
+
+    __slots__ = ()
+
+    #: Lets call sites skip building expensive span args entirely.
+    enabled = False
+
+    def span(self, name: str, track: str = "main", **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def instant(self, name: str, track: str = "main", **args: Any) -> None:
+        pass
+
+    def new_context(self) -> "int | None":
+        return None
+
+    def events(self) -> list[dict[str, Any]]:
+        return []
+
+
+#: The process-wide disabled tracer; the default for every component.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Thread-safe span/instant collector with Chrome trace-event export.
+
+    ``track`` names the horizontal row the event renders on (one per
+    lane, plus e.g. ``"heartbeat"`` and ``"engine"``); ``args`` become
+    the event's inspectable payload in the viewer.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Clock = time.perf_counter_ns) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._events: list[dict[str, Any]] = []
+        self._next_context = 0
+
+    # -- recording ------------------------------------------------------
+    def span(self, name: str, track: str = "main", **args: Any) -> Span:
+        """Open a span on ``track``; record it when the span closes."""
+        return Span(self, name, track, args)
+
+    def instant(self, name: str, track: str = "main", **args: Any) -> None:
+        """Record a point event (a steal, a requeue, a lane death)."""
+        self._record(
+            {
+                "type": "instant",
+                "name": name,
+                "track": track,
+                "ts_ns": self._clock(),
+                "args": args,
+            }
+        )
+
+    def new_context(self) -> int:
+        """A fresh context id to ship across the wire with a chunk."""
+        with self._lock:
+            self._next_context += 1
+            return self._next_context
+
+    def _record(self, event: dict[str, Any]) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def adopt(self, events: "list[dict[str, Any]]") -> None:
+        """Merge events recorded elsewhere (e.g. worker-side) into this
+        tracer, so one export covers both sides of the wire."""
+        with self._lock:
+            self._events.extend(events)
+
+    # -- reads ----------------------------------------------------------
+    def events(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return list(self._events)
+
+    # -- export ---------------------------------------------------------
+    def to_chrome(self, pid: int = 1) -> dict[str, Any]:
+        """The run as a Chrome trace-event object.
+
+        Spans become ``ph: "X"`` complete events, instants ``ph: "i"``;
+        each distinct track gets a tid plus a ``ph: "M"`` thread-name
+        metadata record so viewers label the rows.  Timestamps convert
+        from the clock's nanoseconds to the format's microseconds.
+        """
+        events = self.events()
+        tracks: dict[str, int] = {}
+        out: list[dict[str, Any]] = []
+        for event in events:
+            track = event["track"]
+            tid = tracks.setdefault(track, len(tracks) + 1)
+            if event["type"] == "span":
+                out.append(
+                    {
+                        "name": event["name"],
+                        "ph": "X",
+                        "ts": event["start_ns"] / 1000.0,
+                        "dur": (event["end_ns"] - event["start_ns"]) / 1000.0,
+                        "pid": pid,
+                        "tid": tid,
+                        "args": event["args"],
+                    }
+                )
+            else:
+                out.append(
+                    {
+                        "name": event["name"],
+                        "ph": "i",
+                        "ts": event["ts_ns"] / 1000.0,
+                        "s": "t",
+                        "pid": pid,
+                        "tid": tid,
+                        "args": event["args"],
+                    }
+                )
+        metadata = [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": track},
+            }
+            for track, tid in sorted(tracks.items(), key=lambda kv: kv[1])
+        ]
+        return {"traceEvents": metadata + out, "displayTimeUnit": "ms"}
+
+    def to_chrome_json(self, pid: int = 1, indent: "int | None" = None) -> str:
+        return json.dumps(self.to_chrome(pid=pid), indent=indent)
+
+    def dump_chrome(self, path: str, pid: int = 1) -> None:
+        """Write the Chrome trace JSON to ``path`` (open in Perfetto)."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_chrome_json(pid=pid, indent=2))
+
+
+def validate_chrome_trace(payload: Any) -> list[str]:
+    """Schema-check a Chrome trace-event object; return problems found.
+
+    An empty list means the payload is structurally valid.  Used by the
+    bench smoke step and the conformance suite rather than a third-party
+    JSON-schema dependency.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["top level must be an object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "i", "M", "B", "E"):
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                problems.append(f"{where}: missing integer {key}")
+        if ph in ("X", "i", "B", "E"):
+            if not isinstance(event.get("ts"), (int, float)):
+                problems.append(f"{where}: missing numeric ts")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs non-negative dur")
+    return problems

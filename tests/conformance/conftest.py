@@ -1,0 +1,35 @@
+"""Observability hooks for the conformance suites.
+
+When a conformance cell fails under ``REPRO_CHAOS_DIR`` (set in CI),
+the fault-plan JSON it dumped is only half the replay story: it says
+what was *injected*, not what the stack *observed*.  This hook dumps
+the other half — the module's shared flight-recorder ring (health
+transitions, fault injections, lane deaths, degradations) and its
+metrics-registry snapshot — next to the plans, via
+:func:`repro.obs.recorder.dump_on_chaos`.
+
+A test module opts in by defining module-level ``CHAOS_RECORDER``
+(:class:`~repro.obs.FlightRecorder`) and optionally ``CHAOS_REGISTRY``
+(:class:`~repro.obs.MetricsRegistry`) and threading them into the
+executors it builds; ``test_fault_matrix._chaos_executor`` does.
+"""
+
+import re
+
+import pytest
+
+from repro.obs.recorder import dump_on_chaos
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    recorder = getattr(item.module, "CHAOS_RECORDER", None)
+    if recorder is None:
+        return
+    registry = getattr(item.module, "CHAOS_REGISTRY", None)
+    name = re.sub(r"[^A-Za-z0-9_.=-]+", "-", item.nodeid)
+    dump_on_chaos(recorder, name, registry=registry)

@@ -41,6 +41,7 @@ from repro.exec.faults import (
     FaultPlan,
 )
 from repro.lowerbounds import TopSubmatrixRankProtocol
+from repro.obs import FlightRecorder, MetricsRegistry
 
 TRIALS = 12
 
@@ -100,6 +101,14 @@ def _assert_bit_identical(batch, golden):
     assert batch.cost_totals() == golden.cost_totals()
 
 
+#: Shared across every cell in this module; on failure the conformance
+#: conftest hook dumps both to ``REPRO_CHAOS_DIR`` next to the fault
+#: plans, so a breaking schedule ships with the health transitions and
+#: failure counters the stack observed while it ran.
+CHAOS_RECORDER = FlightRecorder(capacity=4096)
+CHAOS_REGISTRY = MetricsRegistry()
+
+
 def _chaos_executor(endpoints, **overrides):
     """The conformance cells' executor configuration.
 
@@ -114,6 +123,8 @@ def _chaos_executor(endpoints, **overrides):
         heartbeat_interval=None,
         lane_retries=2,
         share_inputs_min_bytes=1,
+        recorder=CHAOS_RECORDER,
+        registry=CHAOS_REGISTRY,
     )
     options.update(overrides)
     return DistributedExecutor(endpoints, **options)

@@ -1,0 +1,154 @@
+"""Unit tests for the unified metrics registry (repro.obs.metrics)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        c = registry.counter("requests_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("requests_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_get_or_create_returns_same_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", worker="w0")
+        b = registry.counter("x_total", worker="w0")
+        assert a is b
+        assert registry.counter("x_total", worker="w1") is not a
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", b="2", a="1")
+        assert a is registry.counter("x_total", a="1", b="2")
+        assert a.labels == {"a": "1", "b": "2"}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == 11.5
+
+
+class TestHistogram:
+    def test_observe_buckets_count_sum(self):
+        h = MetricsRegistry().histogram("lat", buckets=[1.0, 10.0])
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(55.5)
+        snap = h.snapshot_value()
+        assert snap["bounds"] == [1.0, 10.0]
+        # one observation per bucket, including the overflow bucket
+        assert snap["bucket_counts"] == [1, 1, 1]
+
+
+class TestLabelCollisions:
+    def test_kind_collision_is_loud(self):
+        """Reusing a metric name with a different kind must TypeError,
+        never silently fork the series."""
+        registry = MetricsRegistry()
+        registry.counter("things_total")
+        with pytest.raises(TypeError):
+            registry.gauge("things_total")
+        with pytest.raises(TypeError):
+            registry.histogram("things_total")
+
+    def test_same_name_distinct_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("t", k="a").inc(1)
+        registry.counter("t", k="b").inc(2)
+        assert registry.total("t") == 3
+        assert registry.total("t", k="a") == 1
+        assert len(registry.series("t")) == 2
+
+
+class TestTotals:
+    def test_total_unknown_metric_is_zero(self):
+        assert MetricsRegistry().total("nope_total") == 0
+
+    def test_total_subset_filter(self):
+        registry = MetricsRegistry()
+        registry.counter("e", worker="w0", category="timeout").inc(2)
+        registry.counter("e", worker="w0", category="connect").inc(1)
+        registry.counter("e", worker="w1", category="timeout").inc(5)
+        assert registry.total("e") == 8
+        assert registry.total("e", worker="w0") == 3
+        assert registry.total("e", category="timeout") == 7
+        assert registry.total("e", worker="w1", category="connect") == 0
+
+    def test_total_of_histogram_is_type_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(1.0)
+        with pytest.raises(TypeError):
+            registry.total("lat")
+
+
+class TestJsonRoundTrip:
+    def test_empty_registry_round_trip(self):
+        registry = MetricsRegistry()
+        payload = registry.to_json()
+        decoded = json.loads(payload)
+        assert decoded["schema"] == MetricsRegistry.SCHEMA
+        restored = MetricsRegistry.from_json(payload)
+        assert restored.snapshot() == registry.snapshot()
+        assert restored.to_json() == payload
+
+    def test_populated_round_trip_is_exact(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", worker="w0", category="timeout").inc(3)
+        registry.gauge("g").set(2.5)
+        registry.histogram("h", buckets=[1.0]).observe(0.5)
+        restored = MetricsRegistry.from_json(registry.to_json())
+        assert restored.snapshot() == registry.snapshot()
+        assert restored.total("c_total", worker="w0") == 3
+        assert restored.to_json() == registry.to_json()
+
+    def test_concurrent_increments_all_land(self):
+        """N threads hammering one counter and its JSON export: the
+        final snapshot must contain every increment."""
+        registry = MetricsRegistry()
+        threads_n, per_thread = 8, 500
+
+        def hammer(i: int) -> None:
+            for _ in range(per_thread):
+                registry.counter("hot_total", thread=str(i % 2)).inc()
+                registry.gauge("depth").inc()
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        # Snapshot while writers are live: must never raise or deadlock.
+        registry.to_json()
+        for t in threads:
+            t.join()
+        assert registry.total("hot_total") == threads_n * per_thread
+        restored = MetricsRegistry.from_json(registry.to_json())
+        assert restored.total("hot_total") == threads_n * per_thread
+
+    def test_from_json_rejects_unknown_schema(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry.from_json('{"schema": "other-v9", "metrics": {}}')
+
+
+def test_exported_types_are_public():
+    assert Counter.__name__ == "Counter"
+    assert Gauge.__name__ == "Gauge"
+    assert Histogram.__name__ == "Histogram"

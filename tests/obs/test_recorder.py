@@ -1,0 +1,100 @@
+"""Unit tests for the flight recorder (repro.obs.recorder)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import FlightRecorder, MetricsRegistry
+from repro.obs.recorder import dump_on_chaos
+
+
+class TestRing:
+    def test_capacity_bounds_retention_but_not_seq(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(10):
+            recorder.record("tick", i=i)
+        assert len(recorder) == 3
+        assert recorder.total_recorded == 10
+        events = recorder.events()
+        assert [e["i"] for e in events] == [7, 8, 9]
+        assert [e["seq"] for e in events] == [8, 9, 10]
+        assert all(e["kind"] == "tick" and "ts" in e for e in events)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_events_returns_copies(self):
+        recorder = FlightRecorder()
+        recorder.record("x")
+        recorder.events()[0]["kind"] = "mutated"
+        assert recorder.events()[0]["kind"] == "x"
+
+    def test_clear_empties_window_keeps_total(self):
+        recorder = FlightRecorder()
+        recorder.record("x")
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.total_recorded == 1
+
+    def test_concurrent_records_all_counted(self):
+        recorder = FlightRecorder(capacity=10_000)
+        per_thread = 500
+
+        def hammer() -> None:
+            for _ in range(per_thread):
+                recorder.record("evt")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert recorder.total_recorded == 4 * per_thread
+        # every seq unique and consecutive
+        seqs = [e["seq"] for e in recorder.events()]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+
+class TestExport:
+    def test_to_json_envelope(self):
+        recorder = FlightRecorder(capacity=2)
+        recorder.record("health", worker="w0", old="healthy", new="suspect")
+        payload = json.loads(recorder.to_json())
+        assert payload["schema"] == FlightRecorder.SCHEMA
+        assert payload["capacity"] == 2
+        assert payload["total_recorded"] == 1
+        assert payload["events"][0]["worker"] == "w0"
+
+    def test_exotic_payload_degrades_to_string(self):
+        recorder = FlightRecorder()
+        recorder.record("odd", obj=object())
+        assert "object object at" in json.loads(recorder.to_json())["events"][0]["obj"]
+
+    def test_dump_creates_parents(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record("x")
+        target = recorder.dump(tmp_path / "deep" / "dir" / "dump.json")
+        assert json.loads(target.read_text())["total_recorded"] == 1
+
+
+class TestDumpOnChaos:
+    def test_noop_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS_DIR", raising=False)
+        assert dump_on_chaos(FlightRecorder(), "cell") is None
+
+    def test_dumps_recorder_and_metrics(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_DIR", str(tmp_path / "chaos"))
+        recorder = FlightRecorder()
+        recorder.record("fault_injected", site="worker-0", fault="crash")
+        registry = MetricsRegistry()
+        registry.counter("exec_errors_total", worker="w0", category="crash").inc()
+        path = dump_on_chaos(recorder, "cell-seed23", registry=registry)
+        assert path is not None and path.name == "cell-seed23.flightrec.json"
+        dumped = json.loads(path.read_text())
+        assert dumped["events"][0]["fault"] == "crash"
+        metrics_path = path.parent / "cell-seed23.metrics.json"
+        restored = MetricsRegistry.from_json(metrics_path.read_text())
+        assert restored.total("exec_errors_total") == 1

@@ -1,0 +1,131 @@
+"""Tests for ``python -m repro.obs.report`` (repro.obs.report).
+
+The acceptance bar: running the CLI against a chaos metrics dump must
+print per-worker failure counts matching what ``ErrorTelemetry``
+reported live.
+"""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.exec.health import ErrorTelemetry
+from repro.obs import FlightRecorder, MetricsRegistry, Tracer
+from repro.obs.report import main, render_flightrec, render_metrics, render_trace
+
+
+def fake_clock(start: int = 0, step: int = 1000):
+    state = {"now": start - step}
+
+    def tick() -> int:
+        state["now"] += step
+        return state["now"]
+
+    return tick
+
+
+@pytest.fixture
+def telemetry_registry():
+    """A registry populated the way a chaotic run populates it: through
+    ErrorTelemetry, with tuple worker addresses."""
+    registry = MetricsRegistry()
+    telemetry = ErrorTelemetry(registry=registry)
+    for _ in range(3):
+        telemetry.record(("127.0.0.1", 9123), "timeout")
+    telemetry.record(("127.0.0.1", 9123), "connect")
+    telemetry.record(("127.0.0.1", 9124), "corrupt")
+    return registry, telemetry
+
+
+class TestRenderMetrics:
+    def test_failure_matrix_matches_error_telemetry(self, telemetry_registry):
+        registry, telemetry = telemetry_registry
+        text = "\n".join(render_metrics(registry))
+        assert "failures by worker x category" in text
+        # rows match the live telemetry view, totals included
+        line_9123 = next(
+            line for line in text.splitlines() if line.startswith("127.0.0.1:9123")
+        )
+        counts = telemetry.counts()[("127.0.0.1", 9123)]
+        # columns: connect, corrupt, timeout, total (sorted categories)
+        assert line_9123.split()[1:] == [
+            str(counts.get("connect", 0)),
+            "0",
+            str(counts.get("timeout", 0)),
+            str(sum(counts.values())),
+        ]
+        assert "TOTAL" in text
+
+    def test_histogram_section(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=[1.0]).observe(0.5)
+        registry.histogram("lat", buckets=[1.0]).observe(1.5)
+        text = "\n".join(render_metrics(registry))
+        assert "== histogram lat ==" in text
+        assert "2" in text  # count column
+
+
+class TestRenderTrace:
+    def test_per_track_summary_uses_thread_names(self):
+        tracer = Tracer(clock=fake_clock(step=1_000_000))
+        with tracer.span("chunk", track="lane-0"):
+            tracer.instant("steal", track="lane-0")
+        text = "\n".join(render_trace(tracer.to_chrome()))
+        line = next(l for l in text.splitlines() if l.startswith("lane-0"))
+        track, spans, instants, busy_ms = line.split()
+        assert (spans, instants) == ("1", "1")
+        assert float(busy_ms) == pytest.approx(2.0)  # two 1 ms ticks
+
+
+class TestRenderFlightrec:
+    def test_by_kind_and_tail(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(6):
+            recorder.record("health", worker=f"w{i}", new="dead")
+        recorder.record("fleet_degraded", chunks_left=2)
+        text = "\n".join(render_flightrec(json.loads(recorder.to_json())))
+        assert "retained 4 of 7 events (capacity 4)" in text
+        assert "fleet_degraded" in text
+        assert "#7 fleet_degraded" in text
+
+
+class TestCli:
+    def test_requires_at_least_one_input(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_full_invocation(self, tmp_path, capsys, telemetry_registry):
+        registry, _ = telemetry_registry
+        metrics = tmp_path / "m.json"
+        metrics.write_text(registry.to_json())
+        tracer = Tracer(clock=fake_clock())
+        tracer.instant("steal", track="lane-0")
+        trace = tmp_path / "t.json"
+        tracer.dump_chrome(trace)
+        recorder = FlightRecorder()
+        recorder.record("lane_death", lane=0)
+        flightrec = recorder.dump(tmp_path / "f.json")
+
+        assert main([str(metrics), "--trace", str(trace), "--flightrec", str(flightrec)]) == 0
+        out = capsys.readouterr().out
+        assert "== metrics ==" in out
+        assert "== trace ==" in out
+        assert "== flight recorder ==" in out
+        assert "127.0.0.1:9124" in out
+
+    def test_module_entry_point(self, tmp_path):
+        """python -m repro.obs.report works end to end as a subprocess."""
+        registry = MetricsRegistry()
+        registry.counter("exec_errors_total", worker="w0", category="x").inc()
+        metrics = tmp_path / "m.json"
+        metrics.write_text(registry.to_json())
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.obs.report", str(metrics)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "failures by worker x category" in result.stdout

@@ -1,0 +1,162 @@
+"""Unit tests for the span tracer and Chrome trace export (repro.obs.trace)."""
+
+import json
+import threading
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer, validate_chrome_trace
+from repro.obs.trace import _NULL_SPAN
+
+
+def fake_clock(start: int = 0, step: int = 1000):
+    """A deterministic nanosecond clock: start, start+step, ..."""
+    state = {"now": start - step}
+
+    def tick() -> int:
+        state["now"] += step
+        return state["now"]
+
+    return tick
+
+
+class TestSpans:
+    def test_span_records_exact_timestamps(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("run_batch", track="engine", trials=4):
+            pass
+        (event,) = tracer.events()
+        assert event == {
+            "type": "span",
+            "name": "run_batch",
+            "track": "engine",
+            "start_ns": 0,
+            "end_ns": 1000,
+            "args": {"trials": 4},
+        }
+
+    def test_close_is_idempotent(self):
+        tracer = Tracer(clock=fake_clock())
+        span = tracer.span("s")
+        span.close()
+        span.close()
+        assert len(tracer.events()) == 1
+
+    def test_explicit_close_with_late_args(self):
+        """The worker/feed pattern: open, annotate the outcome, close."""
+        tracer = Tracer(clock=fake_clock())
+        span = tracer.span("chunk", track="lane-0")
+        span.args["outcome"] = "timeout"
+        span.close()
+        (event,) = tracer.events()
+        assert event["args"] == {"outcome": "timeout"}
+
+    def test_instants_and_contexts(self):
+        tracer = Tracer(clock=fake_clock())
+        tracer.instant("steal", track="lane-1", victim=0)
+        assert tracer.new_context() == 1
+        assert tracer.new_context() == 2
+        (event,) = tracer.events()
+        assert event["type"] == "instant"
+        assert event["ts_ns"] == 0
+
+    def test_adopt_merges_worker_side_events(self):
+        client = Tracer(clock=fake_clock())
+        worker = Tracer(clock=fake_clock(start=500))
+        with worker.span("exec_chunk", track="worker", ctx=1):
+            pass
+        client.adopt(worker.events())
+        assert [e["name"] for e in client.events()] == ["exec_chunk"]
+
+    def test_threaded_recording_is_lossless(self):
+        tracer = Tracer()
+        per_thread = 200
+
+        def emit(i: int) -> None:
+            for _ in range(per_thread):
+                with tracer.span("s", track=f"t{i}"):
+                    pass
+
+        threads = [threading.Thread(target=emit, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer.events()) == 4 * per_thread
+
+
+class TestNullTracer:
+    def test_null_tracer_is_free_and_shared(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.span("anything", track="t", big=list(range(10))) is _NULL_SPAN
+        assert NULL_TRACER.span("other") is _NULL_SPAN  # one shared instance
+        with NULL_TRACER.span("ctx") as span:
+            span.close()
+        NULL_TRACER.instant("steal")
+        assert NULL_TRACER.new_context() is None
+        assert NULL_TRACER.events() == []
+
+    def test_real_tracer_is_enabled(self):
+        assert Tracer(clock=fake_clock()).enabled is True
+        assert isinstance(NULL_TRACER, NullTracer)
+
+
+class TestChromeExport:
+    def test_export_schema_and_units(self):
+        tracer = Tracer(clock=fake_clock(step=2500))
+        with tracer.span("chunk", track="lane-0", items=3):
+            tracer.instant("steal", track="lane-1")
+        payload = tracer.to_chrome()
+        assert validate_chrome_trace(payload) == []
+        assert payload["displayTimeUnit"] == "ms"
+        by_ph = {}
+        for event in payload["traceEvents"]:
+            by_ph.setdefault(event["ph"], []).append(event)
+        # two tracks -> two thread_name metadata records
+        assert {m["args"]["name"] for m in by_ph["M"]} == {"lane-0", "lane-1"}
+        (span,) = by_ph["X"]
+        assert span["ts"] == 0.0  # ns -> µs
+        assert span["dur"] == 5.0  # two ticks of 2500 ns
+        (instant,) = by_ph["i"]
+        assert instant["s"] == "t"
+        # events on different tracks land on different tids
+        assert span["tid"] != instant["tid"]
+
+    def test_json_round_trip_stays_valid(self):
+        tracer = Tracer(clock=fake_clock())
+        with tracer.span("s"):
+            pass
+        payload = json.loads(tracer.to_chrome_json())
+        assert validate_chrome_trace(payload) == []
+
+    def test_dump_chrome_writes_loadable_file(self, tmp_path):
+        tracer = Tracer(clock=fake_clock())
+        tracer.instant("mark")
+        target = tmp_path / "trace.json"
+        tracer.dump_chrome(target)
+        assert validate_chrome_trace(json.loads(target.read_text())) == []
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) == ["top level must be an object"]
+
+    def test_rejects_missing_events_list(self):
+        assert validate_chrome_trace({"traceEvents": 3}) == [
+            "traceEvents must be a list"
+        ]
+
+    def test_flags_bad_events(self):
+        payload = {
+            "traceEvents": [
+                {"ph": "Q", "name": "x", "pid": 1, "tid": 1},
+                {"ph": "X", "name": "x", "pid": 1, "tid": 1, "ts": 0.0, "dur": -1},
+                {"ph": "i", "pid": 1, "tid": "one", "ts": 0.0},
+            ]
+        }
+        problems = validate_chrome_trace(payload)
+        # event 0: unknown phase; event 1: negative dur;
+        # event 2: missing name AND non-integer tid
+        assert len(problems) == 4
+        assert any("unknown phase" in p for p in problems)
+        assert any("non-negative dur" in p for p in problems)
+        assert any("missing name" in p for p in problems)
+        assert any("integer tid" in p for p in problems)

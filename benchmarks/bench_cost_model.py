@@ -1,0 +1,148 @@
+"""Symbolic cost-model predictions vs measured engine costs at large n.
+
+The conformance matrix (``tests/conformance/test_cost_model.py``) checks
+every protocol's ``cost_model()`` on small parameter grids.  This bench
+pushes the same predicted-vs-measured claim to one *large* point per
+protocol — sizes the scalar simulator would take minutes on are a single
+vectorized batch — and records how cheap prediction is next to
+measurement: ``predict()`` is pure integer formula evaluation, so it
+costs microseconds at ``n = 512`` and exactly the same at ``n = 10⁹``,
+where nothing can be measured at all.
+
+Running this file as a script (or ``pytest benchmarks/bench_cost_model.py``)
+verifies measured ``cost_totals()`` equal the model's prediction (exact
+models) or sit inside its realized bounds (bounded models) at the large-n
+point, writes the medians to ``BENCH_costs.json`` in the repo root (the
+machine-readable artifact CI uploads), and asserts an extrapolation at
+``n = 10⁹`` stays pure-formula fast (< 50 µs per evaluation).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _util import median_ns, print_table, write_bench_json
+
+from repro.core import Engine, RunSpec
+from repro.costs import COST_KINDS
+from repro.distributions import UniformRows
+from repro.distributions.undirected import UndirectedRandomGraph
+from repro.prg.attacks import SupportMembershipAttack
+from repro.protocols import DeterministicEqualityProtocol
+from repro.protocols.connectivity import ConnectivityProtocol
+from repro.protocols.triangles import FullExchangeTriangleProtocol
+
+BATCH = 64
+EXTRAPOLATION_N = 10**9
+PREDICT_NS_BAR = 50_000.0  # 50 µs: formula evaluation, not simulation
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_costs.json"
+
+#: One large-n point per cost-model shape: two exact models (fixed round
+#: structure), one exact model with width formulas (packed payloads), one
+#: bounded model (dynamic termination).
+WORKLOADS = [
+    ("equality", DeterministicEqualityProtocol(m=48), UniformRows(256, 48), 256),
+    ("seed_attack", SupportMembershipAttack(k=40), UniformRows(512, 41), 512),
+    ("triangles", FullExchangeTriangleProtocol(96), UndirectedRandomGraph(96), 96),
+    ("connectivity", ConnectivityProtocol(128), UndirectedRandomGraph(128), 128),
+]
+
+
+def _spec(protocol, dist):
+    return RunSpec(
+        protocol=protocol,
+        distribution=dist,
+        seed=20260808,
+        vectorized=True,
+    )
+
+
+def collect_cost_model_records() -> list[dict]:
+    """Measure one vectorized batch per workload and check it against the
+    symbolic model — exact equality or realized bounds — then time both
+    sides of the comparison."""
+    records = []
+    engine = Engine()
+    for name, protocol, dist, n in WORKLOADS:
+        model = protocol.cost_model()
+        batch = engine.run_batch(_spec(protocol, dist), BATCH)
+        problems = model.check_batch(batch, n=n)
+        assert problems == [], (name, problems[:3])
+        totals = batch.cost_totals()
+        if model.is_exact:
+            assert totals == model.predict(BATCH, n=n), name
+        else:
+            bounds = model.predict_bounds(BATCH, n=n)
+            for kind in COST_KINDS:
+                lo, hi = bounds[kind]
+                assert lo <= totals[kind] <= hi, (name, kind)
+        measure_ns = median_ns(
+            engine.run_batch, _spec(protocol, dist), BATCH, repeats=3
+        )
+        predictor = model.predict if model.is_exact else model.predict_bounds
+        predict_ns = median_ns(
+            lambda: predictor(BATCH, n=n), repeats=5, number=100
+        )
+        extrapolate_ns = median_ns(
+            lambda: model.predict_bounds(1, n=EXTRAPOLATION_N),
+            repeats=5,
+            number=100,
+        )
+        records.append(
+            {
+                "workload": name,
+                "model": "exact" if model.is_exact else "bounded",
+                "n": n,
+                "batch": BATCH,
+                "broadcast_bits": totals["broadcast_bits"],
+                "measure_ns_per_batch": measure_ns,
+                "predict_ns_per_batch": predict_ns,
+                "extrapolate_1e9_ns": extrapolate_ns,
+                "measure_over_predict": measure_ns / predict_ns,
+            }
+        )
+    return records
+
+
+def _report(records: list[dict]) -> None:
+    print_table(
+        f"Cost-model conformance at large n (batch={BATCH}, medians)",
+        ["workload", "model", "n", "measure ns", "predict ns", "ratio"],
+        [
+            [
+                r["workload"],
+                r["model"],
+                r["n"],
+                r["measure_ns_per_batch"],
+                r["predict_ns_per_batch"],
+                r["measure_over_predict"],
+            ]
+            for r in records
+        ],
+    )
+    write_bench_json(BENCH_JSON, records)
+    print(f"wrote {BENCH_JSON}")
+
+
+def _assert_prediction_stays_formula_fast(records: list[dict]) -> None:
+    for r in records:
+        assert r["extrapolate_1e9_ns"] < PREDICT_NS_BAR, (
+            f"{r['workload']}: predicting at n=10^9 took "
+            f"{r['extrapolate_1e9_ns']:.0f} ns — the model layer must stay "
+            "pure integer formula evaluation"
+        )
+
+
+def test_cost_model_trajectory():
+    """Predicted == measured (or inside realized bounds) at one large-n
+    point per protocol, with medians recorded in BENCH_costs.json."""
+    records = collect_cost_model_records()
+    _report(records)
+    _assert_prediction_stays_formula_fast(records)
+
+
+if __name__ == "__main__":
+    _records = collect_cost_model_records()
+    _report(_records)
+    _assert_prediction_stays_formula_fast(_records)
+    print("predicted-vs-measured conformance holds at every large-n point")

@@ -36,8 +36,10 @@ import math
 import numpy as np
 
 from ..core.processor import ProcessorContext
-from ..core.protocol import Protocol
+from ..core.protocol import Protocol, require_bits
+from ..core.randomness import expand_seed
 from ..core.transcript import Transcript
+from ..costs import Const, CostModel, Phase, Realized, Sym
 from .exhaustive import max_clique
 from .problem import bidirected_skeleton
 
@@ -83,7 +85,19 @@ class PlantedCliqueSubsampleProtocol(Protocol):
 
     Outputs: every processor outputs the recovered ``frozenset`` of
     claimant vertices, or ``None`` if the protocol aborted.
+
+    The protocol is randomized, but its only coin use is the round-0
+    activation draw — ``_COIN_PRECISION`` private bits per processor — so
+    it supports the engine's vectorized fast path: the engine hands
+    ``batch_decisions`` / ``batch_keys`` the per-processor coin seeds it
+    would have given the scalar simulator, and the batch replays the same
+    draws bit for bit.
     """
+
+    supports_batch = True
+    supports_batch_keys = True
+    batch_uses_coins = True
+    batch_coin_bits = _COIN_PRECISION
 
     def __init__(
         self,
@@ -204,6 +218,154 @@ class PlantedCliqueSubsampleProtocol(Protocol):
             if e.message == 1
         )
         return claimants
+
+    # ------------------------------------------------------------------
+    # Symbolic cost model
+    # ------------------------------------------------------------------
+    def cost_model(self) -> CostModel:
+        """Bounded: the realized round count ``R`` (1 on activation abort,
+        else ``N_active + 2``) is measured; at that ``R`` every kind is
+        exact — one activation round costing ``_COIN_PRECISION`` private
+        bits per processor, then ``R - 1`` single-bit rounds for the edge
+        and membership phases."""
+        n, rounds = Sym("n"), Sym("R")
+        return CostModel(
+            [
+                Phase(
+                    "activation",
+                    rounds=1,
+                    turns=n,
+                    broadcast_bits=n,
+                    total_private_bits=Const(_COIN_PRECISION) * n,
+                ),
+                Phase(
+                    "edges+membership",
+                    rounds=rounds - 1,
+                    turns=n * (rounds - 1),
+                    broadcast_bits=n * (rounds - 1),
+                ),
+            ],
+            realized=[Realized("R", source="rounds", lo=1, hi=n + 2)],
+        )
+
+    # ------------------------------------------------------------------
+    # Vectorized fast path
+    # ------------------------------------------------------------------
+    def _batch_trace(
+        self, inputs: np.ndarray, coin_seeds: np.ndarray | None
+    ) -> tuple[np.ndarray, list[tuple[int, ...]]]:
+        """Batched replay shared by :meth:`batch_decisions` and
+        :meth:`batch_keys` (memoized on the input/seed identities).
+
+        Activation draws replay the scalar per-processor coin chain
+        (``expand_seed`` of each engine-supplied seed, one
+        ``_COIN_PRECISION``-bit draw); the per-trial edge and membership
+        rounds are then single fancy-indexing passes over the adjacency
+        stack, with only the max-clique search left per trial.
+        """
+        cached = getattr(self, "_batch_cache", None)
+        if (
+            cached is not None
+            and cached[0] is inputs
+            and cached[1] is coin_seeds
+        ):
+            return cached[2], cached[3]
+        if coin_seeds is None:
+            raise ValueError(
+                "the subsample protocol draws private coins; batch calls "
+                "must supply coin_seeds (the engine does, via "
+                "batch_uses_coins)"
+            )
+        stack = np.asarray(inputs, dtype=np.uint8)
+        if stack.ndim != 3:
+            raise ValueError(
+                f"inputs must be a (trials, n, m) stack, got shape {stack.shape}"
+            )
+        trials, n, m = stack.shape
+        if m < n:
+            raise ValueError(
+                f"adjacency rows must cover all n={n} vertices, got {m} bits"
+            )
+        require_bits(stack[:, :, :n], "subsample adjacency")
+        seeds = np.asarray(coin_seeds)
+        if seeds.shape != (trials, n):
+            raise ValueError(
+                f"coin_seeds must have shape ({trials}, {n}), got {seeds.shape}"
+            )
+        p = activation_probability(n, self.k, self.activation_factor)
+        draws = np.empty((trials, n), dtype=np.int64)
+        for t in range(trials):
+            for i in range(n):
+                draws[t, i] = expand_seed(int(seeds[t, i])).integers(
+                    0, 1 << _COIN_PRECISION
+                )
+        active_mask = draws < p * (1 << _COIN_PRECISION)
+        counts = active_mask.sum(axis=1)
+        cap = 2.0 * n * p
+        threshold = self.clique_threshold_factor * p * self.k
+        diag = np.arange(n)
+        outputs = np.empty(trials, dtype=object)
+        keys: list[tuple[int, ...]] = []
+        for t in range(trials):
+            activation_bits = active_mask[t].astype(np.int64)
+            if counts[t] > cap or counts[t] < 2:
+                outputs[t] = None
+                keys.append(tuple(int(v) for v in activation_bits))
+                continue
+            adj = stack[t, :, :n]
+            active = np.nonzero(active_mask[t])[0]
+            # Round 1 + r: everyone's edge toward the r-th activated
+            # vertex (inactive processors broadcast 0).
+            edge_block = np.where(active_mask[t][:, None], adj[:, active], 0)
+            sub = adj[np.ix_(active, active)].copy()
+            np.fill_diagonal(sub, 0)
+            local = max_clique(sub & sub.T)
+            if len(local) < threshold:
+                outputs[t] = None
+                membership = np.zeros(n, dtype=np.int64)
+            else:
+                cols = active[np.array(sorted(local), dtype=np.int64)]
+                in_clique = np.zeros(n, dtype=np.int64)
+                in_clique[cols] = 1
+                support = (
+                    adj[:, cols].sum(axis=1).astype(np.int64)
+                    - in_clique * adj[diag, diag].astype(np.int64)
+                )
+                len_others = len(cols) - in_clique
+                claims = (
+                    support >= self.support_fraction * len_others
+                ).astype(np.int64)
+                membership = np.where(len_others == 0, 0, claims)
+                outputs[t] = frozenset(
+                    int(v) for v in np.nonzero(membership == 1)[0]
+                )
+            key = np.concatenate(
+                [
+                    activation_bits,
+                    edge_block.T.reshape(-1).astype(np.int64),
+                    membership,
+                ]
+            )
+            keys.append(tuple(int(v) for v in key))
+        self._batch_cache = (inputs, coin_seeds, outputs, keys)
+        return outputs, keys
+
+    def batch_decisions(
+        self, inputs: np.ndarray, coin_seeds: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-trial recovered cliques (or ``None``) for a whole
+        ``(trials, n, m)`` batch under engine-supplied coin seeds."""
+        outputs, _ = self._batch_trace(inputs, coin_seeds)
+        return outputs
+
+    def batch_keys(
+        self, inputs: np.ndarray, coin_seeds: np.ndarray | None = None
+    ) -> list[tuple[int, ...]]:
+        """Ragged per-trial transcript keys: activation bits, then the
+        edge rounds in round-major order, then the membership round
+        (activation bits only on abort)."""
+        _, keys = self._batch_trace(inputs, coin_seeds)
+        return keys
 
 
 def subsample_recover(

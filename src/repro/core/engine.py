@@ -273,6 +273,13 @@ class BatchResult:
     """
 
     trials: list[TrialResult] = field(default_factory=list)
+    #: Lazily-built cache of the vectorized cost views below.  Accessors
+    #: like ``batch.rounds`` used to re-materialize a fresh array from a
+    #: generator on every call; estimators that touch them in loops now get
+    #: the same (read-only) array object back each time.
+    _cost_cache: dict[str, np.ndarray] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.trials)
@@ -318,11 +325,18 @@ class BatchResult:
 
     # -- vectorized cost statistics -------------------------------------
     def _cost_array(self, attr: str) -> np.ndarray:
-        return np.fromiter(
-            (getattr(t.cost, attr) for t in self.trials),
-            dtype=np.int64,
-            count=len(self.trials),
-        )
+        cached = self._cost_cache.get(attr)
+        if cached is None:
+            cached = np.fromiter(
+                (getattr(t.cost, attr) for t in self.trials),
+                dtype=np.int64,
+                count=len(self.trials),
+            )
+            # Handing the same object to every caller means a mutation
+            # would poison all later reads — freeze it.
+            cached.setflags(write=False)
+            self._cost_cache[attr] = cached
+        return cached
 
     @property
     def rounds(self) -> np.ndarray:
@@ -489,6 +503,32 @@ def _evict_shared_attachment(name: str) -> None:
 # ----------------------------------------------------------------------
 # Trial runner (module level so process pools can pickle it)
 # ----------------------------------------------------------------------
+def _normalize_batch_keys(
+    raw: "np.ndarray | list[tuple[int, ...]]", count: int
+) -> list[tuple[int, ...]]:
+    """Normalize a ``batch_keys`` return value to per-trial key tuples.
+
+    Accepts the rectangular ``(trials, turns)`` integer array of
+    fixed-round protocols or the ragged list / object array of
+    dynamically-terminating ones; always yields plain-int tuples matching
+    ``Transcript.key()``.
+    """
+    if isinstance(raw, np.ndarray) and raw.dtype != object:
+        if raw.ndim != 2 or raw.shape[0] != count:
+            raise ValueError(
+                f"batch_keys must return shape ({count}, turns), "
+                f"got {raw.shape}"
+            )
+        return [tuple(row) for row in raw.tolist()]
+    keys = list(raw)
+    if len(keys) != count:
+        raise ValueError(
+            f"batch_keys must return one key per trial ({count}), "
+            f"got {len(keys)}"
+        )
+    return [tuple(int(v) for v in key) for key in keys]
+
+
 class _TrialRunner:
     """Callable shipping a spec to workers: ``(index, SeedSequence) → TrialResult``."""
 
@@ -1018,43 +1058,67 @@ class Engine:
         if trials == 0:
             return BatchResult()
 
+        uses_coins = bool(getattr(protocol, "batch_uses_coins", False))
+        coin_bits = int(getattr(protocol, "batch_coin_bits", 0)) if uses_coins else 0
+
+        def coin_seeds_for(rng: np.random.Generator, n: int) -> np.ndarray:
+            # Exactly the per-processor seed draw make_contexts performs on
+            # the scalar path, so batched coin protocols replay the same
+            # private randomness bit for bit.
+            return rng.integers(0, 2**63, size=n, dtype=np.int64)
+
         def trial_results(
             start: int,
             inputs: np.ndarray,
             per_trial_inputs: Callable[[int], np.ndarray],
+            coin_seeds: np.ndarray | None = None,
         ) -> list[TrialResult]:
-            decisions = np.asarray(protocol.batch_decisions(inputs))
-            if decisions.shape != (inputs.shape[0],):
-                raise ValueError(
-                    f"batch_decisions must return shape ({inputs.shape[0]},), "
-                    f"got {decisions.shape}"
+            count, n = inputs.shape[0], inputs.shape[1]
+            if uses_coins:
+                decisions = np.asarray(
+                    protocol.batch_decisions(inputs, coin_seeds=coin_seeds)
                 )
-            keys = np.asarray(protocol.batch_keys(inputs))
-            if keys.ndim != 2 or keys.shape[0] != inputs.shape[0]:
+                raw_keys = protocol.batch_keys(inputs, coin_seeds=coin_seeds)
+            else:
+                decisions = np.asarray(protocol.batch_decisions(inputs))
+                raw_keys = protocol.batch_keys(inputs)
+            if decisions.shape not in ((count,), (count, n)):
                 raise ValueError(
-                    f"batch_keys must return shape ({inputs.shape[0]}, turns), "
-                    f"got {keys.shape}"
+                    f"batch_decisions must return shape ({count},) or "
+                    f"({count}, {n}), got {decisions.shape}"
                 )
-            key_tuples = [tuple(row) for row in keys.tolist()]
-            n = inputs.shape[1]
-            rounds = protocol.num_rounds(n)
+            key_tuples = _normalize_batch_keys(raw_keys, count)
             width = protocol.message_size
+            decision_rows = decisions.tolist()
             out = []
-            for offset, decision in enumerate(decisions):
+            for offset in range(count):
+                key = key_tuples[offset]
+                turns = len(key)
+                if n:
+                    if turns % n:
+                        raise ValueError(
+                            f"batch_keys row {start + offset} has {turns} "
+                            f"turns, not a multiple of n={n}: every processor "
+                            "speaks once per round"
+                        )
+                    rounds = turns // n
+                else:
+                    rounds = protocol.num_rounds(0)
                 cost = CostReport(
                     n_processors=n,
                     rounds=rounds,
-                    turns=n * rounds,
-                    broadcast_bits=n * rounds * width,
+                    turns=turns,
+                    broadcast_bits=turns * width,
                     message_size=width,
-                    private_bits_per_processor=[0] * n,
+                    private_bits_per_processor=[coin_bits] * n,
                     public_bits=0,
                 )
+                value = decision_rows[offset]
                 out.append(
                     TrialResult(
                         trial_index=start + offset,
-                        outputs=[decision.item()] * n,
-                        transcript_key=key_tuples[offset],
+                        outputs=list(value) if decisions.ndim == 2 else [value] * n,
+                        transcript_key=key,
                         cost=cost,
                         inputs=per_trial_inputs(offset)
                         if spec.record_inputs
@@ -1063,9 +1127,9 @@ class Engine:
                 )
             return out
 
-        if spec.distribution is None:
-            # Deterministic protocol + fixed inputs: one evaluation covers
-            # every trial.
+        if spec.distribution is None and not uses_coins:
+            # Input-deterministic protocol + fixed inputs: one evaluation
+            # covers every trial.
             single = trial_results(0, spec.inputs[None], lambda _: spec.inputs)
             template = single[0]
             results = [
@@ -1078,14 +1142,47 @@ class Engine:
         results = []
         for start in range(0, trials, self.VECTORIZED_CHUNK_TRIALS):
             chunk = seeds[start : start + self.VECTORIZED_CHUNK_TRIALS]
-            inputs = np.stack(
-                [
-                    spec.distribution.sample(np.random.default_rng(seed))
-                    for seed in chunk
-                ]
-            )
+            chunk_coin_seeds = None
+            if spec.distribution is None:
+                # Coin protocol on fixed inputs: trials differ only in
+                # their private coins; share one read-only input view.
+                rows = [spec.inputs] * len(chunk)
+                inputs = np.broadcast_to(
+                    spec.inputs[None], (len(chunk),) + spec.inputs.shape
+                )
+            else:
+                rows = []
+                per_trial_coin_seeds = []
+                for seed in chunk:
+                    rng = np.random.default_rng(seed)
+                    # Order matters and mirrors _TrialRunner: the input is
+                    # sampled first, then make_contexts draws coin seeds
+                    # from the same generator.
+                    row = spec.distribution.sample(rng)
+                    rows.append(row)
+                    if uses_coins:
+                        per_trial_coin_seeds.append(
+                            coin_seeds_for(rng, row.shape[0])
+                        )
+                inputs = np.stack(rows)
+                if uses_coins:
+                    chunk_coin_seeds = np.stack(per_trial_coin_seeds)
+            if uses_coins and chunk_coin_seeds is None:
+                chunk_coin_seeds = np.stack(
+                    [
+                        coin_seeds_for(
+                            np.random.default_rng(seed), spec.inputs.shape[0]
+                        )
+                        for seed in chunk
+                    ]
+                )
             results.extend(
-                trial_results(start, inputs, lambda offset: inputs[offset])
+                trial_results(
+                    start,
+                    inputs,
+                    lambda offset: rows[offset],
+                    coin_seeds=chunk_coin_seeds,
+                )
             )
         return BatchResult(trials=results)
 

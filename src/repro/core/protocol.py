@@ -20,12 +20,15 @@ Two concrete conveniences are provided:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
 from .errors import ProtocolViolation
 from .processor import ProcessorContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (no runtime cycle)
+    from ..costs.model import CostModel
 
 __all__ = ["Protocol", "FunctionProtocol", "ComposedProtocol", "require_bits"]
 
@@ -73,11 +76,24 @@ class Protocol:
         ``supports_batch`` falls back to scalar simulation under
         ``vectorized=True`` (with a
         :class:`~repro.core.errors.BatchFallbackWarning`).
+    batch_uses_coins:
+        True for batchable protocols whose behaviour depends on *private*
+        coins.  The engine then reproduces the scalar path's per-processor
+        coin seeding (the ``(n,)`` seed vector ``make_contexts`` draws from
+        the trial generator) and passes it to :meth:`batch_decisions` /
+        :meth:`batch_keys` as the ``coin_seeds`` keyword, so batched coin
+        protocols stay bit-identical to scalar simulation.
+    batch_coin_bits:
+        Exact number of private-coin bits *each processor* consumes per
+        trial when ``batch_uses_coins`` is set (must be input-independent);
+        the fast path synthesizes ``private_bits_per_processor`` from it.
     """
 
     message_size: int = 1
     supports_batch: bool = False
     supports_batch_keys: bool = False
+    batch_uses_coins: bool = False
+    batch_coin_bits: int = 0
 
     def num_rounds(self, n: int) -> int:
         """Number of rounds the protocol runs for ``n`` processors.
@@ -115,33 +131,71 @@ class Protocol:
         is the processor's output."""
         return None
 
-    def batch_decisions(self, inputs: np.ndarray) -> np.ndarray:
+    def batch_decisions(
+        self, inputs: np.ndarray, coin_seeds: np.ndarray | None = None
+    ) -> np.ndarray:
         """Outputs for a whole ``(trials, n, m)`` input batch at once.
 
-        Only meaningful when :attr:`supports_batch` is set; must return an
-        array of shape ``(trials,)`` holding the output every processor
-        would produce in each trial, bit-identical to running
-        :meth:`output` through the simulator on the same inputs.
+        Only meaningful when :attr:`supports_batch` is set; must return
+        either an array of shape ``(trials,)`` holding the output every
+        processor would produce in each trial, or — for protocols whose
+        processors output distinct values — shape ``(trials, n)`` with one
+        entry per processor.  Non-numeric outputs (tuples, frozensets)
+        must be packed in an ``object``-dtype array built explicitly with
+        ``np.empty(..., dtype=object)``.  Either way the values must be
+        bit-identical to running :meth:`output` through the simulator on
+        the same inputs.
+
+        ``coin_seeds`` is only passed (as a ``(trials, n)`` int64 array of
+        per-processor seeds, one row per trial, matching the scalar
+        simulator's ``make_contexts`` draw) when :attr:`batch_uses_coins`
+        is set.
         """
         raise NotImplementedError(
             f"{type(self).__name__} does not implement batched evaluation"
         )
 
-    def batch_keys(self, inputs: np.ndarray) -> np.ndarray:
+    def batch_keys(
+        self, inputs: np.ndarray, coin_seeds: np.ndarray | None = None
+    ) -> np.ndarray | list[tuple[int, ...]]:
         """Transcript keys for a whole ``(trials, n, m)`` input batch at once.
 
         Only meaningful when :attr:`supports_batch_keys` is set; must
-        return an integer array of shape ``(trials, turns)`` whose row
-        ``t`` equals ``Transcript.key()`` of running the protocol through
-        the simulator on ``inputs[t]`` — the message payloads in turn
-        order (round-major, processor ``0 … n-1`` within each round, the
-        speaking order shared by both library schedulers).  Implementations
-        must reject inputs the scalar path would reject (e.g. non-bit
-        payloads that the ``BCAST(b)`` width check refuses) rather than
-        silently diverge from it.
+        return the per-trial *transcript keys* — each row/entry ``t``
+        equal to ``Transcript.key()`` of running the protocol through the
+        simulator on ``inputs[t]``: the message payloads in turn order
+        (round-major, processor ``0 … n-1`` within each round, the
+        speaking order shared by both library schedulers).  Fixed-round
+        protocols return an integer array of shape ``(trials, turns)``;
+        dynamically-terminating protocols (``finished`` overridden) may
+        instead return a ragged ``list``/object array of per-trial tuples
+        whose lengths are each trial's realized turn count — the engine
+        synthesizes per-trial :class:`~repro.core.network.CostReport`
+        rounds/turns/bits from those lengths.  Implementations must reject
+        inputs the scalar path would reject (e.g. non-bit payloads that
+        the ``BCAST(b)`` width check refuses) rather than silently diverge
+        from it.  ``coin_seeds`` is passed exactly as for
+        :meth:`batch_decisions`.
         """
         raise NotImplementedError(
             f"{type(self).__name__} does not implement batched key synthesis"
+        )
+
+    def cost_model(self) -> "CostModel":
+        """The symbolic :class:`~repro.costs.model.CostModel` of this instance.
+
+        Per-phase exact formulas for every accounted cost kind (rounds,
+        turns, broadcast/private/public bits) in the problem parameters,
+        with this instance's parameter values as defaults.  Deterministic
+        fixed-round protocols return *exact* models; randomized or
+        dynamically-terminating ones declare realized round symbols with
+        exact bounds.  ``tests/conformance/test_cost_model.py`` asserts the
+        model against measured ``cost_totals()`` bit for bit, and the
+        BAT02 lint rule requires every batch-capable protocol to provide
+        one.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not declare a symbolic cost model"
         )
 
 

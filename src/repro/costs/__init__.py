@@ -1,0 +1,34 @@
+"""Symbolic communication-cost models (``repro.costs``).
+
+The measurement side of the repo (``CostReport``,
+``BatchResult.cost_totals()``) counts what a protocol *did*; this package
+states what it *should* cost, in closed form.  Every ``Protocol`` exposes
+``cost_model()`` returning a :class:`CostModel`: per-:class:`Phase`
+formulas over the problem parameters for each accounted cost kind, exact
+integer ``evaluate()``/``predict()`` for any parameter point (including
+``n`` far beyond what simulation reaches), and — for randomized or
+dynamically-terminating protocols — :class:`Realized` round symbols with
+exact bounds.  ``tests/conformance/test_cost_model.py`` holds the two
+sides together bit for bit.
+
+Only the standard library and numpy are used; expressions
+(:mod:`repro.costs.expr`) evaluate in arbitrary-precision Python ints.
+"""
+
+from .expr import Const, Expr, Sym, as_expr, ceil_div, ceil_log2, max_, min_
+from .model import COST_KINDS, CostModel, Phase, Realized
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Sym",
+    "as_expr",
+    "ceil_div",
+    "ceil_log2",
+    "max_",
+    "min_",
+    "COST_KINDS",
+    "CostModel",
+    "Phase",
+    "Realized",
+]

@@ -1,0 +1,234 @@
+"""A tiny exact symbolic-expression layer for communication-cost formulas.
+
+The paper's theorems are *closed-form* statements about rounds, turns and
+bits — ``k + 1`` rounds for the seed-length attack, ``⌈n/b⌉`` rounds for a
+full adjacency exchange, ``O(log n)`` Borůvka phases.  This module gives
+those formulas a first-class representation that can be
+
+* **evaluated exactly** — all arithmetic is arbitrary-precision integer
+  arithmetic (``⌈log₂ x⌉`` via ``int.bit_length``, never ``float`` log),
+  so a prediction at ``n = 10⁹`` is the true value, not a float estimate;
+* **inspected** — ``free_symbols()`` names the problem parameters a
+  formula depends on, and ``repr`` renders the formula readably;
+* **composed** — expressions support ``+``, ``-``, ``*`` with ints and
+  each other, plus :func:`ceil_div`, :func:`ceil_log2`, :func:`max_` and
+  :func:`min_` for the shapes protocol costs actually take.
+
+It is deliberately *not* a computer-algebra system: no simplification, no
+solving — just exact evaluation of cost formulas, which is all the
+conformance layer (:mod:`repro.costs.model`) needs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Sym",
+    "as_expr",
+    "ceil_div",
+    "ceil_log2",
+    "max_",
+    "min_",
+]
+
+ExprLike = Union["Expr", int]
+
+
+class Expr:
+    """Base class of the expression tree.  Immutable; hashable by identity."""
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        """The exact integer value of this expression under ``bindings``."""
+        raise NotImplementedError
+
+    def free_symbols(self) -> frozenset[str]:
+        """Names of every :class:`Sym` appearing in this expression."""
+        raise NotImplementedError
+
+    # -- operator sugar --------------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        return _Add(self, as_expr(other))
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return _Add(as_expr(other), self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return _Sub(self, as_expr(other))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return _Sub(as_expr(other), self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return _Mul(self, as_expr(other))
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return _Mul(as_expr(other), self)
+
+
+class Const(Expr):
+    """An integer literal."""
+
+    def __init__(self, value: int):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError(f"Const needs an int, got {type(value).__name__}")
+        self.value = value
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        return self.value
+
+    def free_symbols(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+class Sym(Expr):
+    """A named problem parameter (``n``, ``k``, a realized round count…)."""
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ValueError("symbol name must be a non-empty string")
+        self.name = name
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        try:
+            value = bindings[self.name]
+        except KeyError:
+            raise KeyError(
+                f"symbol {self.name!r} is unbound (have "
+                f"{sorted(bindings)})"
+            ) from None
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError(
+                f"binding for {self.name!r} must be an int, got "
+                f"{type(value).__name__}"
+            )
+        return value
+
+    def free_symbols(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce an int to a :class:`Const`; pass expressions through."""
+    if isinstance(value, Expr):
+        return value
+    return Const(value)
+
+
+class _Binary(Expr):
+    op = "?"
+
+    def __init__(self, left: ExprLike, right: ExprLike):
+        self.left = as_expr(left)
+        self.right = as_expr(right)
+
+    def free_symbols(self) -> frozenset[str]:
+        return self.left.free_symbols() | self.right.free_symbols()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class _Add(_Binary):
+    op = "+"
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        return self.left.evaluate(bindings) + self.right.evaluate(bindings)
+
+
+class _Sub(_Binary):
+    op = "-"
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        return self.left.evaluate(bindings) - self.right.evaluate(bindings)
+
+
+class _Mul(_Binary):
+    op = "*"
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        return self.left.evaluate(bindings) * self.right.evaluate(bindings)
+
+
+class _CeilDiv(_Binary):
+    op = "ceildiv"
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        a = self.left.evaluate(bindings)
+        b = self.right.evaluate(bindings)
+        if b <= 0:
+            raise ValueError(f"ceil_div divisor must be positive, got {b}")
+        return -(-a // b)
+
+    def __repr__(self) -> str:
+        return f"ceil({self.left!r} / {self.right!r})"
+
+
+class _Max(_Binary):
+    op = "max"
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        return max(self.left.evaluate(bindings), self.right.evaluate(bindings))
+
+    def __repr__(self) -> str:
+        return f"max({self.left!r}, {self.right!r})"
+
+
+class _Min(_Binary):
+    op = "min"
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        return min(self.left.evaluate(bindings), self.right.evaluate(bindings))
+
+    def __repr__(self) -> str:
+        return f"min({self.left!r}, {self.right!r})"
+
+
+class _CeilLog2(Expr):
+    """``⌈log₂ x⌉``, exact for any positive int via ``bit_length``."""
+
+    def __init__(self, arg: ExprLike):
+        self.arg = as_expr(arg)
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        x = self.arg.evaluate(bindings)
+        if x < 1:
+            raise ValueError(f"ceil_log2 needs a positive argument, got {x}")
+        return (x - 1).bit_length()
+
+    def free_symbols(self) -> frozenset[str]:
+        return self.arg.free_symbols()
+
+    def __repr__(self) -> str:
+        return f"ceil_log2({self.arg!r})"
+
+
+def ceil_div(a: ExprLike, b: ExprLike) -> Expr:
+    """``⌈a / b⌉`` (``b`` must evaluate positive)."""
+    return _CeilDiv(a, b)
+
+
+def ceil_log2(x: ExprLike) -> Expr:
+    """``⌈log₂ x⌉`` — exact integer arithmetic, never float ``log2``.
+
+    ``ceil_log2(1) == 0``; arguments below 1 raise at evaluation time.
+    """
+    return _CeilLog2(x)
+
+
+def max_(a: ExprLike, b: ExprLike) -> Expr:
+    """Binary maximum."""
+    return _Max(a, b)
+
+
+def min_(a: ExprLike, b: ExprLike) -> Expr:
+    """Binary minimum."""
+    return _Min(a, b)

@@ -1,0 +1,274 @@
+"""Per-phase symbolic cost models and the conformance checker.
+
+A :class:`CostModel` is the closed-form counterpart of a measured
+:class:`~repro.core.network.CostReport`: a list of :class:`Phase` entries,
+each tagging exact :class:`~repro.costs.expr.Expr` formulas with the cost
+kinds the engine accounts (``rounds``, ``turns``, ``broadcast_bits``,
+``total_private_bits``, ``public_bits``).  Formulas are written in the
+problem parameters (``n``, seed length ``k``, weight bits ``w`` …); the
+model carries instance defaults for them so ``evaluate()`` with no
+arguments predicts the cost of the protocol instance that built it.
+
+Randomized or dynamically-terminating protocols cannot commit to one
+round count up front.  They declare *realized symbols*
+(:class:`Realized`): a symbol (say ``R``) that gets bound from a field of
+the measured ``CostReport`` at check time, together with exact lower and
+upper bound formulas.  Conformance then means "``R`` is inside its
+bounds, and every cost kind equals its formula *at the realized* ``R``" —
+still a bit-exact assertion, just conditioned on the measured rounds.
+
+:meth:`CostModel.check_trial` / :meth:`CostModel.check_batch` return a
+list of human-readable mismatch strings (empty = conformant), so test
+failures name the offending kind and formula instead of two bare ints.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
+
+from .expr import Const, Expr, as_expr
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.network import CostReport
+
+__all__ = ["COST_KINDS", "Phase", "Realized", "CostModel"]
+
+#: Cost kinds a model may predict — exactly the keys of
+#: ``BatchResult.cost_totals()`` and the accounted fields of ``CostReport``.
+COST_KINDS = (
+    "rounds",
+    "turns",
+    "broadcast_bits",
+    "total_private_bits",
+    "public_bits",
+)
+
+
+class Phase:
+    """One named phase of a protocol with its per-kind cost formulas.
+
+    ``costs`` maps cost-kind names (a subset of :data:`COST_KINDS`) to
+    expressions (or plain ints); kinds not listed cost nothing in this
+    phase.
+    """
+
+    def __init__(self, name: str, **costs: Expr | int):
+        if not name:
+            raise ValueError("phase name must be non-empty")
+        unknown = sorted(set(costs) - set(COST_KINDS))
+        if unknown:
+            raise ValueError(
+                f"phase {name!r}: unknown cost kinds {unknown}; "
+                f"valid kinds are {list(COST_KINDS)}"
+            )
+        self.name = name
+        self.costs: dict[str, Expr] = {k: as_expr(v) for k, v in costs.items()}
+
+    def cost(self, kind: str) -> Expr:
+        """The formula for ``kind`` in this phase (``0`` if untagged)."""
+        if kind not in COST_KINDS:
+            raise KeyError(f"unknown cost kind {kind!r}")
+        return self.costs.get(kind, Const(0))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.costs.items())
+        return f"Phase({self.name!r}, {inner})"
+
+
+class Realized:
+    """A symbol bound from the *measured* cost at conformance-check time.
+
+    ``source`` names the ``CostReport`` attribute supplying the value
+    (usually ``"rounds"``); ``lo``/``hi`` are exact inclusive bounds the
+    realized value must satisfy.  Cost formulas are assumed monotone
+    non-decreasing in realized symbols, which lets
+    :meth:`CostModel.predict_bounds` evaluate worst/best cases at the
+    bound endpoints.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        source: str = "rounds",
+        lo: Expr | int,
+        hi: Expr | int,
+    ):
+        if not name:
+            raise ValueError("realized symbol name must be non-empty")
+        self.name = name
+        self.source = source
+        self.lo = as_expr(lo)
+        self.hi = as_expr(hi)
+
+    def __repr__(self) -> str:
+        return (
+            f"Realized({self.name!r}, source={self.source!r}, "
+            f"lo={self.lo!r}, hi={self.hi!r})"
+        )
+
+
+class CostModel:
+    """Symbolic per-phase cost formulas for one protocol instance.
+
+    ``params`` maps parameter symbol names to this instance's default
+    values (evaluation overrides win).  ``realized`` lists the symbols
+    bound from measured costs; a model with none is *exact* and fully
+    predictive from parameters alone.
+    """
+
+    def __init__(
+        self,
+        phases: Iterable[Phase],
+        *,
+        params: Mapping[str, int] | None = None,
+        realized: Iterable[Realized] = (),
+    ):
+        self.phases = tuple(phases)
+        if not self.phases:
+            raise ValueError("a cost model needs at least one phase")
+        names = [p.name for p in self.phases]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate phase names in {names}")
+        self.params = dict(params or {})
+        self.realized = tuple(realized)
+        realized_names = [r.name for r in self.realized]
+        if len(set(realized_names)) != len(realized_names):
+            raise ValueError(f"duplicate realized symbols in {realized_names}")
+        clash = sorted(set(realized_names) & set(self.params))
+        if clash:
+            raise ValueError(f"symbols {clash} are both params and realized")
+
+    # -- structure -------------------------------------------------------
+    @property
+    def is_exact(self) -> bool:
+        """True when the model predicts every kind from parameters alone."""
+        return not self.realized
+
+    def total(self, kind: str) -> Expr:
+        """The summed formula for ``kind`` across all phases."""
+        if kind not in COST_KINDS:
+            raise KeyError(f"unknown cost kind {kind!r}")
+        expr: Expr = Const(0)
+        for phase in self.phases:
+            if kind in phase.costs:
+                expr = expr + phase.costs[kind] if not _is_zero(expr) else phase.costs[kind]
+        return expr
+
+    def free_symbols(self) -> frozenset[str]:
+        """All symbols appearing in any phase formula or realized bound."""
+        out: frozenset[str] = frozenset()
+        for phase in self.phases:
+            for e in phase.costs.values():
+                out |= e.free_symbols()
+        for r in self.realized:
+            out |= r.lo.free_symbols() | r.hi.free_symbols()
+        return out
+
+    def _bindings(self, overrides: Mapping[str, int]) -> dict[str, int]:
+        merged = dict(self.params)
+        merged.update(overrides)
+        return merged
+
+    # -- prediction ------------------------------------------------------
+    def evaluate(self, **bindings: int) -> dict[str, int]:
+        """Exact per-trial totals for every cost kind.
+
+        Realized symbols must be supplied explicitly (or use
+        :meth:`predict_bounds`).  Returns ``{kind: exact int}``.
+        """
+        merged = self._bindings(bindings)
+        return {kind: self.total(kind).evaluate(merged) for kind in COST_KINDS}
+
+    def predict(self, trials: int = 1, **bindings: int) -> dict[str, int]:
+        """Extrapolate exact totals for ``trials`` runs at any parameters.
+
+        This is pure integer formula evaluation — no simulation — so it is
+        equally happy at ``n = 10`` and ``n = 10**9``.
+        """
+        if trials < 0:
+            raise ValueError(f"trials must be >= 0, got {trials}")
+        per_trial = self.evaluate(**bindings)
+        return {kind: trials * value for kind, value in per_trial.items()}
+
+    def predict_bounds(
+        self, trials: int = 1, **bindings: int
+    ) -> dict[str, tuple[int, int]]:
+        """Inclusive ``(lo, hi)`` totals with realized symbols at their bounds.
+
+        Exact models return degenerate intervals ``(v, v)``.  Formulas are
+        assumed monotone non-decreasing in each realized symbol.
+        """
+        if trials < 0:
+            raise ValueError(f"trials must be >= 0, got {trials}")
+        merged = self._bindings(bindings)
+        lo_bind = dict(merged)
+        hi_bind = dict(merged)
+        for r in self.realized:
+            lo_bind[r.name] = r.lo.evaluate(merged)
+            hi_bind[r.name] = r.hi.evaluate(merged)
+        out = {}
+        for kind in COST_KINDS:
+            expr = self.total(kind)
+            out[kind] = (
+                trials * expr.evaluate(lo_bind),
+                trials * expr.evaluate(hi_bind),
+            )
+        return out
+
+    # -- conformance -----------------------------------------------------
+    def check_trial(self, cost: "CostReport", **bindings: int) -> list[str]:
+        """Check one measured ``CostReport`` against the model.
+
+        Realized symbols are bound from ``cost`` (after verifying their
+        bounds); every cost kind must then match its formula exactly.
+        Returns a list of mismatch descriptions — empty means conformant.
+        """
+        merged = self._bindings(bindings)
+        problems: list[str] = []
+        for r in self.realized:
+            value = int(getattr(cost, r.source))
+            lo = r.lo.evaluate(merged)
+            hi = r.hi.evaluate(merged)
+            if not lo <= value <= hi:
+                problems.append(
+                    f"realized {r.name} = measured {r.source} = {value} "
+                    f"outside bounds [{lo}, {hi}] "
+                    f"(lo={r.lo!r}, hi={r.hi!r})"
+                )
+            merged[r.name] = value
+        if problems:
+            return problems
+        for kind in COST_KINDS:
+            expr = self.total(kind)
+            predicted = expr.evaluate(merged)
+            measured = int(getattr(cost, kind))
+            if predicted != measured:
+                problems.append(
+                    f"{kind}: predicted {predicted} != measured {measured} "
+                    f"(formula {expr!r})"
+                )
+        return problems
+
+    def check_batch(self, costs: Sequence["CostReport"] | Any, **bindings: int) -> list[str]:
+        """Check every trial of a batch; accepts a ``BatchResult`` too.
+
+        Returns the concatenated per-trial mismatches, each prefixed with
+        its trial index.
+        """
+        if hasattr(costs, "trials"):  # a BatchResult
+            costs = [t.cost for t in costs.trials]
+        problems: list[str] = []
+        for index, cost in enumerate(costs):
+            for problem in self.check_trial(cost, **bindings):
+                problems.append(f"trial {index}: {problem}")
+        return problems
+
+    def __repr__(self) -> str:
+        kind = "exact" if self.is_exact else "bounded"
+        names = ", ".join(p.name for p in self.phases)
+        return f"CostModel([{names}], {kind}, params={self.params})"
+
+
+def _is_zero(expr: Expr) -> bool:
+    return isinstance(expr, Const) and expr.value == 0

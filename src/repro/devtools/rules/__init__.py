@@ -89,7 +89,7 @@ def iter_calls_with_class(
 
 def all_rules() -> list[LintRule]:
     """The full catalog, in reporting order."""
-    from .batching import BatchContractRule
+    from .batching import BatchContractRule, CostModelContractRule
     from .concurrency import (
         BareAcquireRule,
         PickleQuarantineRule,
@@ -101,6 +101,7 @@ def all_rules() -> list[LintRule]:
         AmbientRandomnessRule(),
         FrozenSpecMutationRule(),
         BatchContractRule(),
+        CostModelContractRule(),
         PickleQuarantineRule(),
         BareAcquireRule(),
         SilentExceptRule(),

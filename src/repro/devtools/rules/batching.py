@@ -1,4 +1,4 @@
-"""BAT01 — the vectorized fast-path contract must be declared in pairs.
+"""BAT01/BAT02 — the vectorized fast-path contract must be declared whole.
 
 The engine's ``vectorized=True`` fast path dispatches on
 ``supports_batch`` / ``supports_batch_keys`` *flags* and calls the
@@ -11,23 +11,34 @@ asymmetric and both silent-ish:
 * method implemented, flag unset → the fast path never runs, and the
   batched implementation rots untested (the exact class of bug PR 5
   fixed by hand in the key-synthesis pairs).
+
+BAT02 extends the contract to the symbolic cost layer: the vectorized
+path *synthesizes* its ``CostReport`` from transcript-key lengths instead
+of measuring it, and the only gate on that synthesis is the cost-model
+conformance matrix — which needs a ``cost_model()``.  A batched protocol
+without a model ships unverifiable synthesized costs; a protocol with a
+model but no batch contract never has that model exercised against the
+fast path it exists to certify.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import Callable, Iterator
 
 from ..lint import Finding, LintRule, SourceModule
-from . import base_names
+from . import base_names, trial_path_classes
 
-__all__ = ["BatchContractRule"]
+__all__ = ["BatchContractRule", "CostModelContractRule"]
 
 _PAIRS = (
     ("supports_batch", "batch_decisions"),
     ("supports_batch_keys", "batch_keys"),
 )
 _CONTRACT_NAMES = {name for pair in _PAIRS for name in pair}
+#: Methods tracked through inheritance chains (BAT01 pairs + BAT02's
+#: cost-model leg).
+_METHOD_NAMES = {"batch_decisions", "batch_keys", "cost_model"}
 
 
 def _own_flags(cls: ast.ClassDef) -> dict[str, "bool | None"]:
@@ -78,7 +89,7 @@ def _own_methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
         stmt.name: stmt
         for stmt in cls.body
         if isinstance(stmt, ast.FunctionDef)
-        and stmt.name in {"batch_decisions", "batch_keys"}
+        and stmt.name in _METHOD_NAMES
         and not _is_abstract_stub(stmt)
     }
 
@@ -190,3 +201,91 @@ class BatchContractRule(LintRule):
                 None,
             )
         return flags, methods
+
+
+def _descendant_provides(
+    base: ast.ClassDef,
+    by_name: dict[str, ast.ClassDef],
+    predicate: Callable[[ast.ClassDef], bool],
+) -> bool:
+    """True when some in-module subclass of ``base`` satisfies
+    ``predicate`` — ``base`` is then a shared mixin completed downstream."""
+    for other in by_name.values():
+        if other.name == base.name:
+            continue
+        seen: set[str] = set()
+        current: "ast.ClassDef | None" = other
+        through_base = False
+        while current is not None and current.name not in seen:
+            seen.add(current.name)
+            if current.name == base.name:
+                through_base = True
+                break
+            current = next(
+                (by_name[b] for b in base_names(current) if b in by_name),
+                None,
+            )
+        if through_base and predicate(other):
+            return True
+    return False
+
+
+class CostModelContractRule(LintRule):
+    """BAT02 — batch_decisions() and cost_model() must travel together."""
+
+    id = "BAT02"
+    title = "batched protocols must declare a cost_model (and vice versa)"
+    rationale = (
+        "vectorized costs are synthesized, not measured — only the "
+        "cost-model conformance matrix verifies them, and it needs "
+        "cost_model(); a model without a batch contract never meets the "
+        "fast path it certifies."
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        protocols = {
+            cls.name: cls
+            for cls in trial_path_classes(module)
+        }
+        by_name = {
+            n.name: n
+            for n in ast.walk(module.tree)
+            if isinstance(n, ast.ClassDef)
+        }
+
+        def chain_has_batch(cls: ast.ClassDef) -> bool:
+            flags, methods = BatchContractRule._resolve_chain(cls, by_name)
+            return (
+                "batch_decisions" in methods
+                or flags.get("supports_batch") is True
+            )
+
+        def chain_has_model(cls: ast.ClassDef) -> bool:
+            _, methods = BatchContractRule._resolve_chain(cls, by_name)
+            return "cost_model" in methods
+
+        for cls in protocols.values():
+            own = _own_methods(cls)
+            if "batch_decisions" in own and not (
+                chain_has_model(cls)
+                or _descendant_provides(cls, by_name, chain_has_model)
+            ):
+                yield self.finding(
+                    module,
+                    own["batch_decisions"],
+                    f"{cls.name} implements batch_decisions() without a "
+                    "cost_model() — its synthesized vectorized costs are "
+                    "invisible to the cost-model conformance matrix",
+                )
+            if "cost_model" in own and not (
+                chain_has_batch(cls)
+                or _descendant_provides(cls, by_name, chain_has_batch)
+            ):
+                yield self.finding(
+                    module,
+                    own["cost_model"],
+                    f"{cls.name} declares cost_model() but no batch "
+                    "contract (batch_decisions or supports_batch=True) — "
+                    "the model is never checked against the vectorized "
+                    "fast path's synthesized costs",
+                )

@@ -26,6 +26,7 @@ import numpy as np
 from ..core.engine import Engine, Executor, RunSpec, derive_seed
 from ..core.processor import ProcessorContext
 from ..core.protocol import Protocol, require_bits
+from ..costs import CostModel, Phase, Sym, min_
 from ..distributions.uniform import UniformRows
 from ..linalg.batch import BitMatrixBatch
 from ..linalg.bitmatrix import BitMatrix
@@ -88,6 +89,24 @@ class TopSubmatrixRankProtocol(Protocol):
 
     def num_rounds(self, n: int) -> int:
         return min(self.rounds_budget, self.k)
+
+    def cost_model(self) -> CostModel:
+        """Exact: ``min(budget, k)`` reveal rounds of ``n`` one-bit turns
+        (only processors ``0 … k-1`` broadcast meaningful bits, but every
+        processor speaks — silent zeros still cost a turn and a bit)."""
+        n, k, budget = Sym("n"), Sym("k"), Sym("budget")
+        rounds = min_(budget, k)
+        return CostModel(
+            [
+                Phase(
+                    "reveal",
+                    rounds=rounds,
+                    turns=n * rounds,
+                    broadcast_bits=n * rounds,
+                )
+            ],
+            params={"k": self.k, "budget": self.rounds_budget},
+        )
 
     def broadcast(self, proc: ProcessorContext, round_index: int) -> int:
         if proc.proc_id < self.k and round_index < self.k:

@@ -23,6 +23,7 @@ import numpy as np
 from ..core.processor import ProcessorContext
 from ..core.protocol import Protocol
 from ..core.transcript import Transcript
+from ..costs import CostModel, Phase, Realized, Sym, ceil_log2, max_, min_
 
 __all__ = ["ConnectivityProtocol", "components_from_labels"]
 
@@ -40,6 +41,9 @@ class ConnectivityProtocol(Protocol):
     smallest vertex id in the processor's component.
     """
 
+    supports_batch = True
+    supports_batch_keys = True
+
     def __init__(self, n: int):
         if n < 1:
             raise ValueError("need at least one vertex")
@@ -48,6 +52,26 @@ class ConnectivityProtocol(Protocol):
 
     def num_rounds(self, n: int) -> int:
         return n  # worst-case cap (path graph); terminates early
+
+    def cost_model(self) -> CostModel:
+        """Bounded: the realized round count ``R`` (two consecutive equal
+        label rounds, or the cap ``n``) is measured, then every kind is
+        exact at that ``R``: ``n`` turns of ``⌈log₂ n⌉``-bit labels per
+        round, no coins."""
+        n, rounds = Sym("n"), Sym("R")
+        width = ceil_log2(max_(2, n))
+        return CostModel(
+            [
+                Phase(
+                    "propagate",
+                    rounds=rounds,
+                    turns=n * rounds,
+                    broadcast_bits=n * rounds * width,
+                )
+            ],
+            params={"n": self.n},
+            realized=[Realized("R", source="rounds", lo=min_(n, 2), hi=n)],
+        )
 
     # ------------------------------------------------------------------
     # Dynamic termination: stop when a full round changed no label.
@@ -84,3 +108,83 @@ class ConnectivityProtocol(Protocol):
             e.message for e in proc.transcript.messages_in_round(final_round)
         ]
         return self._current_label(proc), components_from_labels(labels)
+
+    # ------------------------------------------------------------------
+    # Vectorized fast path
+    # ------------------------------------------------------------------
+    def _batch_trace(
+        self, inputs: np.ndarray
+    ) -> tuple[np.ndarray, list[tuple[int, ...]]]:
+        """Batched label propagation shared by :meth:`batch_decisions` and
+        :meth:`batch_keys` (memoized on the input stack's identity so the
+        engine's back-to-back calls run one propagation).
+
+        Every round is one masked min-reduction over the whole
+        ``(trials, n, n)`` stack; per-trial realized round counts replay
+        the scalar ``finished`` rule (stop after two identical label
+        rounds, cap ``n``).  Labels only decrease, so a stable trial stays
+        stable — recording extra rounds for already-stopped trials is
+        harmless and they are sliced off per trial below.
+        """
+        cached = getattr(self, "_trace_cache", None)
+        if cached is not None and cached[0] is inputs:
+            return cached[1], cached[2]
+        stack = np.asarray(inputs, dtype=np.uint8)
+        if stack.ndim != 3:
+            raise ValueError(
+                f"inputs must be a (trials, n, m) stack, got shape {stack.shape}"
+            )
+        trials, n, m = stack.shape
+        if m > n and stack[:, :, n:].any():
+            raise ValueError(
+                "adjacency entries beyond column n-1 reference processors "
+                "that never speak (the scalar path raises looking up their "
+                "messages)"
+            )
+        width = min(m, n)
+        adjacency = np.zeros((trials, n, n), dtype=bool)
+        adjacency[:, :, :width] = stack[:, :, :width] != 0
+        cap = self.num_rounds(n)
+        labels = np.tile(np.arange(n, dtype=np.int64), (trials, 1))
+        # states[r] for r < executed are round r's messages (labels at round
+        # start); the final entry is the post-receive label vector.
+        states: list[np.ndarray] = []
+        for r in range(cap):
+            states.append(labels.copy())
+            neighbour_min = np.where(adjacency, labels[:, None, :], n).min(axis=2)
+            labels = np.minimum(labels, neighbour_min)
+            if r >= 1 and np.array_equal(states[r], states[r - 1]):
+                break  # every trial is stable; later rounds change nothing
+        states.append(labels.copy())
+        executed = len(states) - 1
+        rounds_run = np.full(trials, cap, dtype=np.int64)
+        done = np.zeros(trials, dtype=bool)
+        for r in range(1, executed):
+            newly = (~done) & (states[r] == states[r - 1]).all(axis=1)
+            rounds_run[newly] = r + 1
+            done |= newly
+        outputs = np.empty((trials, n), dtype=object)
+        keys: list[tuple[int, ...]] = []
+        for t in range(trials):
+            r_t = int(rounds_run[t])
+            final_msgs = states[r_t - 1][t]
+            count = components_from_labels(final_msgs.tolist())
+            final_labels = states[r_t][t]
+            for i in range(n):
+                outputs[t, i] = (int(final_labels[i]), count)
+            key = np.concatenate([states[r][t] for r in range(r_t)])
+            keys.append(tuple(int(v) for v in key))
+        self._trace_cache = (inputs, outputs, keys)
+        return outputs, keys
+
+    def batch_decisions(self, inputs: np.ndarray) -> np.ndarray:
+        """Per-processor ``(label, n_components)`` outputs for a whole
+        ``(trials, n, m)`` batch — one masked min-reduction per round."""
+        outputs, _ = self._batch_trace(inputs)
+        return outputs
+
+    def batch_keys(self, inputs: np.ndarray) -> list[tuple[int, ...]]:
+        """Ragged per-trial transcript keys (label vectors in round order,
+        truncated at each trial's realized termination round)."""
+        _, keys = self._batch_trace(inputs)
+        return keys

@@ -28,6 +28,7 @@ import numpy as np
 from ..core.processor import ProcessorContext
 from ..core.protocol import Protocol, require_bits
 from ..core.randomness import expand_seed
+from ..costs import CostModel, Phase, Sym
 
 __all__ = [
     "DeterministicEqualityProtocol",
@@ -64,6 +65,14 @@ class DeterministicEqualityProtocol(Protocol):
 
     def num_rounds(self, n: int) -> int:
         return self.m
+
+    def cost_model(self) -> CostModel:
+        """Exact: ``m`` reveal rounds of ``n`` single-bit broadcasts."""
+        n, m = Sym("n"), Sym("m")
+        return CostModel(
+            [Phase("reveal", rounds=m, turns=n * m, broadcast_bits=n * m)],
+            params={"m": self.m},
+        )
 
     def broadcast(self, proc: ProcessorContext, round_index: int) -> int:
         return int(proc.input[round_index])

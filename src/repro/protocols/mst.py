@@ -29,10 +29,13 @@ import numpy as np
 from ..core.processor import ProcessorContext
 from ..core.protocol import Protocol
 from ..core.transcript import Transcript
+from ..costs import CostModel, Phase, Realized, Sym, ceil_log2, max_
+from ..distributions.base import InputDistribution
 
 __all__ = [
     "encode_weight_matrix",
     "decode_weight_row",
+    "RandomWeightMatrix",
     "BoruvkaMSTProtocol",
     "mst_reference_weight",
 ]
@@ -52,6 +55,14 @@ def encode_weight_matrix(weights: np.ndarray, weight_bits: int) -> np.ndarray:
         raise ValueError("weight matrix must be symmetric")
     if weights.min() < 0 or weights.max() >= (1 << weight_bits):
         raise ValueError(f"weights must fit in {weight_bits} bits")
+    if weight_bits <= 62:
+        shifts = np.arange(weight_bits, dtype=np.int64)
+        return (
+            ((weights.astype(np.int64)[:, :, None] >> shifts) & 1)
+            .reshape(n, n * weight_bits)
+            .astype(np.uint8)
+        )
+    # Weights wider than an int64: bit-extract with Python ints.
     rows = np.zeros((n, n * weight_bits), dtype=np.uint8)
     for i in range(n):
         for j in range(n):
@@ -72,6 +83,32 @@ def decode_weight_row(row: np.ndarray, weight_bits: int) -> np.ndarray:
         for t in range(weight_bits):
             weights[j] |= int(row[j * weight_bits + t]) << t
     return weights
+
+
+class RandomWeightMatrix(InputDistribution):
+    """Random symmetric integer weights, pre-encoded as protocol bit rows.
+
+    The Section 9 "complete graph with random weights" input source for
+    :class:`BoruvkaMSTProtocol`: each unordered pair gets a uniform weight
+    in ``[0, 2^weight_bits)`` (zero diagonal), encoded little-endian via
+    :func:`encode_weight_matrix`.  A library-level class (not a test
+    lambda) so specs built on it stay picklable across process-pool and
+    distributed backends.
+    """
+
+    def __init__(self, n: int, weight_bits: int):
+        if n < 2:
+            raise ValueError("need at least two vertices")
+        if weight_bits < 1:
+            raise ValueError("need at least one weight bit")
+        super().__init__(n, n * weight_bits)
+        self.weight_bits = weight_bits
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        upper = np.triu(
+            rng.integers(0, 1 << self.weight_bits, size=(self.n, self.n)), 1
+        )
+        return encode_weight_matrix(upper + upper.T, self.weight_bits)
 
 
 def mst_reference_weight(weights: np.ndarray) -> int:
@@ -105,6 +142,9 @@ class BoruvkaMSTProtocol(Protocol):
     dynamic: the protocol stops one round after all labels coincide.
     """
 
+    supports_batch = True
+    supports_batch_keys = True
+
     def __init__(self, n: int, weight_bits: int):
         if n < 2:
             raise ValueError("need at least two vertices")
@@ -117,6 +157,30 @@ class BoruvkaMSTProtocol(Protocol):
 
     def num_rounds(self, n: int) -> int:
         return max(2, math.ceil(math.log2(self.n)) + 2)
+
+    def cost_model(self) -> CostModel:
+        """Bounded: the realized Borůvka phase count ``R`` (components at
+        least halve per phase, so ``R ≤ ⌈log₂ n⌉ + 2``) is measured, then
+        every kind is exact at that ``R``: ``n`` turns per round of
+        ``2⌈log₂ n⌉ + w`` packed bits, no coins."""
+        n, w, rounds = Sym("n"), Sym("w"), Sym("R")
+        width = 2 * max_(1, ceil_log2(n)) + w
+        return CostModel(
+            [
+                Phase(
+                    "boruvka",
+                    rounds=rounds,
+                    turns=n * rounds,
+                    broadcast_bits=n * rounds * width,
+                )
+            ],
+            params={"n": self.n, "w": self.weight_bits},
+            realized=[
+                Realized(
+                    "R", source="rounds", lo=1, hi=max_(2, ceil_log2(n) + 2)
+                )
+            ],
+        )
 
     # ------------------------------------------------------------------
     # Message packing
@@ -241,3 +305,126 @@ class BoruvkaMSTProtocol(Protocol):
                     seen.add(edge)
                     total += weight
         return edges, total
+
+    # ------------------------------------------------------------------
+    # Vectorized fast path
+    # ------------------------------------------------------------------
+    def _batch_trace(
+        self, inputs: np.ndarray
+    ) -> tuple[np.ndarray, list[tuple[int, ...]]]:
+        """Batched Borůvka replay shared by :meth:`batch_decisions` and
+        :meth:`batch_keys` (memoized on the input stack's identity).
+
+        The weight decode is one reshape/shift pass over the whole stack;
+        within each trial the per-round lightest-outgoing-edge selection is
+        a masked argmin over the encoded ``(weight, min, max)`` order,
+        while the merge bookkeeping replays the scalar proposal dict
+        verbatim (it is inherently sequential and ``O(n)`` per round).
+        """
+        cached = getattr(self, "_trace_cache", None)
+        if cached is not None and cached[0] is inputs:
+            return cached[1], cached[2]
+        stack = np.asarray(inputs, dtype=np.uint8)
+        if stack.ndim != 3:
+            raise ValueError(
+                f"inputs must be a (trials, n, m) stack, got shape {stack.shape}"
+            )
+        trials, n, m = stack.shape
+        if n != self.n:
+            raise ValueError(
+                f"protocol is configured for n={self.n} processors, "
+                f"got input rows for n={n}"
+            )
+        w = self.weight_bits
+        if w > 62:
+            raise ValueError(
+                "batched decoding supports weight_bits <= 62; run scalar"
+            )
+        if m % w:
+            raise ValueError("row length must be a multiple of weight_bits")
+        fields = m // w
+        if fields < n:
+            raise ValueError(
+                f"rows must encode at least {n} weights of {w} bits each"
+            )
+        chunks = stack.reshape(trials, n, fields, w).astype(np.int64)
+        weights = np.zeros((trials, n, fields), dtype=np.int64)
+        for t in range(w):
+            weights |= chunks[:, :, :, t] << t
+        weights = weights[:, :, :n]
+        # Total order on candidate edges matching (weight, min, max) tuples.
+        ids = np.arange(n, dtype=np.int64)
+        pair_min = np.minimum(ids[:, None], ids[None, :])
+        pair_max = np.maximum(ids[:, None], ids[None, :])
+        wide = w + 2 * self.label_bits + 2 > 62
+        if wide:
+            pair_enc = pair_min.astype(object) * n + pair_max
+            sentinel: int | np.int64 = 1 << (w + 4 * self.label_bits + 8)
+        else:
+            pair_enc = pair_min * n + pair_max
+            sentinel = np.iinfo(np.int64).max
+        cap = self.num_rounds(n)
+        outputs = np.empty(trials, dtype=object)
+        keys: list[tuple[int, ...]] = []
+        for t in range(trials):
+            wmat = weights[t]
+            enc = (wmat.astype(object) if wide else wmat) * (n * n) + pair_enc
+            labels = np.arange(n, dtype=np.int64)
+            edges: set[tuple[int, int]] = set()
+            first_weight: dict[tuple[int, int], int] = {}
+            key: list[int] = []
+            for r in range(cap):
+                same = labels[:, None] == labels[None, :]
+                best_j = np.where(same, sentinel, enc).argmin(axis=1)
+                has_out = ~same.all(axis=1)
+                msgs = []
+                for u in range(n):
+                    if has_out[u]:
+                        j = int(best_j[u])
+                        msgs.append(
+                            self._pack(int(labels[u]), j, int(wmat[u, j]))
+                        )
+                    else:
+                        msgs.append(self._pack(int(labels[u]), u, 0))
+                key.extend(msgs)
+                # Mirror of _chosen_edges: proposals keyed by the sender's
+                # component at round start, merges replayed in dict order.
+                proposals: dict[int, tuple[tuple[int, int, int], int, int]] = {}
+                for u in range(n):
+                    _, target, weight = self._unpack(msgs[u])
+                    edge = (min(u, target), max(u, target))
+                    if edge not in first_weight:
+                        first_weight[edge] = weight
+                    lu = int(labels[u])
+                    if int(labels[target]) == lu:
+                        continue
+                    edge_key = (weight, edge[0], edge[1])
+                    current = proposals.get(lu)
+                    if current is None or edge_key < current[0]:
+                        proposals[lu] = (edge_key, u, target)
+                for _, u, target in proposals.values():
+                    if labels[u] == labels[target]:
+                        continue
+                    edges.add((min(u, target), max(u, target)))
+                    keep = int(min(labels[u], labels[target]))
+                    drop = int(max(labels[u], labels[target]))
+                    labels[labels == drop] = keep
+                if len(set(labels.tolist())) == 1:
+                    break
+            chosen = frozenset(edges)
+            outputs[t] = (chosen, sum(first_weight[e] for e in chosen))
+            keys.append(tuple(key))
+        self._trace_cache = (inputs, outputs, keys)
+        return outputs, keys
+
+    def batch_decisions(self, inputs: np.ndarray) -> np.ndarray:
+        """``(mst_edges, total_weight)`` per trial for a whole
+        ``(trials, n, n·w)`` encoded batch."""
+        outputs, _ = self._batch_trace(inputs)
+        return outputs
+
+    def batch_keys(self, inputs: np.ndarray) -> list[tuple[int, ...]]:
+        """Ragged per-trial transcript keys (packed Borůvka payloads in
+        round order, truncated at each trial's convergence round)."""
+        _, keys = self._batch_trace(inputs)
+        return keys

@@ -13,6 +13,7 @@ import numpy as np
 
 from ..core.processor import ProcessorContext
 from ..core.protocol import Protocol
+from ..costs import CostModel, Phase, Sym
 from ..linalg.batch import BitVectorBatch
 
 __all__ = ["GlobalParityProtocol"]
@@ -33,6 +34,13 @@ class GlobalParityProtocol(Protocol):
 
     def num_rounds(self, n: int) -> int:
         return 1
+
+    def cost_model(self) -> CostModel:
+        """Exact: one round of ``n`` single-bit broadcasts, no coins."""
+        n = Sym("n")
+        return CostModel(
+            [Phase("broadcast", rounds=1, turns=n, broadcast_bits=n)]
+        )
 
     def broadcast(self, proc: ProcessorContext, round_index: int) -> int:
         return int(proc.input.sum()) % 2

@@ -26,8 +26,10 @@ import math
 import numpy as np
 
 from ..core.processor import ProcessorContext
-from ..core.protocol import Protocol
+from ..core.protocol import Protocol, require_bits
 from ..core.randomness import expand_seed
+from ..costs import Const, CostModel, Phase, ceil_div, ceil_log2, max_
+from ..costs import Sym as _S
 
 __all__ = [
     "count_triangles",
@@ -82,10 +84,14 @@ class FullExchangeTriangleProtocol(Protocol):
     the full graph and counts locally.
     """
 
+    supports_batch = True
+    supports_batch_keys = True
+
     def __init__(self, n: int, message_size: int | None = None):
         if n < 1:
             raise ValueError("need at least one vertex")
         self.n = n
+        self._auto_width = message_size is None
         self.message_size = (
             max(1, math.ceil(math.log2(max(2, n))))
             if message_size is None
@@ -94,6 +100,23 @@ class FullExchangeTriangleProtocol(Protocol):
 
     def num_rounds(self, n: int) -> int:
         return math.ceil(self.n / self.message_size)
+
+    def cost_model(self) -> CostModel:
+        """Exact: ``⌈n/b⌉`` rounds of ``n`` ``b``-bit broadcasts, no coins."""
+        n = _S("n")
+        b = ceil_log2(max_(2, n)) if self._auto_width else Const(self.message_size)
+        rounds = ceil_div(n, b)
+        return CostModel(
+            [
+                Phase(
+                    "exchange",
+                    rounds=rounds,
+                    turns=n * rounds,
+                    broadcast_bits=n * rounds * b,
+                )
+            ],
+            params={"n": self.n},
+        )
 
     def broadcast(self, proc: ProcessorContext, round_index: int) -> int:
         payload = 0
@@ -116,6 +139,54 @@ class FullExchangeTriangleProtocol(Protocol):
 
     def output(self, proc: ProcessorContext) -> int:
         return count_triangles(self.reconstructed_graph(proc))
+
+    # ------------------------------------------------------------------
+    # Vectorized fast path
+    # ------------------------------------------------------------------
+    def _validated_adjacency(self, inputs: np.ndarray) -> np.ndarray:
+        """The ``(trials, n, n)`` adjacency stack, checked as the scalar
+        path would check it: ``n`` rows of at least ``n`` bit entries,
+        symmetric (``count_triangles`` refuses directed graphs).  Shared by
+        :meth:`batch_decisions` and :meth:`batch_keys`."""
+        inputs = np.asarray(inputs, dtype=np.uint8)
+        if inputs.ndim != 3 or inputs.shape[1] != self.n or inputs.shape[2] < self.n:
+            raise ValueError(
+                f"inputs must be a (trials, {self.n}, >={self.n}) stack, "
+                f"got shape {inputs.shape}"
+            )
+        adjacency = inputs[:, :, : self.n]
+        require_bits(adjacency, "adjacency inputs")
+        if not np.array_equal(adjacency, adjacency.transpose(0, 2, 1)):
+            raise ValueError("adjacency must be symmetric (undirected graph)")
+        return adjacency
+
+    def batch_decisions(self, inputs: np.ndarray) -> np.ndarray:
+        """Triangle counts for a ``(trials, n, m)`` batch in one einsum:
+        ``trace(A³)/6`` per trial over the stacked adjacency tensor."""
+        adjacency = self._validated_adjacency(inputs).astype(np.int64)
+        traces = np.einsum("tij,tjk,tki->t", adjacency, adjacency, adjacency)
+        return traces // 6
+
+    def batch_keys(self, inputs: np.ndarray) -> np.ndarray:
+        """Transcript keys for a ``(trials, n, m)`` batch: each processor's
+        row packed little-endian into ``⌈n/b⌉`` ``b``-bit payloads, then
+        transposed to round-major turn order — one pad/reshape/dot pass."""
+        adjacency = self._validated_adjacency(inputs)
+        trials, n = adjacency.shape[0], adjacency.shape[1]
+        b = self.message_size
+        rounds = self.num_rounds(n)
+        padded = np.zeros((trials, n, rounds * b), dtype=np.uint8)
+        padded[:, :, : self.n] = adjacency
+        chunks = padded.reshape(trials, n, rounds, b)
+        if b <= 62:
+            weights = (np.int64(1) << np.arange(b, dtype=np.int64))
+            payloads = (chunks.astype(np.int64) * weights).sum(axis=3)
+        else:
+            # Payloads wider than an int64: assemble Python ints instead.
+            payloads = np.zeros((trials, n, rounds), dtype=object)
+            for t in range(b):
+                payloads += chunks[:, :, :, t].astype(object) * (1 << t)
+        return payloads.transpose(0, 2, 1).reshape(trials, rounds * n)
 
 
 class SampledTriangleProtocol(Protocol):

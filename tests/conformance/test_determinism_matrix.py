@@ -7,9 +7,13 @@ across every executor backend × ``vectorized={False, True}`` and asserts
 bit-identical ``decisions``, ``transcript_keys`` and costs against the
 serial scalar reference, in one place.
 
-Two golden specs cover the two fast-path shapes: the seed-length attack
-(multi-round keys, batched rank decisions) and global parity (one-round
-keys, XOR decisions).
+The golden specs cover every fast-path shape: the seed-length attack
+(multi-round keys, batched rank decisions), global parity (one-round
+keys, XOR decisions), and the graph/clique protocols batched by the
+cost-model PR — connectivity and MST (dynamic termination, ragged keys,
+structured outputs), triangle counting (multi-bit payload packing) and
+the planted-clique subsample protocol (private-coin replay through the
+engine's coin-seed hand-off).
 """
 
 import contextlib
@@ -17,11 +21,19 @@ import contextlib
 import numpy as np
 import pytest
 
+from repro.cliques.subsample import PlantedCliqueSubsampleProtocol
 from repro.core import Engine, ParallelExecutor, RunSpec, SerialExecutor
 from repro.distributions import UniformRows
+from repro.distributions.undirected import (
+    UndirectedPlantedClique,
+    UndirectedRandomGraph,
+)
 from repro.exec import DistributedExecutor, LoopbackWorker, WorkerPool
 from repro.prg.attacks import SupportMembershipAttack
 from repro.protocols import GlobalParityProtocol
+from repro.protocols.connectivity import ConnectivityProtocol
+from repro.protocols.mst import BoruvkaMSTProtocol, RandomWeightMatrix
+from repro.protocols.triangles import FullExchangeTriangleProtocol
 
 TRIALS = 10
 
@@ -67,6 +79,30 @@ GOLDEN_SPECS = {
         protocol=GlobalParityProtocol(),
         distribution=UniformRows(5, 6),
         seed=411,
+        vectorized=vectorized,
+    ),
+    "connectivity": lambda vectorized: RunSpec(
+        protocol=ConnectivityProtocol(7),
+        distribution=UndirectedRandomGraph(7),
+        seed=905,
+        vectorized=vectorized,
+    ),
+    "triangles": lambda vectorized: RunSpec(
+        protocol=FullExchangeTriangleProtocol(6),
+        distribution=UndirectedRandomGraph(6),
+        seed=77,
+        vectorized=vectorized,
+    ),
+    "mst": lambda vectorized: RunSpec(
+        protocol=BoruvkaMSTProtocol(6, weight_bits=3),
+        distribution=RandomWeightMatrix(6, 3),
+        seed=58,
+        vectorized=vectorized,
+    ),
+    "subsample": lambda vectorized: RunSpec(
+        protocol=PlantedCliqueSubsampleProtocol(k=8),
+        distribution=UndirectedPlantedClique(10, 8),
+        seed=331,
         vectorized=vectorized,
     ),
 }

@@ -151,6 +151,40 @@ class TestBatchResult:
         with pytest.raises(ValueError):
             Engine().run_batch(spec, 2)
 
+    def test_cost_arrays_are_cached_and_identity_stable(self):
+        """Repeated accessor reads return the *same* array object (no
+        re-materialization per call) with unchanged contents."""
+        batch = Engine().run_batch(rank_spec(), 5)
+        accessors = [
+            "rounds",
+            "turns",
+            "broadcast_bits",
+            "total_private_bits",
+            "max_private_bits",
+            "public_bits",
+        ]
+        for name in accessors:
+            first = getattr(batch, name)
+            second = getattr(batch, name)
+            assert second is first, name
+            assert np.array_equal(first, getattr(batch, name)), name
+
+    def test_cached_cost_arrays_are_read_only(self):
+        # One shared object per attribute: a caller mutating it would
+        # poison every later read, so the cache hands out frozen arrays.
+        batch = Engine().run_batch(rank_spec(), 3)
+        rounds = batch.rounds
+        with pytest.raises(ValueError):
+            rounds[0] = 99
+        assert batch.rounds[0] == 3
+
+    def test_cost_cache_excluded_from_equality(self):
+        spec = rank_spec()
+        warmed = Engine().run_batch(spec, 4)
+        _ = warmed.rounds  # populate the cache on one side only
+        cold = Engine().run_batch(spec, 4)
+        assert warmed == cold
+
 
 class TestExecutors:
     def test_resolve_names(self):

@@ -1,0 +1,108 @@
+"""Unit tests for the exact symbolic-expression layer."""
+
+import pytest
+
+from repro.costs import Const, Sym, as_expr, ceil_div, ceil_log2, max_, min_
+
+
+class TestAtoms:
+    def test_const_evaluates_to_itself(self):
+        assert Const(7).evaluate({}) == 7
+        assert Const(-3).evaluate({"n": 9}) == -3
+
+    def test_const_rejects_non_ints(self):
+        with pytest.raises(TypeError):
+            Const(1.5)
+        with pytest.raises(TypeError):
+            Const(True)
+
+    def test_sym_reads_bindings(self):
+        assert Sym("n").evaluate({"n": 12}) == 12
+
+    def test_sym_unbound_names_available_symbols(self):
+        with pytest.raises(KeyError, match=r"'n' is unbound.*'k'"):
+            Sym("n").evaluate({"k": 3})
+
+    def test_sym_rejects_non_int_bindings(self):
+        with pytest.raises(TypeError):
+            Sym("n").evaluate({"n": 2.5})
+
+    def test_as_expr_coerces_ints(self):
+        expr = as_expr(4)
+        assert isinstance(expr, Const)
+        assert as_expr(expr) is expr
+
+
+class TestArithmetic:
+    def test_operator_sugar_both_sides(self):
+        n = Sym("n")
+        assert (n + 1).evaluate({"n": 5}) == 6
+        assert (1 + n).evaluate({"n": 5}) == 6
+        assert (n - 2).evaluate({"n": 5}) == 3
+        assert (10 - n).evaluate({"n": 5}) == 5
+        assert (n * 3).evaluate({"n": 5}) == 15
+        assert (3 * n).evaluate({"n": 5}) == 15
+
+    def test_compound_formula(self):
+        n, r = Sym("n"), Sym("R")
+        bits = n * r * ceil_log2(max_(2, n))
+        assert bits.evaluate({"n": 8, "R": 4}) == 8 * 4 * 3
+
+    def test_free_symbols_union(self):
+        n, k = Sym("n"), Sym("k")
+        expr = ceil_div(n, k) + min_(n, 3) * k
+        assert expr.free_symbols() == frozenset({"n", "k"})
+        assert Const(9).free_symbols() == frozenset()
+
+    def test_arbitrary_precision(self):
+        n = Sym("n")
+        huge = 10**30
+        assert (n * n).evaluate({"n": huge}) == huge * huge
+
+
+class TestCeilDiv:
+    def test_exact_and_rounding(self):
+        n = Sym("n")
+        assert ceil_div(n, 3).evaluate({"n": 9}) == 3
+        assert ceil_div(n, 3).evaluate({"n": 10}) == 4
+        assert ceil_div(n, 3).evaluate({"n": 0}) == 0
+
+    def test_rejects_non_positive_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, Sym("b")).evaluate({"b": 0})
+
+
+class TestCeilLog2:
+    def test_matches_bit_length_definition(self):
+        expr = ceil_log2(Sym("x"))
+        expected = {1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+        for x, want in expected.items():
+            assert expr.evaluate({"x": x}) == want
+
+    def test_exact_at_huge_powers_of_two(self):
+        # Float log2 would misround near 2**k boundaries; bit_length won't.
+        expr = ceil_log2(Sym("x"))
+        assert expr.evaluate({"x": 2**400}) == 400
+        assert expr.evaluate({"x": 2**400 + 1}) == 401
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            ceil_log2(Sym("x")).evaluate({"x": 0})
+
+
+class TestMinMax:
+    def test_values(self):
+        n = Sym("n")
+        assert max_(n, 2).evaluate({"n": 1}) == 2
+        assert max_(n, 2).evaluate({"n": 7}) == 7
+        assert min_(n, 2).evaluate({"n": 1}) == 1
+        assert min_(n, 2).evaluate({"n": 7}) == 2
+
+
+class TestRepr:
+    def test_formulas_render_readably(self):
+        n, b = Sym("n"), Sym("b")
+        assert repr(n + 1) == "(n + 1)"
+        assert repr(ceil_div(n, b)) == "ceil(n / b)"
+        assert repr(ceil_log2(max_(2, n))) == "ceil_log2(max(2, n))"
+        assert repr(min_(n, Const(4))) == "min(n, 4)"

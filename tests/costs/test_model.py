@@ -1,0 +1,169 @@
+"""Unit tests for per-phase cost models and the conformance checker."""
+
+import pytest
+
+from repro.core.network import CostReport
+from repro.costs import COST_KINDS, CostModel, Phase, Realized, Sym
+
+
+def reveal_model(**params):
+    n, m = Sym("n"), Sym("m")
+    return CostModel(
+        [Phase("reveal", rounds=m, turns=n * m, broadcast_bits=n * m)],
+        params=params,
+    )
+
+
+def bounded_model():
+    n, r = Sym("n"), Sym("R")
+    return CostModel(
+        [Phase("propagate", rounds=r, turns=n * r, broadcast_bits=n * r)],
+        params={},
+        realized=[Realized("R", source="rounds", lo=1, hi=n)],
+    )
+
+
+def report(n=4, rounds=3, width=1, private=0, public=0):
+    turns = n * rounds
+    return CostReport(
+        n_processors=n,
+        rounds=rounds,
+        turns=turns,
+        broadcast_bits=turns * width,
+        message_size=width,
+        private_bits_per_processor=[private] * n,
+        public_bits=public,
+    )
+
+
+class TestPhase:
+    def test_rejects_unknown_kinds(self):
+        with pytest.raises(ValueError, match="unknown cost kinds"):
+            Phase("p", latency=3)
+
+    def test_untagged_kind_costs_zero(self):
+        phase = Phase("p", rounds=2)
+        assert phase.cost("public_bits").evaluate({}) == 0
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Phase("", rounds=1)
+
+
+class TestCostModelStructure:
+    def test_needs_a_phase(self):
+        with pytest.raises(ValueError):
+            CostModel([])
+
+    def test_rejects_duplicate_phase_names(self):
+        with pytest.raises(ValueError, match="duplicate phase"):
+            CostModel([Phase("a", rounds=1), Phase("a", rounds=2)])
+
+    def test_rejects_param_realized_clash(self):
+        with pytest.raises(ValueError, match="both params and realized"):
+            CostModel(
+                [Phase("a", rounds=Sym("R"))],
+                params={"R": 3},
+                realized=[Realized("R", lo=1, hi=3)],
+            )
+
+    def test_is_exact_and_free_symbols(self):
+        exact = reveal_model()
+        assert exact.is_exact
+        assert exact.free_symbols() == frozenset({"n", "m"})
+        bounded = bounded_model()
+        assert not bounded.is_exact
+        assert bounded.free_symbols() == frozenset({"n", "R"})
+
+    def test_total_sums_across_phases(self):
+        n = Sym("n")
+        model = CostModel(
+            [Phase("a", rounds=1, turns=n), Phase("b", rounds=2, turns=n * 2)]
+        )
+        assert model.total("rounds").evaluate({}) == 3
+        assert model.total("turns").evaluate({"n": 5}) == 15
+
+
+class TestEvaluatePredict:
+    def test_evaluate_covers_every_kind(self):
+        totals = reveal_model().evaluate(n=4, m=3)
+        assert set(totals) == set(COST_KINDS)
+        assert totals["rounds"] == 3
+        assert totals["turns"] == 12
+        assert totals["broadcast_bits"] == 12
+        assert totals["total_private_bits"] == 0
+        assert totals["public_bits"] == 0
+
+    def test_instance_params_with_overrides(self):
+        model = reveal_model(m=3)
+        assert model.evaluate(n=4)["turns"] == 12
+        assert model.evaluate(n=4, m=5)["turns"] == 20
+
+    def test_predict_scales_by_trials(self):
+        model = reveal_model(m=3)
+        assert model.predict(10, n=4)["broadcast_bits"] == 120
+        assert model.predict(0, n=4)["broadcast_bits"] == 0
+        with pytest.raises(ValueError):
+            model.predict(-1, n=4)
+
+    def test_predict_is_exact_at_extrapolation_scale(self):
+        # Pure integer formula evaluation — no simulation, no floats.
+        model = reveal_model()
+        n = 10**9
+        assert model.predict(1, n=n, m=n)["broadcast_bits"] == n * n
+
+    def test_predict_bounds_exact_model_degenerates(self):
+        lo, hi = reveal_model().predict_bounds(2, n=4, m=3)["turns"]
+        assert lo == hi == 24
+
+    def test_predict_bounds_brackets_realized(self):
+        bounds = bounded_model().predict_bounds(1, n=6)
+        assert bounds["rounds"] == (1, 6)
+        assert bounds["turns"] == (6, 36)
+
+
+class TestConformance:
+    def test_exact_model_accepts_matching_report(self):
+        model = reveal_model(m=3)
+        assert model.check_trial(report(n=4, rounds=3), n=4) == []
+
+    def test_exact_model_names_the_mismatching_kind(self):
+        model = reveal_model(m=3)
+        problems = model.check_trial(report(n=4, rounds=2), n=4)
+        assert problems
+        assert any("rounds: predicted 3 != measured 2" in p for p in problems)
+
+    def test_bounded_model_binds_realized_from_report(self):
+        model = bounded_model()
+        assert model.check_trial(report(n=6, rounds=4), n=6) == []
+
+    def test_bounded_model_rejects_out_of_bounds_realized(self):
+        model = bounded_model()
+        problems = model.check_trial(report(n=3, rounds=7), n=3)
+        assert problems
+        assert any("outside bounds [1, 3]" in p for p in problems)
+
+    def test_check_batch_prefixes_trial_indices(self):
+        model = reveal_model(m=3)
+        reports = [report(n=4, rounds=3), report(n=4, rounds=9)]
+        problems = model.check_batch(reports, n=4)
+        assert problems
+        assert all(p.startswith("trial 1:") for p in problems)
+
+    def test_check_trial_covers_private_and_public_bits(self):
+        n = Sym("n")
+        model = CostModel(
+            [
+                Phase(
+                    "flip",
+                    rounds=1,
+                    turns=n,
+                    broadcast_bits=n,
+                    total_private_bits=n * 24,
+                )
+            ]
+        )
+        good = report(n=4, rounds=1, private=24)
+        assert model.check_trial(good, n=4) == []
+        bad = report(n=4, rounds=1, private=23)
+        assert any("total_private_bits" in p for p in model.check_trial(bad, n=4))

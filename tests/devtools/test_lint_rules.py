@@ -257,6 +257,122 @@ class TestBAT01:
 
 
 # ----------------------------------------------------------------------
+# BAT02 — batched protocols carry a symbolic cost model
+# ----------------------------------------------------------------------
+class TestBAT02:
+    def test_flags_batch_without_cost_model(self):
+        src = """
+            from repro.core.protocol import Protocol
+
+            class Broken(Protocol):
+                supports_batch = True
+                supports_batch_keys = True
+
+                def batch_decisions(self, inputs):
+                    return inputs.sum(axis=(1, 2))
+
+                def batch_keys(self, inputs):
+                    return inputs.reshape(inputs.shape[0], -1)
+        """
+        fired = findings(src)
+        assert any(
+            f.rule == "BAT02" and "batch_decisions" in f.message
+            for f in fired
+        )
+
+    def test_flags_cost_model_without_batch_contract(self):
+        src = """
+            from repro.core.protocol import Protocol
+            from repro.costs import CostModel, Phase, Sym
+
+            class ScalarOnly(Protocol):
+                def cost_model(self):
+                    n = Sym("n")
+                    return CostModel([Phase("reveal", rounds=1, turns=n)])
+        """
+        fired = findings(src)
+        assert any(
+            f.rule == "BAT02" and "cost_model" in f.message for f in fired
+        )
+
+    def test_allows_matched_contract(self):
+        src = """
+            from repro.core.protocol import Protocol
+            from repro.costs import CostModel, Phase, Sym
+
+            class Good(Protocol):
+                supports_batch = True
+                supports_batch_keys = True
+
+                def cost_model(self):
+                    n = Sym("n")
+                    return CostModel([Phase("reveal", rounds=1, turns=n)])
+
+                def batch_decisions(self, inputs):
+                    return inputs.sum(axis=(1, 2))
+
+                def batch_keys(self, inputs):
+                    return inputs.reshape(inputs.shape[0], -1)
+        """
+        assert "BAT02" not in rules_fired(src)
+
+    def test_inherited_cost_model_satisfies_batch(self):
+        src = """
+            from repro.core.protocol import Protocol
+            from repro.costs import CostModel, Phase, Sym
+
+            class Modeled(Protocol):
+                def cost_model(self):
+                    n = Sym("n")
+                    return CostModel([Phase("reveal", rounds=1, turns=n)])
+
+                def batch_decisions(self, inputs):
+                    return inputs.sum(axis=(1, 2))
+
+            class Child(Modeled):
+                supports_batch = True
+        """
+        assert "BAT02" not in rules_fired(src)
+
+    def test_mixin_completed_by_subclass_is_allowed(self):
+        src = """
+            from repro.core.protocol import Protocol
+            from repro.costs import CostModel, Phase, Sym
+
+            class BatchMixin(Protocol):
+                def batch_decisions(self, inputs):
+                    return inputs.sum(axis=(1, 2))
+
+            class Complete(BatchMixin):
+                supports_batch = True
+
+                def cost_model(self):
+                    n = Sym("n")
+                    return CostModel([Phase("reveal", rounds=1, turns=n)])
+        """
+        assert "BAT02" not in rules_fired(src)
+
+    def test_abstract_stub_is_declaration_not_implementation(self):
+        src = """
+            class Protocol:
+                def cost_model(self):
+                    raise NotImplementedError("no model")
+
+                def batch_decisions(self, inputs):
+                    raise NotImplementedError("no batching")
+        """
+        assert "BAT02" not in rules_fired(src)
+
+    def test_non_protocol_class_is_out_of_scope(self):
+        src = """
+            class Planner:
+                def cost_model(self):
+                    return {"rounds": 1}
+        """
+        assert "BAT02" not in rules_fired(src)
+
+
+# ----------------------------------------------------------------------
 # EXC01 — pickle quarantine
 # ----------------------------------------------------------------------
 class TestEXC01:

@@ -622,10 +622,16 @@ class Executor:
         items: list[Any],
         exc: Exception,
         action: str = "running serially",
+        reason: str = "not picklable",
     ) -> list[Any]:
-        """Run in-process with a warning naming the backend and cause."""
+        """Run in-process with a warning naming the backend and cause.
+
+        ``reason`` names the shippability contract that failed — pickle
+        for the process-pool backends, the schema'd wire vocabulary
+        (``"not wire-encodable"``) for the distributed one.
+        """
         warnings.warn(
-            f"{type(self).__name__} task is not picklable "
+            f"{type(self).__name__} task is {reason} "
             f"({type(exc).__name__}: {exc}); {action}",
             RuntimeWarning,
             stacklevel=3,
@@ -633,9 +639,16 @@ class Executor:
         return [fn(item) for item in items]
 
     @staticmethod
-    def _default_chunksize(n_items: int, lanes: int) -> int:
-        """~4 chunks per worker lane, amortizing IPC without starving anyone."""
-        return max(1, math.ceil(n_items / (4 * lanes)))
+    def _default_chunksize(n_items: int, lanes: int, stealing: bool = False) -> int:
+        """~4 chunks per worker lane, amortizing IPC without starving anyone.
+
+        Under a work-stealing scheduler the right trade-off shifts: ~8
+        chunks per lane, so a straggler's queue still holds chunks worth
+        stealing when the fast lanes finish their share — with only
+        stragglers' chunks migrating, the finer granularity costs almost
+        no extra per-frame overhead on the healthy lanes.
+        """
+        return max(1, math.ceil(n_items / ((8 if stealing else 4) * lanes)))
 
     # -- shared-memory input protocol -----------------------------------
     # Executors own the lifecycle of shared fixed-input segments because

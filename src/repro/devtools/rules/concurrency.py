@@ -1,11 +1,13 @@
 """Concurrency rules: EXC01 (pickle quarantine), EXC02 (lock discipline),
 EXC03 (no silent exception swallows).
 
-EXC01: ``pickle.loads`` executes arbitrary constructors; the worker
-protocol's trust boundary is documented in exactly one place —
-:mod:`repro.exec.wire` — where frame size limits and the trusted-network
-caveat live.  A stray ``loads`` anywhere else silently widens that
-boundary.
+EXC01: ``pickle.loads`` executes arbitrary constructors.  The wire
+protocol no longer uses pickle at all — :mod:`repro.exec.wire` decodes a
+closed schema vocabulary and verifies a MAC before decoding — so the
+historical "quarantined wire module" allowlist is now *empty*: no module
+in the tree may deserialize pickle bytes, full stop.  (Sender-side
+``pickle.dumps`` remains legal; process pools ship work that way, and
+serializing is not an execution hazard.)
 
 EXC02: every lock in :mod:`repro.exec` must be held via ``with`` so that
 no exception path can leak a held lock (a leaked lock is a deadlock that
@@ -30,26 +32,29 @@ from ..lint import Finding, LintRule, SourceModule, dotted_name
 
 __all__ = ["PickleQuarantineRule", "BareAcquireRule", "SilentExceptRule"]
 
-#: The one module allowed to deserialize wire frames.
-_WIRE_PATHS = ("repro/exec/wire.py",)
+#: Modules allowed to deserialize pickle bytes.  Historically this held
+#: ``repro/exec/wire.py`` (the pickle-framed v1 protocol); the schema'd
+#: v2 protocol needs no exemption, so the quarantine is now empty.
+_WIRE_PATHS: tuple[str, ...] = ()
 
 _PICKLE_LOADERS = {"loads", "load", "Unpickler"}
 
 
 class PickleQuarantineRule(LintRule):
-    """EXC01 — frame deserialization only inside repro.exec.wire."""
+    """EXC01 — no pickle deserialization anywhere in the tree."""
 
     id = "EXC01"
-    title = "no pickle.loads outside the quarantined wire module"
+    title = "no pickle.loads anywhere (the wire protocol is schema'd)"
     rationale = (
-        "unpickling executes arbitrary code; repro.exec.wire is the one "
-        "audited entry point (size-capped frames, trusted-network "
-        "caveat).  Deserializing anywhere else widens the trust "
-        "boundary invisibly."
+        "unpickling executes arbitrary code; the wire protocol decodes "
+        "a closed schema vocabulary behind a frame MAC instead, so no "
+        "module has any business calling a pickle loader.  A stray "
+        "loads reopens the remote-code-execution hole the schema "
+        "protocol closed."
     )
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
-        if module.path.endswith(_WIRE_PATHS):
+        if _WIRE_PATHS and module.path.endswith(_WIRE_PATHS):
             return
         pickle_roots = {"pickle"}
         from_imports: set[str] = set()
@@ -76,8 +81,8 @@ class PickleQuarantineRule(LintRule):
                 yield self.finding(
                     module,
                     node,
-                    f"{name}() outside repro.exec.wire — route frame "
-                    "deserialization through the quarantined wire module",
+                    f"{name}() deserializes arbitrary code — use the "
+                    "schema codec in repro.exec.wire instead",
                 )
 
 

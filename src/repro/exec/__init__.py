@@ -24,13 +24,19 @@ with every estimator, sweep, and benchmark that already takes
   worker** instead of once per batch (:class:`PublishedInput` is the
   wire handle), bit-identical to serial execution thanks to per-trial
   ``SeedSequence.spawn`` seeding;
-* :mod:`repro.exec.wire` — the quarantined frame codec
-  (``8-byte big-endian length || pickle``): the one module allowed to
-  deserialize wire bytes (lint rule ``EXC01``), keeping the protocol's
-  trust boundary in a single auditable place, with typed frame errors
-  (:class:`WireProtocolError` / :class:`TruncatedFrameError` /
-  :class:`CorruptFrameError`) so damaged frames can never surface as a
-  silent partial decode;
+* :mod:`repro.exec.wire` — the schema'd, authenticated frame codec
+  (``8-byte big-endian length || schema payload || HMAC-SHA256``): a
+  closed vocabulary of versioned frames (callables travel as registered
+  names keyed by content digest — code never travels; pickle is banned
+  tree-wide by lint rule ``EXC01``), a mutual challenge–response
+  handshake deriving a per-session key from a shared secret
+  (``REPRO_WIRE_SECRET``), per-frame MACs over strict sequence numbers
+  (tamper- and replay-evident published inputs), optional TLS, and
+  negotiated payload codecs (``gf2pack`` bit-packs GF(2) matrices to
+  one-eighth of raw).  Typed frame errors (:class:`WireProtocolError` /
+  :class:`TruncatedFrameError` / :class:`CorruptFrameError` /
+  :class:`~repro.exec.wire.AuthenticationError`) mean damaged or forged
+  frames can never surface as a silent partial decode;
 * :mod:`repro.exec.health` — the failure model's machinery:
   :class:`HealthBoard` (per-worker ``healthy → suspect → dead``
   liveness), :class:`ErrorTelemetry` (per-worker failure counters),
@@ -84,10 +90,16 @@ from .sweep import (
 )
 from .wire import (
     MAX_FRAME_BYTES,
+    AuthenticationError,
     CorruptFrameError,
+    FrameAuthenticationError,
     TruncatedFrameError,
+    UnencodableError,
     WireProtocolError,
+    WireSession,
     recv_frame,
+    register_wire_function,
+    register_wire_type,
     send_frame,
 )
 from .worker import PublishedInput
@@ -107,6 +119,12 @@ __all__ = [
     "WireProtocolError",
     "TruncatedFrameError",
     "CorruptFrameError",
+    "AuthenticationError",
+    "FrameAuthenticationError",
+    "UnencodableError",
+    "WireSession",
+    "register_wire_function",
+    "register_wire_type",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultPlan",

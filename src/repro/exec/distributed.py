@@ -9,6 +9,17 @@ trial to another host changes *nothing* about its randomness: results
 are bit-identical to the serial backend no matter how tasks land on
 workers.
 
+Every connection is an authenticated
+:class:`~repro.exec.wire.WireSession`: a shared-secret HMAC handshake at
+connect (optionally under TLS), then schema-encoded frames — **never
+pickle** — each carrying a MAC over the session key and a sequence
+number, so a tampered or replayed frame (including a published-input
+matrix) raises a typed error instead of being computed on.  Task
+callables do not travel either: the executor registers the encoded
+callable once per worker under its content digest (``register_fn``) and
+map frames reference the digest; a worker that restarted answers
+``("need_fn", digest)`` and is transparently re-registered.
+
 Dispatch splits the item list into contiguous chunks and deals them over
 the connected workers through the shared work-stealing
 :class:`~repro.exec.stealing.ChunkScheduler` — one feeder thread per
@@ -41,12 +52,14 @@ fault schedule the deterministic fault-injection harness
 :class:`~repro.core.engine.SerialExecutor` or the failure is a loud
 typed error — never silent partial output.
 
-Large **fixed input matrices** are not re-pickled into every map frame:
+Large **fixed input matrices** are not re-encoded into every map frame:
 the executor publishes them once per worker (``publish_inputs`` frames,
-keyed by content digest) and workers cache them across connections and
-batches — consecutive batches over the same inputs transmit the matrix
-exactly once per worker.  A worker that restarted (and lost its cache)
-answers ``("need", digest)`` and is transparently refilled.
+keyed by content digest, compressed with the best codec the session
+negotiated — GF(2) matrices ride bit-packed at an eighth of the raw
+bytes) and workers cache them across connections and batches —
+consecutive batches over the same inputs transmit the matrix exactly
+once per worker.  A worker that restarted (and lost its cache) answers
+``("need", digest)`` and is transparently refilled.
 
 Workers for tests (or single-machine smoke runs) can live in-process:
 :class:`LoopbackWorker` hosts the same serve loop on a background thread
@@ -76,19 +89,40 @@ from .health import (
     WorkerTimeoutError,
 )
 from .stealing import ChunkScheduler
-from .wire import CorruptFrameError, recv_frame, send_frame
+from .wire import (
+    AuthenticationError,
+    CorruptFrameError,
+    FrameAuthenticationError,
+    UnencodableError,
+    WireProtocolError,
+    WireSession,
+    encode_array_payload,
+    encode_value,
+    function_digest,
+    register_wire_function,
+)
 from .worker import PublishedInput, serve
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import ssl
+
     from .faults import FaultInjector
 
 __all__ = ["DistributedExecutor", "LoopbackWorker"]
+
+
+@register_wire_function
+def _shout(text: str) -> str:
+    """The doc-example workload (registered so it travels by name)."""
+    return text.upper()
 
 
 def _failure_category(exc: BaseException) -> str:
     """The telemetry category a handled lane failure is recorded under."""
     if isinstance(exc, WorkerTimeoutError):
         return "timeout"
+    if isinstance(exc, FrameAuthenticationError):
+        return "auth"
     if isinstance(exc, CorruptFrameError):
         return "corrupt"
     if isinstance(exc, (ConnectionError, OSError, EOFError)):
@@ -115,12 +149,19 @@ def _parse_address(address: "str | tuple[str, int]") -> tuple[str, int]:
 
 
 class _WorkerLink:
-    """One client connection, lazily (re)connected per map call.
+    """One authenticated client connection, lazily (re)connected per map call.
 
-    ``connect_retries`` extra connection attempts are made (spaced by
-    the deterministic ``retry_policy`` backoff) before the link reports
-    itself unreachable; every handled failure is recorded in
-    ``telemetry`` under the link's worker address.
+    Connecting means: TCP connect, optional TLS wrap, then the
+    :class:`~repro.exec.wire.WireSession` challenge–response handshake —
+    a link either holds a fully authenticated session or no connection
+    at all.  ``connect_retries`` extra attempts are made (spaced by the
+    deterministic ``retry_policy`` backoff) before the link reports
+    itself unreachable — except on :class:`~repro.exec.wire
+    .AuthenticationError`, which no retry will heal (the secrets
+    disagree) and which is reported immediately.  Every handled failure
+    is recorded in ``telemetry`` under the link's worker address, and
+    handshake outcomes are counted on ``registry``
+    (``exec_handshakes_total{outcome=ok|auth|error}``).
     """
 
     def __init__(
@@ -132,6 +173,9 @@ class _WorkerLink:
         telemetry: "ErrorTelemetry | None" = None,
         retry_policy: "RetryPolicy | None" = None,
         connect_retries: int = 0,
+        secret: "bytes | str | None" = None,
+        ssl_context: "ssl.SSLContext | None" = None,
+        registry: "MetricsRegistry | None" = None,
     ):
         self.address = address
         self.connect_timeout = connect_timeout
@@ -140,17 +184,34 @@ class _WorkerLink:
         self.telemetry = telemetry
         self.retry_policy = retry_policy
         self.connect_retries = connect_retries
+        self.secret = secret
+        self.ssl_context = ssl_context
+        self.registry = registry
         self.sock: socket.socket | None = None
+        self.session: WireSession | None = None
 
     def _record(self, category: str) -> None:
         if self.telemetry is not None:
             self.telemetry.record(self.address, category)
 
+    def _count_handshake(self, outcome: str) -> None:
+        if self.registry is not None:
+            self.registry.counter(
+                "exec_handshakes_total", outcome=outcome
+            ).inc()
+
+    @property
+    def codecs(self) -> tuple[str, ...]:
+        """Array codecs the session negotiated (``("raw",)`` until connected)."""
+        session = self.session
+        return session.codecs if session is not None else ("raw",)
+
     def ensure_connected(self) -> bool:
-        if self.sock is not None:
+        if self.session is not None:
             return True
         attempts = self.connect_retries + 1
         for attempt in range(attempts):
+            sock: socket.socket | None = None
             try:
                 sock = socket.create_connection(
                     self.address, timeout=self.connect_timeout
@@ -161,12 +222,43 @@ class _WorkerLink:
                 # opted into task_timeout=None.
                 sock.settimeout(self.task_timeout)
                 sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
-                self.sock = sock
-                return True
+                if self.ssl_context is not None:
+                    sock = self.ssl_context.wrap_socket(
+                        sock, server_hostname=self.address[0]
+                    )
+                session = WireSession.client(sock, self.secret)
+            except AuthenticationError:
+                # The worker refused our proof (or presented a bad one):
+                # the secrets disagree, and no retry heals that.  Loud
+                # and immediate — a misconfigured fleet must not look
+                # like a flaky network.
+                self._record("auth")
+                self._count_handshake("auth")
+                if sock is not None:
+                    sock.close()
+                return False
+            except WireProtocolError:
+                # Handshake failed for a non-auth reason (truncated or
+                # malformed exchange — e.g. the peer is not speaking
+                # this protocol version).
+                self._record("connect")
+                self._count_handshake("error")
+                if sock is not None:
+                    sock.close()
+                if attempt + 1 < attempts and self.retry_policy is not None:
+                    time.sleep(self.retry_policy.delay(attempt, lane=self.lane))
+                continue
             except OSError:
+                if sock is not None:
+                    sock.close()
                 self._record("connect")
                 if attempt + 1 < attempts and self.retry_policy is not None:
                     time.sleep(self.retry_policy.delay(attempt, lane=self.lane))
+                continue
+            self.sock = sock
+            self.session = session
+            self._count_handshake("ok")
+            return True
         return False
 
     def request(self, payload: Any) -> Any:
@@ -174,20 +266,22 @@ class _WorkerLink:
 
         The error is typed by diagnosis: a frame that takes longer than
         ``task_timeout`` raises
-        :class:`~repro.exec.health.WorkerTimeoutError`; a damaged frame
-        raises a :class:`~repro.exec.wire.WireProtocolError` subclass;
-        everything else surfaces as plain :class:`ConnectionError`.  All
-        are ``ConnectionError`` subclasses, so callers can handle
-        transport failure uniformly and still tell the cases apart.
+        :class:`~repro.exec.health.WorkerTimeoutError`; a frame whose
+        MAC does not verify raises
+        :class:`~repro.exec.wire.FrameAuthenticationError`; a damaged
+        frame raises another :class:`~repro.exec.wire.WireProtocolError`
+        subclass; everything else surfaces as plain
+        :class:`ConnectionError`.  All are ``ConnectionError``
+        subclasses, so callers can handle transport failure uniformly
+        and still tell the cases apart.
         """
-        sock = self.sock
-        if sock is None:
+        session = self.session
+        if session is None:
             # The heartbeat monitor dropped this link concurrently (the
             # worker was declared dead mid-request).
             raise ConnectionError(f"link to {self.address} was dropped")
         try:
-            send_frame(sock, payload)
-            return recv_frame(sock)
+            return session.request(payload)
         except ConnectionError:
             raise  # already typed (includes the WireProtocolError family)
         except TimeoutError as exc:
@@ -200,6 +294,7 @@ class _WorkerLink:
 
     def drop(self) -> None:
         sock, self.sock = self.sock, None
+        self.session = None
         if sock is not None:
             # shutdown() before close(): closing an fd does not wake a
             # thread blocked in recv() on it, shutdown() does — this is
@@ -229,10 +324,28 @@ class DistributedExecutor(Executor):
         workers serve one handler thread per connection) and a worker
         that was unreachable or failed mid-call is simply retried by the
         next call.
+    secret:
+        Shared authentication secret for the per-connection HMAC
+        handshake and per-frame MACs (:func:`~repro.exec.wire
+        .resolve_secret` semantics: this value, else the
+        ``REPRO_WIRE_SECRET`` environment variable, else a well-known
+        development secret suitable only for loopback testing).  Must
+        match the workers' secret; a mismatch surfaces immediately as an
+        ``"auth"`` telemetry entry and an unreachable worker, never as a
+        hung batch.
+    ssl_context:
+        Optional ``PROTOCOL_TLS_CLIENT`` context; when given, every
+        worker connection is TLS-wrapped before the handshake (the HMAC
+        handshake authenticates both ends either way — TLS adds
+        confidentiality and server-certificate pinning on networks that
+        need them).
     chunksize:
         Items per task frame; defaults to
-        ``ceil(len(items) / (4 * n_workers))`` so each worker sees ~4
-        chunks and stragglers rebalance.
+        ``ceil(len(items) / (8 * n_workers))`` under the stealing
+        scheduler — small enough that a straggler's queue is worth
+        stealing from — and ``ceil(len(items) / (4 * n_workers))`` under
+        static scheduling, where chunks never migrate and per-frame
+        overhead dominates.
     connect_timeout:
         Seconds to wait when (re)establishing a worker connection.
     task_timeout:
@@ -259,7 +372,9 @@ class DistributedExecutor(Executor):
         worker is *suspect*, respectively *dead*, on :attr:`health`.
     connect_retries:
         Extra connection attempts per link before a worker counts as
-        unreachable, spaced by the deterministic backoff below.
+        unreachable, spaced by the deterministic backoff below.  An
+        authentication failure is never retried — wrong secrets do not
+        heal.
     lane_retries:
         Times a failed lane is resurrected (reconnected and handed
         chunks again) within one map call before it stays dead.  A
@@ -287,10 +402,11 @@ class DistributedExecutor(Executor):
         :class:`~repro.core.engine.SerialExecutor`.
     share_inputs_min_bytes:
         Fixed input matrices at least this large are published to each
-        worker once (content-digest keyed ``publish_inputs`` frame) and
-        referenced by handle in every subsequent map frame, instead of
-        being pickled into each chunk.  Workers cache published inputs
-        across batches until :meth:`close` releases them.
+        worker once (content-digest keyed ``publish_inputs`` frame,
+        compressed with the session-negotiated codec) and referenced by
+        handle in every subsequent map frame, instead of being encoded
+        into each chunk.  Workers cache published inputs across batches
+        until :meth:`close` releases them.
     max_cached_inputs:
         LRU bound on *distinct* matrices the executor keeps pinned for
         publication — a long sweep whose grid varies the fixed inputs
@@ -301,12 +417,17 @@ class DistributedExecutor(Executor):
         the protocol is self-healing in both directions).
 
     The executor plugs into the engine like any other backend — here
-    against an in-process loopback worker:
+    against an in-process loopback worker.  Task callables travel by
+    registry name plus state, never as code, so the workload must be a
+    registered callable (engine trial runners and protocol classes
+    already are; ad-hoc demo functions use
+    :func:`~repro.exec.wire.register_wire_function`):
 
     >>> from repro.exec import DistributedExecutor, LoopbackWorker
+    >>> from repro.exec.distributed import _shout
     >>> with LoopbackWorker() as worker:
     ...     with DistributedExecutor([worker.endpoint]) as executor:
-    ...         executor.map(str.upper, ["steal", "publish"])
+    ...         executor.map(_shout, ["steal", "publish"])
     ['STEAL', 'PUBLISH']
     """
 
@@ -335,6 +456,8 @@ class DistributedExecutor(Executor):
         backoff_base: float = 0.05,
         backoff_cap: float = 1.0,
         retry_seed: int = 0,
+        secret: "bytes | str | None" = None,
+        ssl_context: "ssl.SSLContext | None" = None,
         registry: "MetricsRegistry | None" = None,
         tracer: "Tracer | NullTracer" = NULL_TRACER,
         recorder: "FlightRecorder | None" = None,
@@ -369,6 +492,8 @@ class DistributedExecutor(Executor):
         self.heartbeat_interval = heartbeat_interval
         self.connect_retries = connect_retries
         self.lane_retries = lane_retries
+        self.secret = secret
+        self.ssl_context = ssl_context
         #: Unified metrics home (shared when passed in, private
         #: otherwise); every counter below is a view into it.
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -388,7 +513,7 @@ class DistributedExecutor(Executor):
             recorder=self.recorder,
         )
         #: Per-worker, per-category counters of every *handled* failure
-        #: (connect, transport, timeout, corrupt, heartbeat, ping,
+        #: (connect, auth, transport, timeout, corrupt, heartbeat, ping,
         #: release, close, protocol) — nothing is silently swallowed.
         #: Served from :attr:`registry` as ``exec_errors_total``.
         self.telemetry = ErrorTelemetry(registry=self.registry)
@@ -402,15 +527,22 @@ class DistributedExecutor(Executor):
         self._digest_cache = _DigestCache()
         self._inputs_by_digest: dict[str, np.ndarray] = {}
         self._acked: dict[tuple[str, int], set[str]] = {}
+        #: Which workers hold which registered callables (address →
+        #: function digests) — the ``register_fn`` twin of the
+        #: published-input ack table, healed the same way by
+        #: ``("need_fn", digest)`` replies.
+        self._fn_acks: dict[tuple[str, int], set[str]] = {}
         #: digest → number of in-flight batches using it; pinned digests
         #: are exempt from LRU eviction (evicting a matrix a running map
         #: still references would fail that map on every lane).
         self._pinned: dict[str, int] = {}
         self._publish_lock = threading.Lock()
         #: One send-lock per worker address: concurrent map calls must
-        #: not each ship the same matrix to the same worker (the second
-        #: sender waits, then sees the ack and skips).
+        #: not each ship the same matrix (or callable) to the same
+        #: worker (the second sender waits, then sees the ack and
+        #: skips).
         self._publish_send_locks: dict[tuple[str, int], threading.Lock] = {}
+
     @property
     def addresses(self) -> list[tuple[str, int]]:
         return list(self._addresses)
@@ -424,6 +556,13 @@ class DistributedExecutor(Executor):
     def publish_frames_sent(self) -> int:
         """``publish_inputs`` frames actually sent (cumulative)."""
         return int(self.registry.total("exec_publish_frames_total"))
+
+    @property
+    def publish_bytes_sent(self) -> int:
+        """Published-input payload bytes on the wire (cumulative, all
+        codecs — the per-codec split lives in the registry as
+        ``exec_publish_bytes_total{codec=...}``)."""
+        return int(self.registry.total("exec_publish_bytes_total"))
 
     @property
     def last_map_steals(self) -> int:
@@ -457,6 +596,9 @@ class DistributedExecutor(Executor):
                 telemetry=self.telemetry,
                 retry_policy=self._retry_policy,
                 connect_retries=self.connect_retries,
+                secret=self.secret,
+                ssl_context=self.ssl_context,
+                registry=self.registry,
             )
             for lane, address in enumerate(self._addresses)
         ]
@@ -477,6 +619,8 @@ class DistributedExecutor(Executor):
             task_timeout=deadline,
             lane=lane,
             telemetry=self.telemetry,
+            secret=self.secret,
+            ssl_context=self.ssl_context,
         )
         if not probe.ensure_connected():
             return False
@@ -573,6 +717,11 @@ class DistributedExecutor(Executor):
     def _ensure_published(self, link: _WorkerLink, handle: "PublishedInput") -> None:
         """Ship the handle's matrix to this link's worker unless acked.
 
+        The payload rides the best array codec the link's session
+        negotiated (``gf2pack`` bit-packs GF(2) matrices to an eighth of
+        the raw bytes) and the bytes actually written are counted per
+        codec on ``exec_publish_bytes_total``.
+
         Serialized per address: concurrent map calls racing to publish
         the same digest to the same worker take the address's send lock,
         so the loser of the race finds the ack and sends nothing —
@@ -598,13 +747,15 @@ class DistributedExecutor(Executor):
                 raise ConnectionError(
                     f"unknown input digest {handle.digest[:12]}…"
                 )
+            codec, data = encode_array_payload(inputs, link.codecs)
             reply = link.request(
                 (
                     "publish_inputs",
                     handle.digest,
                     handle.shape,
                     handle.dtype_str,
-                    np.ascontiguousarray(inputs).tobytes(),
+                    codec,
+                    data,
                 )
             )
             if reply[0] != "ok":
@@ -612,12 +763,44 @@ class DistributedExecutor(Executor):
             with self._publish_lock:
                 self._acked.setdefault(address, set()).add(handle.digest)
             self.registry.counter("exec_publish_frames_total").inc()
+            self.registry.counter(
+                "exec_publish_bytes_total", codec=codec
+            ).inc(len(data))
+
+    def _ensure_registered(
+        self, link: _WorkerLink, fn_digest: str, fn_bytes: bytes
+    ) -> None:
+        """Ship the encoded task callable to this link's worker unless acked.
+
+        The ``register_fn`` twin of :meth:`_ensure_published`: same
+        per-address send lock, same ack table, same self-healing
+        (``("need_fn", digest)`` forgets the stale ack and re-registers).
+        The worker verifies the digest against the bytes and will only
+        ever *decode* them against its own registry — code never
+        travels, only references to code both ends already have.
+        """
+        address = link.address
+        with self._publish_lock:
+            if fn_digest in self._fn_acks.setdefault(address, set()):
+                return
+            send_lock = self._publish_send_locks.setdefault(
+                address, threading.Lock()
+            )
+        with send_lock:
+            with self._publish_lock:
+                if fn_digest in self._fn_acks.setdefault(address, set()):
+                    return  # another map call registered while we waited
+            reply = link.request(("register_fn", fn_digest, fn_bytes))
+            if reply[0] != "ok":
+                raise ConnectionError(f"register_fn rejected: {reply[0]!r}")
+            with self._publish_lock:
+                self._fn_acks.setdefault(address, set()).add(fn_digest)
 
     def _bind_local(self, fn: Callable[[Any], Any]) -> None:
         """Give a locally-run task its published inputs back.
 
-        The local-fallback path executes the same pickled-shape callable
-        the workers would have: if it references a published digest, the
+        The local-fallback path executes the same callable the workers
+        would have decoded: if it references a published digest, the
         matrix must be rebound from the executor's own store before
         ``fn`` can run in this process.
         """
@@ -634,25 +817,43 @@ class DistributedExecutor(Executor):
         items = list(items)
         if not items:
             return []
-        probe_exc = self._pickle_probe(fn, items)
-        if probe_exc is not None:
+        try:
+            # The schema probe replaces the old pickle probe: the
+            # callable and a sample item must be expressible in the
+            # closed wire vocabulary (registered callables/classes plus
+            # plain data) or the whole map runs locally — loudly.
+            fn_bytes = encode_value(fn)
+            encode_value(items[0])
+        except UnencodableError as probe_exc:
             self._bind_local(fn)
             return self._unpicklable_fallback(
-                fn, items, probe_exc, action="running locally"
+                fn,
+                items,
+                probe_exc,
+                action="running locally",
+                reason="not wire-encodable",
             )
+        fn_digest = function_digest(fn_bytes)
         links = self._fresh_links()
         try:
             with self.tracer.span("map", track="engine", items=len(items)):
-                return self._map_over_links(fn, items, links)
+                return self._map_over_links(
+                    fn, fn_digest, fn_bytes, items, links
+                )
         finally:
             for link in links:
                 link.drop()
 
     def _map_over_links(
-        self, fn: Callable[[Any], Any], items: list[Any], links: list[_WorkerLink]
+        self,
+        fn: Callable[[Any], Any],
+        fn_digest: str,
+        fn_bytes: bytes,
+        items: list[Any],
+        links: list[_WorkerLink],
     ) -> list[Any]:
         chunksize = self.chunksize or self._default_chunksize(
-            len(items), len(links)
+            len(items), len(links), stealing=self.scheduling == "steal"
         )
         scheduler = ChunkScheduler(
             items,
@@ -701,6 +902,38 @@ class DistributedExecutor(Executor):
                     "lane_death", track=f"lane-{index}", survivors=len(survivors)
                 )
 
+        def heal_reply(link: _WorkerLink, frame: tuple[Any, ...], reply: Any) -> Any:
+            """Resolve ``need`` / ``need_fn`` replies by re-uploading.
+
+            The worker lost a digest (it restarted, or its own bounded
+            cache evicted it under concurrent-batch thrash): forget the
+            stale ack, re-upload, retry — a bounded number of times, so
+            a hot eviction loop degrades to a lane failure rather than
+            spinning.
+            """
+            for _ in range(3):
+                kind = reply[0]
+                if kind == "need":
+                    with self._publish_lock:
+                        self._acked.get(link.address, set()).discard(reply[1])
+                    if handle is None or reply[1] != handle.digest:
+                        raise ConnectionError(
+                            f"worker demanded unknown inputs {reply[1]!r}"
+                        )
+                    self._ensure_published(link, handle)
+                elif kind == "need_fn":
+                    with self._publish_lock:
+                        self._fn_acks.get(link.address, set()).discard(reply[1])
+                    if reply[1] != fn_digest:
+                        raise ConnectionError(
+                            f"worker demanded unknown callable {reply[1]!r}"
+                        )
+                    self._ensure_registered(link, fn_digest, fn_bytes)
+                else:
+                    break
+                reply = link.request(frame)
+            return reply
+
         def feed(index: int, link: _WorkerLink) -> None:
             """Pull chunks for one worker — own deque first, then steals."""
             track = f"lane-{index}"
@@ -718,7 +951,7 @@ class DistributedExecutor(Executor):
                 # the classic 3-tuple: the wire is byte-identical.
                 if self.tracer.enabled:
                     ctx = self.tracer.new_context()
-                    frame = ("map", fn, chunk.items, ctx)
+                    frame = ("map", fn_digest, chunk.items, ctx)
                     span = self.tracer.span(
                         "chunk",
                         track=track,
@@ -728,33 +961,18 @@ class DistributedExecutor(Executor):
                         ctx=ctx,
                     )
                 else:
-                    frame = ("map", fn, chunk.items)
+                    frame = ("map", fn_digest, chunk.items)
                     span = None
                 try:
-                    # Publish lazily, only when this worker is actually
-                    # about to receive a frame referencing the digest —
+                    # Upload lazily, only when this worker is actually
+                    # about to receive a frame referencing the digests —
                     # a lane that never claims a chunk never gets the
-                    # matrix.  O(1) after the first chunk (ack table).
+                    # callable or the matrix.  O(1) after the first
+                    # chunk (ack tables).
+                    self._ensure_registered(link, fn_digest, fn_bytes)
                     if handle is not None:
                         self._ensure_published(link, handle)
-                    reply = link.request(frame)
-                    for _ in range(3):
-                        if reply[0] != "need":
-                            break
-                        # The worker lost the digest (it restarted, or
-                        # its own bounded cache evicted it under
-                        # concurrent-batch thrash): forget the stale
-                        # ack, republish, retry — a bounded number of
-                        # times, so a hot eviction loop degrades to a
-                        # lane failure rather than spinning.
-                        with self._publish_lock:
-                            self._acked.get(link.address, set()).discard(reply[1])
-                        if handle is None or reply[1] != handle.digest:
-                            raise ConnectionError(
-                                f"worker demanded unknown inputs {reply[1]!r}"
-                            )
-                        self._ensure_published(link, handle)
-                        reply = link.request(frame)
+                    reply = heal_reply(link, frame, link.request(frame))
                     kind = reply[0]
                     if kind == "err":
                         with lock:
@@ -770,12 +988,13 @@ class DistributedExecutor(Executor):
                         )
                 except Exception as exc:  # noqa: BLE001 - any transport/
                     # protocol failure (dropped socket, chunk deadline,
-                    # corrupt frame, malformed reply): the chunk's fate
-                    # is unknown, but tasks are pure, so rerunning it
-                    # elsewhere is safe.  The failure is categorized
-                    # into telemetry and counts as a liveness miss; the
-                    # lane sits out until (maybe) resurrected, and its
-                    # queued chunks move to the survivors.
+                    # frame that failed MAC or schema verification,
+                    # malformed reply): the chunk's fate is unknown, but
+                    # tasks are pure, so rerunning it elsewhere is safe.
+                    # The failure is categorized into telemetry and
+                    # counts as a liveness miss; the lane sits out until
+                    # (maybe) resurrected, and its queued chunks move to
+                    # the survivors.
                     category = _failure_category(exc)
                     self.telemetry.record(link.address, category)
                     self.health.record_miss(link.address, reason=category)
@@ -937,6 +1156,7 @@ class DistributedExecutor(Executor):
         with self._publish_lock:
             acked = {addr: set(digests) for addr, digests in self._acked.items()}
             self._acked.clear()
+            self._fn_acks.clear()
             self._inputs_by_digest.clear()
             self._pinned.clear()
             self._digest_cache.clear()
@@ -948,6 +1168,8 @@ class DistributedExecutor(Executor):
                 self.connect_timeout,
                 self.task_timeout,
                 telemetry=self.telemetry,
+                secret=self.secret,
+                ssl_context=self.ssl_context,
             )
             if not link.ensure_connected():
                 continue
@@ -973,13 +1195,17 @@ class LoopbackWorker:
     """An in-process worker thread serving the distributed protocol.
 
     Hosts :func:`repro.exec.worker.serve` on a daemon thread bound to an
-    OS-assigned loopback port — the distributed stack end-to-end (frames,
-    sockets, redistribution) with no extra processes, which is what the
-    test-suite and single-machine smoke runs want.
+    OS-assigned loopback port — the distributed stack end-to-end
+    (handshake, frames, sockets, redistribution) with no extra
+    processes, which is what the test-suite and single-machine smoke
+    runs want.  ``secret`` / ``ssl_context`` configure the worker-side
+    authentication exactly as the CLI flags would (defaulting to the
+    loopback development secret, like the client); ``registry`` receives
+    the worker-side handshake and rejected-frame counters.
 
     ``max_requests_per_connection`` makes the worker hang up after that
-    many map frames on each connection — deterministic fault injection
-    for the client's mid-batch failover path.  ``request_delay`` sleeps
+    many frames on each connection — deterministic fault injection for
+    the client's mid-batch failover path.  ``request_delay`` sleeps
     that long before each map frame — latency injection turning this
     worker into the slow host of a synthetic heterogeneous fleet (how
     ``benchmarks/bench_exec_steal.py`` builds its straggler).
@@ -1000,6 +1226,9 @@ class LoopbackWorker:
         max_cached_inputs: int = 32,
         fault_injector: "FaultInjector | None" = None,
         tracer: "Tracer | NullTracer" = NULL_TRACER,
+        secret: "bytes | str | None" = None,
+        ssl_context: "ssl.SSLContext | None" = None,
+        registry: "MetricsRegistry | None" = None,
     ):
         self._stop = threading.Event()
         ready = threading.Event()
@@ -1021,6 +1250,9 @@ class LoopbackWorker:
                 max_cached_inputs=max_cached_inputs,
                 fault_injector=fault_injector,
                 tracer=tracer,
+                secret=secret,
+                ssl_context=ssl_context,
+                registry=registry,
             ),
             daemon=True,
         )

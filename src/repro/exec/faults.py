@@ -54,17 +54,17 @@ True
 from __future__ import annotations
 
 import json
-import pickle
-import socket
-import struct
 import threading
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from ..core.randomness import expand_seed
 from ..obs.recorder import FlightRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .wire import WireSession
 
 __all__ = [
     "FAULT_KINDS",
@@ -110,8 +110,6 @@ _SCOPE_FOR_KIND = {
     "lose_publish": "publish",
 }
 _SCOPES = ("accept", "map", "publish", "ping", "release")
-
-_LENGTH = struct.Struct(">Q")
 
 
 def _scope_for(kind: str) -> str:
@@ -375,31 +373,37 @@ class FaultInjector:
         self._stop.set()
 
 
-def send_mangled(sock: socket.socket, obj: object, kind: str) -> None:
+def send_mangled(session: "WireSession", obj: object, kind: str) -> None:
     """Send ``obj`` as a deliberately damaged frame (the fault's payload).
 
-    The damage is deterministic in the frame bytes: ``"truncate"``
-    promises the full length and sends nothing, ``"drop_mid_frame"``
-    sends half the payload, ``"corrupt"`` flips the pickle header and
-    every 97th byte so the client's decode *must* fail (surfacing as a
-    typed :class:`~repro.exec.wire.CorruptFrameError`) rather than decode
-    into a plausible wrong object.  The caller closes the connection
+    The frame is produced by the *authenticated* session
+    (:meth:`~repro.exec.wire.WireSession.frame_bytes` — a legitimate
+    schema payload with a valid MAC and the correct sequence number) and
+    damaged only afterwards, so a chaos cell exercises the receiver's
+    verification path, not a codepath no honest peer could reach.  The
+    damage is deterministic in the frame bytes: ``"truncate"`` promises
+    the full length and sends nothing, ``"drop_mid_frame"`` sends half
+    the payload, ``"corrupt"`` flips the first eight payload bytes and
+    every 97th after that — the MAC no longer verifies, so the client
+    *must* fail with a typed
+    :class:`~repro.exec.wire.FrameAuthenticationError` rather than
+    decode a plausible wrong object.  The caller closes the connection
     afterwards, so torn frames surface immediately as
     :class:`~repro.exec.wire.TruncatedFrameError` instead of waiting out
     a socket timeout.
     """
     if kind not in MANGLE_KINDS:
         raise ValueError(f"{kind!r} is not a frame-mangling fault kind")
-    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    header = _LENGTH.pack(len(payload))
+    header, chunks, mac = session.frame_bytes(obj)
+    payload = b"".join(chunks)
     if kind == "truncate":
-        sock.sendall(header)
+        session.sock.sendall(header)
         return
     if kind == "drop_mid_frame":
-        sock.sendall(header + payload[: max(1, len(payload) // 2)])
+        session.sock.sendall(header + payload[: max(1, len(payload) // 2)])
         return
     damaged = bytearray(payload)
     for index in range(len(damaged)):
         if index < 8 or index % 97 == 0:
             damaged[index] ^= 0xFF
-    sock.sendall(header + bytes(damaged))
+    session.sock.sendall(header + bytes(damaged) + mac)

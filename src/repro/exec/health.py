@@ -271,11 +271,15 @@ class ErrorTelemetry:
     """Per-worker, per-category error counters — the anti-silent-pass.
 
     Every failure the executor *handles* (rather than raises) must be
-    recorded here, keyed by worker address and a short category string
-    (``"connect"``, ``"transport"``, ``"timeout"``, ``"corrupt"``,
-    ``"heartbeat"``, ``"ping"``, ``"release"``, ``"close"``, …).  Lint
-    rule ``EXC03`` forbids the reason-less ``except: pass`` alternative
-    in :mod:`repro.exec`.
+    recorded here, keyed by worker address and a short category string:
+    ``"connect"`` (dial/handshake transport failures), ``"auth"``
+    (a frame or handshake failed MAC verification — tampering, a replay,
+    or a secret mismatch), ``"corrupt"`` (a frame passed its MAC but
+    violated the schema — a peer-side encoder bug, not an attacker),
+    ``"transport"`` (torn frames, resets, timeouts at the socket layer),
+    ``"timeout"``, ``"heartbeat"``, ``"ping"``, ``"release"``,
+    ``"close"``, ``"protocol"``.  Lint rule ``EXC03`` forbids the
+    reason-less ``except: pass`` alternative in :mod:`repro.exec`.
 
     The counts live in a :class:`~repro.obs.metrics.MetricsRegistry` —
     a private one by default, or a shared one passed as ``registry`` so

@@ -233,6 +233,53 @@ class TestSingleFaultCells:
                 worker.stop()
 
 
+class TestMangleDetectionIsTyped:
+    """Damaged frames are caught by *verification*, not decode luck.
+
+    A corrupt frame rides under its original (now wrong) MAC, so the
+    client rejects it cryptographically and telemetry records the lane
+    failure as ``auth``; torn frames (``drop_mid_frame``, ``truncate``)
+    surface as :class:`~repro.exec.wire.TruncatedFrameError` — a typed
+    transport failure.  Either way the cell stays bit-identical to the
+    serial golden: detection feeds the ordinary requeue path.
+    """
+
+    MANGLE_CATEGORIES = {
+        "corrupt": "auth",
+        "drop_mid_frame": "transport",
+        "truncate": "transport",
+    }
+
+    @pytest.mark.parametrize("kind", sorted(MANGLE_CATEGORIES))
+    def test_mangled_cell_is_categorized_and_bit_identical(
+        self, goldens, kind
+    ):
+        plan = FaultPlan(
+            {"worker-0": [FaultEvent("map", 0, kind)], "worker-1": []}
+        )
+        _dump_plan(f"loopback-mangle-{kind}", plan)
+        workers = [
+            LoopbackWorker(fault_injector=plan.injector(site))
+            for site in SITES
+        ]
+        try:
+            with _chaos_executor([w.endpoint for w in workers]) as executor:
+                batch = Engine(executor).run_batch(fixed_input_spec(), TRIALS)
+                counts = executor.telemetry.counts().get(
+                    workers[0].address, {}
+                )
+                expected = self.MANGLE_CATEGORIES[kind]
+                assert counts.get(expected, 0) >= 1, counts
+                if kind == "corrupt":
+                    # Cryptographic detection, not a lucky decode error:
+                    # the flipped bytes never reach the schema decoder.
+                    assert counts.get("corrupt", 0) == 0, counts
+            _assert_bit_identical(batch, goldens["fixed_inputs"])
+        finally:
+            for worker in workers:
+                worker.stop()
+
+
 class TestSubprocessWorkerCells:
     """Real ``python -m repro.exec.worker --fault-plan`` chaos."""
 

@@ -394,14 +394,33 @@ class TestEXC01:
         """
         assert "EXC01" in rules_fired(src, path="src/repro/exec/helper.py")
 
-    def test_wire_module_is_quarantine(self):
+    def test_wire_module_is_no_longer_exempt(self):
+        """The v1 protocol quarantined pickle inside wire.py; the v2
+        schema protocol needs no pickle at all, so even the wire module
+        is held to the rule now."""
         src = """
             import pickle
 
             def recv_frame(blob):
                 return pickle.loads(blob)
         """
-        assert "EXC01" not in rules_fired(src, path="src/repro/exec/wire.py")
+        assert "EXC01" in rules_fired(src, path="src/repro/exec/wire.py")
+
+    def test_no_pickle_import_anywhere_in_exec(self):
+        """Regression for the pickle-RCE fix: no repro.exec module may
+        even import pickle — the schema codec replaced it wholesale."""
+        from pathlib import Path
+
+        exec_dir = Path(__file__).resolve().parents[2] / "src" / "repro" / "exec"
+        offenders = [
+            path.name
+            for path in sorted(exec_dir.glob("*.py"))
+            if any(
+                line.startswith(("import pickle", "from pickle"))
+                for line in path.read_text().splitlines()
+            )
+        ]
+        assert offenders == []
 
     def test_allows_pickle_dumps(self):
         # Serialization is safe; only deserialization executes code.

@@ -12,14 +12,17 @@ from repro.distributions import UniformRows
 from repro.exec import DistributedExecutor, LoopbackWorker
 from repro.exec.faults import FaultEvent, FaultInjector
 from repro.exec.health import DEAD, SUSPECT, FleetDegradedWarning
+from repro.exec.wire import register_wire_function
 from repro.exec.worker import PublishedInput, recv_frame, send_frame
 from repro.lowerbounds import TopSubmatrixRankProtocol
 
 
+@register_wire_function
 def _square(x):
     return x * x
 
 
+@register_wire_function
 def _boom(x):
     raise ValueError(f"remote task {x} failed")
 
@@ -111,10 +114,12 @@ class TestDistributedMap:
                 with pytest.raises(ValueError, match="remote task"):
                     executor.map(_boom, range(4))
 
-    def test_unpicklable_runs_locally(self):
+    def test_unencodable_runs_locally(self):
+        """A lambda is not in the wire vocabulary (unregistered code
+        never travels): the map runs locally with a loud warning."""
         with LoopbackWorker() as worker:
             with DistributedExecutor([worker.endpoint]) as executor:
-                with pytest.warns(RuntimeWarning, match="not picklable"):
+                with pytest.warns(RuntimeWarning, match="not wire-encodable"):
                     assert executor.map(lambda x: x + 1, [1, 2]) == [2, 3]
 
     def test_empty_and_validation(self):
@@ -355,6 +360,9 @@ class TestRobustness:
             worker.stop()
 
     def test_corrupt_reply_is_typed_requeued_and_counted(self):
+        """A bit-flipped reply fails MAC verification — the failure is
+        detected *cryptographically* (telemetry category "auth"), the
+        chunk requeues, and the results stay correct."""
         injector = FaultInjector([FaultEvent("map", 0, "corrupt")])
         worker = LoopbackWorker(fault_injector=injector)
         steady = LoopbackWorker()
@@ -368,7 +376,7 @@ class TestRobustness:
                     x * x for x in range(8)
                 ]
                 assert executor.telemetry.counts()[worker.address][
-                    "corrupt"
+                    "auth"
                 ] == 1
         finally:
             worker.stop()
@@ -605,7 +613,7 @@ class TestInputPublication:
     def test_real_cli_worker_binds_published_inputs(self):
         """Regression: `python -m repro.exec.worker` runs worker.py as
         __main__, so its PublishedInput class must still match the
-        repro.exec.worker.PublishedInput arriving in pickled frames
+        repro.exec.worker.PublishedInput arriving in schema frames
         (the entry point delegates to the canonical module)."""
         import os
         import subprocess

@@ -15,10 +15,10 @@ from repro.exec.faults import (
     send_mangled,
 )
 from repro.exec.wire import (
-    CorruptFrameError,
+    FrameAuthenticationError,
     TruncatedFrameError,
     WireProtocolError,
-    recv_frame,
+    WireSession,
 )
 
 
@@ -154,14 +154,28 @@ class TestFaultInjector:
 
 class TestSendMangled:
     @staticmethod
-    def _mangled_recv(kind):
+    def _sessions():
+        """An authenticated client/server session pair over a socketpair."""
         left, right = socket.socketpair()
+        results = {}
+
+        def server():
+            results["server"] = WireSession.server(right)
+
+        thread = threading.Thread(target=server, daemon=True)
+        thread.start()
+        client = WireSession.client(left)
+        thread.join(timeout=5.0)
+        return client, results["server"], left, right
+
+    def _mangled_recv(self, kind):
+        client, server, left, right = self._sessions()
         try:
-            send_mangled(left, ("ok", [1, 2, 3]), kind)
-            left.close()
-            return recv_frame(right)
-        finally:
+            send_mangled(server, ("ok", [1, 2, 3]), kind)
             right.close()
+            return client.recv()
+        finally:
+            left.close()
 
     def test_truncate_surfaces_as_truncated_frame(self):
         with pytest.raises(TruncatedFrameError):
@@ -171,8 +185,10 @@ class TestSendMangled:
         with pytest.raises(TruncatedFrameError):
             self._mangled_recv("drop_mid_frame")
 
-    def test_corrupt_surfaces_as_corrupt_frame(self):
-        with pytest.raises(CorruptFrameError):
+    def test_corrupt_surfaces_as_mac_failure(self):
+        """Flipped payload bytes ride under the original (now wrong)
+        MAC: detection is cryptographic, not pickle-decode luck."""
+        with pytest.raises(FrameAuthenticationError):
             self._mangled_recv("corrupt")
 
     def test_every_mangle_is_a_typed_wire_error(self):
@@ -181,11 +197,24 @@ class TestSendMangled:
             with pytest.raises(WireProtocolError):
                 self._mangled_recv(kind)
 
+    def test_mangled_frame_advances_the_send_sequence(self):
+        """frame_bytes() burns a sequence number even when the bytes are
+        then damaged — the honest frames around a mangled one must not
+        shift into each other's MAC slots."""
+        client, server, left, right = self._sessions()
+        try:
+            before = server._send_seq
+            send_mangled(server, ("ok", [1]), "corrupt")
+            assert server._send_seq == before + 1
+        finally:
+            left.close()
+            right.close()
+
     def test_non_mangle_kind_rejected(self):
-        left, right = socket.socketpair()
+        client, server, left, right = self._sessions()
         try:
             with pytest.raises(ValueError, match="mangling"):
-                send_mangled(left, "x", "crash")
+                send_mangled(server, "x", "crash")
         finally:
             left.close()
             right.close()

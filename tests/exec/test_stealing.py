@@ -8,9 +8,11 @@ from repro.core import Engine, RunSpec, SerialExecutor
 from repro.distributions import UniformRows
 from repro.exec import DistributedExecutor, LoopbackWorker, WorkerPool
 from repro.exec.stealing import Chunk, ChunkScheduler
+from repro.exec.wire import register_wire_function
 from repro.lowerbounds import TopSubmatrixRankProtocol
 
 
+@register_wire_function
 def _square(x):
     return x * x
 

@@ -1,0 +1,488 @@
+"""Edge-case tests for the schema'd, authenticated wire protocol.
+
+Covers the framing limits (a frame of exactly ``MAX_FRAME_BYTES``, the
+sender-side size guard, zero-length frames, EOF after a partial length
+header), the value/array codecs, and every rejection path of the
+authenticated session: MAC mismatch, wrong secret, replayed frames,
+cross-session splicing — plus a TLS loopback run over certificates
+minted with the ``openssl`` CLI.
+"""
+
+import os
+import shutil
+import socket
+import ssl
+import subprocess
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exec import wire
+from repro.exec.distributed import DistributedExecutor, LoopbackWorker
+from repro.exec.health import FleetDegradedWarning
+from repro.exec.wire import (
+    MAX_FRAME_BYTES,
+    AuthenticationError,
+    CorruptFrameError,
+    FrameAuthenticationError,
+    FrameSizeError,
+    TruncatedFrameError,
+    UnencodableError,
+    WireProtocolError,
+    WireSession,
+    decode_array_payload,
+    decode_value,
+    encode_array_payload,
+    encode_value,
+    function_digest,
+    recv_frame,
+    register_wire_function,
+    resolve_secret,
+    send_frame,
+)
+
+_LENGTH = wire._LENGTH
+
+
+@register_wire_function
+def _double(x):
+    return 2 * x
+
+
+def _socketpair():
+    left, right = socket.socketpair()
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    return left, right
+
+
+def _session_pair(client_secret=None, server_secret=None,
+                  client_codecs=wire.WIRE_CODECS,
+                  server_codecs=wire.WIRE_CODECS):
+    """Handshake both sides of a socketpair; return outcomes per side.
+
+    Each element of the result is either a live :class:`WireSession` or
+    the exception its side's handshake raised.
+    """
+    left, right = _socketpair()
+    results = {}
+
+    def server():
+        try:
+            results["server"] = WireSession.server(
+                right, server_secret, server_codecs
+            )
+        except Exception as exc:  # captured for assertion, not ignored
+            results["server"] = exc
+
+    thread = threading.Thread(target=server, daemon=True)
+    thread.start()
+    try:
+        results["client"] = WireSession.client(left, client_secret, client_codecs)
+    except Exception as exc:
+        results["client"] = exc
+    thread.join(timeout=5.0)
+    return results["client"], results["server"], left, right
+
+
+class TestValueCodec:
+    ROUND_TRIPS = [
+        None,
+        True,
+        False,
+        0,
+        -17,
+        1 << 200,           # bigint beyond any fixed-width field
+        -(1 << 200),
+        3.25,
+        float("inf"),
+        "héllo",
+        b"\x00\xff",
+        (),
+        ("nested", (1, [2, {"three": 4}])),
+        [1, 2, 3],
+        {"a": 1, 2: "b"},
+    ]
+
+    @pytest.mark.parametrize("value", ROUND_TRIPS, ids=repr)
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_numpy_array_round_trip(self):
+        array = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        out = decode_value(encode_value(array))
+        assert out.dtype == array.dtype
+        assert np.array_equal(out, array)
+
+    def test_registered_function_travels_by_name(self):
+        fn = decode_value(encode_value(_double))
+        assert fn is _double
+
+    def test_lambda_is_unencodable(self):
+        with pytest.raises(UnencodableError):
+            encode_value(lambda x: x)
+
+    def test_unregistered_class_is_unencodable(self):
+        class Private:
+            pass
+
+        with pytest.raises(UnencodableError):
+            encode_value(Private())
+
+    def test_unencodable_is_not_a_connection_error(self):
+        """Executors treat this as "run locally", never "requeue"."""
+        assert not issubclass(UnencodableError, ConnectionError)
+        assert issubclass(UnencodableError, TypeError)
+
+    def test_truncated_payload_is_typed(self):
+        payload = encode_value(("ok", [1, 2, 3]))
+        with pytest.raises(CorruptFrameError):
+            decode_value(payload[: len(payload) // 2])
+
+    def test_trailing_garbage_is_typed(self):
+        payload = encode_value("x")
+        with pytest.raises(CorruptFrameError):
+            decode_value(payload + b"\x00")
+
+    def test_function_digest_is_content_addressed(self):
+        fn_bytes = encode_value(_double)
+        assert function_digest(fn_bytes) == function_digest(fn_bytes)
+        assert len(function_digest(fn_bytes)) == 64
+
+
+class TestFraming:
+    def test_frame_of_exactly_max_frame_bytes(self, monkeypatch):
+        """The limit is inclusive: a frame of exactly the cap passes."""
+        obj = ("ok", [1, 2, 3])
+        payload = encode_value(obj)
+        monkeypatch.setattr(wire, "MAX_FRAME_BYTES", len(payload))
+        left, right = _socketpair()
+        try:
+            send_frame(left, obj)
+            assert recv_frame(right) == obj
+        finally:
+            left.close()
+            right.close()
+
+    def test_sender_side_size_guard_fires_before_any_write(self, monkeypatch):
+        obj = ("ok", [1, 2, 3])
+        monkeypatch.setattr(wire, "MAX_FRAME_BYTES", len(encode_value(obj)) - 1)
+        left, right = _socketpair()
+        try:
+            with pytest.raises(FrameSizeError):
+                send_frame(left, obj)
+            # Not a single byte hit the socket: the stream is unpoisoned.
+            right.setblocking(False)
+            with pytest.raises(BlockingIOError):
+                right.recv(1)
+        finally:
+            left.close()
+            right.close()
+
+    def test_receiver_side_cap_rejects_oversize_header(self):
+        left, right = _socketpair()
+        try:
+            left.sendall(_LENGTH.pack(1 << 20))
+            with pytest.raises(FrameSizeError):
+                recv_frame(right, max_bytes=1 << 10)
+        finally:
+            left.close()
+            right.close()
+
+    def test_zero_length_frame_is_typed(self):
+        """A header claiming zero bytes decodes to nothing — typed, not
+        a silent ``None`` or an IndexError inside the decoder."""
+        left, right = _socketpair()
+        try:
+            left.sendall(_LENGTH.pack(0))
+            with pytest.raises(CorruptFrameError):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_after_partial_length_header(self):
+        """Half a length header then EOF is a TruncatedFrameError — not
+        a silent short read misparsed as a tiny frame."""
+        left, right = _socketpair()
+        try:
+            left.sendall(_LENGTH.pack(99)[:3])
+            left.close()
+            with pytest.raises(TruncatedFrameError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_eof_mid_payload(self):
+        left, right = _socketpair()
+        try:
+            left.sendall(_LENGTH.pack(100) + b"ten bytes.")
+            left.close()
+            with pytest.raises(TruncatedFrameError):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_clean_eof_between_frames_is_plain_connection_error(self):
+        """The peer hanging up *between* frames is the normal end of a
+        session — plain ConnectionError, no pathology subtype."""
+        left, right = _socketpair()
+        left.close()
+        try:
+            with pytest.raises(ConnectionError) as err:
+                recv_frame(right)
+            assert not isinstance(err.value, WireProtocolError)
+        finally:
+            right.close()
+
+    def test_default_cap_is_generous(self):
+        assert MAX_FRAME_BYTES == 1 << 32
+
+
+class TestSessionAuth:
+    def test_authenticated_round_trip(self):
+        client, server, left, right = _session_pair()
+        try:
+            client.send(("ping",))
+            assert server.recv() == ("ping",)
+            server.send(("pong",))
+            assert client.recv() == ("pong",)
+        finally:
+            left.close()
+            right.close()
+
+    def test_wrong_secret_rejected_on_both_sides(self):
+        client, server, left, right = _session_pair(
+            client_secret=b"left secret", server_secret=b"right secret"
+        )
+        try:
+            assert isinstance(server, AuthenticationError)
+            assert isinstance(client, AuthenticationError)
+        finally:
+            left.close()
+            right.close()
+
+    def test_tampered_published_input_detected(self):
+        """Flip one byte of a publish frame's data in flight: the MAC
+        catches it before the schema decoder ever sees the bytes."""
+        client, server, left, right = _session_pair()
+        try:
+            data = bytes(range(64))
+            frame = ("publish_inputs", "d" * 64, (8, 8), "uint8", "raw", data)
+            header, chunks, mac = client.frame_bytes(frame)
+            payload = bytearray(b"".join(chunks))
+            payload[-1] ^= 0x01
+            left.sendall(header + bytes(payload) + mac)
+            with pytest.raises(FrameAuthenticationError):
+                server.recv()
+        finally:
+            left.close()
+            right.close()
+
+    def test_replayed_frame_rejected(self):
+        """The same honest bytes verify once; the strict sequence
+        counter refuses the replay."""
+        client, server, left, right = _session_pair()
+        try:
+            header, chunks, mac = client.frame_bytes(("ping",))
+            raw = header + b"".join(chunks) + mac
+            left.sendall(raw)
+            assert server.recv() == ("ping",)
+            left.sendall(raw)
+            with pytest.raises(FrameAuthenticationError):
+                server.recv()
+        finally:
+            left.close()
+            right.close()
+
+    def test_frame_from_another_session_rejected(self):
+        """Fresh nonces per handshake: splicing a recorded frame from
+        one session into another cannot verify."""
+        client_a, server_a, left_a, right_a = _session_pair()
+        client_b, server_b, left_b, right_b = _session_pair()
+        try:
+            header, chunks, mac = client_a.frame_bytes(("ping",))
+            left_b.sendall(header + b"".join(chunks) + mac)
+            with pytest.raises(FrameAuthenticationError):
+                server_b.recv()
+        finally:
+            for sock in (left_a, right_a, left_b, right_b):
+                sock.close()
+
+    def test_truncated_mac_is_truncated_frame(self):
+        client, server, left, right = _session_pair()
+        try:
+            header, chunks, mac = client.frame_bytes(("ping",))
+            left.sendall(header + b"".join(chunks) + mac[:-5])
+            left.close()
+            with pytest.raises(TruncatedFrameError):
+                server.recv()
+        finally:
+            right.close()
+
+    def test_codec_negotiation_intersects_offers(self):
+        client, server, left, right = _session_pair(
+            client_codecs=("raw",), server_codecs=("gf2pack", "raw")
+        )
+        try:
+            assert client.codecs == ("raw",)
+            assert server.codecs == ("raw",)
+        finally:
+            left.close()
+            right.close()
+
+    def test_disjoint_codec_offers_fall_back_to_raw(self):
+        client, server, left, right = _session_pair(
+            client_codecs=("gf2pack",), server_codecs=()
+        )
+        try:
+            assert client.codecs == ("raw",)
+            assert server.codecs == ("raw",)
+        finally:
+            left.close()
+            right.close()
+
+    def test_handshake_against_non_protocol_peer_is_typed(self):
+        """A client pointed at something that isn't a worker gets a
+        typed AuthenticationError, not a decoder crash."""
+        left, right = _socketpair()
+        try:
+            send_frame(right, ("not", "a", "challenge"))
+            with pytest.raises(AuthenticationError):
+                WireSession.client(left)
+        finally:
+            left.close()
+            right.close()
+
+
+class TestArrayPayloadCodec:
+    def test_gf2pack_is_one_eighth_of_raw(self):
+        rng = np.random.default_rng(7)
+        array = rng.integers(0, 2, size=(64, 64), dtype=np.uint8)
+        codec, data = encode_array_payload(array)
+        assert codec == "gf2pack"
+        assert len(data) == array.size // 8
+        out = decode_array_payload(codec, data, array.shape, "uint8")
+        assert np.array_equal(out, array)
+        assert not out.flags.writeable
+
+    def test_non_binary_uint8_ships_raw(self):
+        array = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        codec, data = encode_array_payload(array)
+        assert codec == "raw"
+        assert np.array_equal(
+            decode_array_payload(codec, data, array.shape, "uint8"), array
+        )
+
+    def test_float_array_round_trips_raw(self):
+        array = np.linspace(0.0, 1.0, 12).reshape(3, 4)
+        codec, data = encode_array_payload(array)
+        assert codec == "raw"
+        out = decode_array_payload(codec, data, array.shape, str(array.dtype))
+        assert np.array_equal(out, array)
+
+    def test_codec_list_without_gf2pack_forces_raw(self):
+        array = np.zeros((8, 8), dtype=np.uint8)
+        codec, _ = encode_array_payload(array, ("raw",))
+        assert codec == "raw"
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(CorruptFrameError):
+            decode_array_payload("zstd", b"", (0,), "uint8")
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(CorruptFrameError):
+            decode_array_payload("raw", b"", (0,), "not-a-dtype")
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(CorruptFrameError):
+            decode_array_payload("raw", b"", (0,), "object")
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(CorruptFrameError):
+            decode_array_payload("raw", b"\x00" * 7, (2, 4), "uint8")
+
+
+class TestResolveSecret:
+    def test_explicit_bytes_win(self, monkeypatch):
+        monkeypatch.setenv(wire.DEFAULT_SECRET_ENV, "from-env")
+        assert resolve_secret(b"explicit") == b"explicit"
+
+    def test_explicit_str_is_encoded(self):
+        assert resolve_secret("pass-phrase") == b"pass-phrase"
+
+    def test_env_beats_dev_default(self, monkeypatch):
+        monkeypatch.setenv(wire.DEFAULT_SECRET_ENV, "from-env")
+        assert resolve_secret(None) == b"from-env"
+
+    def test_dev_default_is_last_resort(self, monkeypatch):
+        monkeypatch.delenv(wire.DEFAULT_SECRET_ENV, raising=False)
+        assert resolve_secret(None) == wire._DEV_SECRET
+
+
+needs_openssl = pytest.mark.skipif(
+    shutil.which("openssl") is None, reason="openssl CLI not available"
+)
+
+
+@needs_openssl
+class TestTLSLoopback:
+    @pytest.fixture()
+    def cert_pair(self, tmp_path):
+        """A self-signed cert/key for 127.0.0.1, minted via openssl."""
+        cert = tmp_path / "cert.pem"
+        key = tmp_path / "key.pem"
+        subprocess.run(
+            [
+                "openssl", "req", "-x509", "-newkey", "rsa:2048",
+                "-keyout", str(key), "-out", str(cert),
+                "-days", "1", "-nodes", "-subj", "/CN=127.0.0.1",
+                "-addext", "subjectAltName=IP:127.0.0.1",
+            ],
+            check=True,
+            capture_output=True,
+        )
+        return cert, key
+
+    def test_map_over_tls_with_shared_secret(self, cert_pair):
+        cert, key = cert_pair
+        server_ctx = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+        server_ctx.load_cert_chain(str(cert), str(key))
+        client_ctx = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+        client_ctx.load_verify_locations(str(cert))
+        with LoopbackWorker(
+            secret=b"tls-suite-secret", ssl_context=server_ctx
+        ) as worker:
+            with DistributedExecutor(
+                [worker.endpoint],
+                secret=b"tls-suite-secret",
+                ssl_context=client_ctx,
+                local_fallback=False,
+            ) as executor:
+                assert executor.map(_double, [1, 2, 3]) == [2, 4, 6]
+                assert executor.registry.total("exec_handshakes_total") == 1
+
+    def test_wrong_secret_over_tls_is_auth_failure(self, cert_pair):
+        """TLS succeeding is not enough: the worker still demands the
+        shared-secret handshake inside the tunnel."""
+        cert, key = cert_pair
+        server_ctx = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+        server_ctx.load_cert_chain(str(cert), str(key))
+        client_ctx = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+        client_ctx.load_verify_locations(str(cert))
+        with LoopbackWorker(
+            secret=b"worker-secret", ssl_context=server_ctx
+        ) as worker:
+            with DistributedExecutor(
+                [worker.endpoint],
+                secret=b"client-secret",
+                ssl_context=client_ctx,
+                local_fallback=True,
+            ) as executor:
+                # Authentication fails closed; the work still completes
+                # via the local fallback and telemetry says why.
+                with pytest.warns(FleetDegradedWarning):
+                    assert executor.map(_double, [5]) == [10]
+                counts = executor.telemetry.counts()[worker.address]
+                assert counts.get("auth", 0) >= 1
